@@ -1,0 +1,126 @@
+package dpmg
+
+// One benchmark per experiment table (DESIGN.md E1–E10). Each target
+// regenerates its table and logs it, so `go test -bench=E<n>` reproduces the
+// corresponding claim. By default the reduced ("quick") problem sizes are
+// used to keep `go test -bench=.` tractable; set DPMG_BENCH_FULL=1 for the
+// full-size runs recorded in EXPERIMENTS.md (cmd/dpmg-bench runs the same
+// code as a standalone binary).
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"dpmg/internal/experiment"
+	"dpmg/internal/workload"
+)
+
+func benchConfig() experiment.Config {
+	return experiment.Config{
+		Quick: os.Getenv("DPMG_BENCH_FULL") == "",
+		Seed:  1,
+	}
+}
+
+func runExperiment(b *testing.B, id string) {
+	r, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := benchConfig()
+	var out strings.Builder
+	for i := 0; i < b.N; i++ {
+		out.Reset()
+		tab := r(cfg)
+		tab.Render(&out)
+	}
+	b.Log("\n" + out.String())
+}
+
+func BenchmarkE1NoiseVsK(b *testing.B)          { runExperiment(b, "E1") }
+func BenchmarkE2Baselines(b *testing.B)         { runExperiment(b, "E2") }
+func BenchmarkE3Crossover(b *testing.B)         { runExperiment(b, "E3") }
+func BenchmarkE4PureDP(b *testing.B)            { runExperiment(b, "E4") }
+func BenchmarkE5Sensitivity(b *testing.B)       { runExperiment(b, "E5") }
+func BenchmarkE6Merging(b *testing.B)           { runExperiment(b, "E6") }
+func BenchmarkE7UserLevel(b *testing.B)         { runExperiment(b, "E7") }
+func BenchmarkE8MSE(b *testing.B)               { runExperiment(b, "E8") }
+func BenchmarkE9Audit(b *testing.B)             { runExperiment(b, "E9") }
+func BenchmarkE10Throughput(b *testing.B)       { runExperiment(b, "E10") }
+func BenchmarkE11Continual(b *testing.B)        { runExperiment(b, "E11") }
+func BenchmarkE12EvictionAblation(b *testing.B) { runExperiment(b, "E12") }
+func BenchmarkE13SkewRobustness(b *testing.B)   { runExperiment(b, "E13") }
+func BenchmarkE14EpsilonSweep(b *testing.B)     { runExperiment(b, "E14") }
+func BenchmarkE15HugeUniverse(b *testing.B)     { runExperiment(b, "E15") }
+func BenchmarkE16DriftMonitoring(b *testing.B)  { runExperiment(b, "E16") }
+
+// Micro-benchmarks of the public API hot paths.
+
+func BenchmarkSketchUpdate(b *testing.B) {
+	const d = 1 << 16
+	str := workload.Zipf(1<<20, d, 1.05, 1)
+	sk := NewSketch(256, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Update(str[i&(1<<20-1)])
+	}
+}
+
+func BenchmarkSketchUpdateAdversarial(b *testing.B) {
+	const k = 256
+	str := workload.Adversarial(1<<20, k)
+	sk := NewSketch(k, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Update(str[i&(1<<20-1)])
+	}
+}
+
+func BenchmarkRelease(b *testing.B) {
+	const d = 1 << 16
+	sk := NewSketch(256, d)
+	for _, x := range workload.Zipf(1<<20, d, 1.05, 2) {
+		sk.Update(x)
+	}
+	p := Params{Eps: 1, Delta: 1e-6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Release(p, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUserSketchAddUser(b *testing.B) {
+	sets := workload.UserSets(1<<14, 1<<14, 8, 1.05, 3)
+	us := NewUserSketch(256, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := us.AddUser(sets[i&(1<<14-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeSummaries(b *testing.B) {
+	const d = 1 << 14
+	var sums []*MergeableSummary
+	for i := 0; i < 8; i++ {
+		sk := NewSketch(256, d)
+		for _, x := range workload.Zipf(1<<17, d, 1.05, uint64(i+4)) {
+			sk.Update(x)
+		}
+		s, err := sk.Summary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sums = append(sums, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MergeSummaries(sums...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package dpmg
+
+import (
+	"dpmg/internal/accountant"
+)
+
+// Budget is a total privacy allowance shared by a sequence of releases.
+type Budget struct {
+	Eps   float64
+	Delta float64
+}
+
+// Accountant meters releases against a fixed total budget under basic
+// composition, so application code cannot accidentally over-release. It is
+// safe for concurrent use.
+//
+//	acct, _ := dpmg.NewAccountant(dpmg.Budget{Eps: 2, Delta: 1e-5})
+//	h1, err := acct.Release(sk, dpmg.Params{Eps: 1, Delta: 1e-6}, seed1)
+//	h2, err := acct.Release(sk, dpmg.Params{Eps: 1, Delta: 1e-6}, seed2)
+//	_, err = acct.Release(sk, ...) // error: budget exhausted
+type Accountant struct {
+	inner *accountant.Accountant
+}
+
+// NewAccountant returns an accountant over the given total budget.
+func NewAccountant(b Budget) (*Accountant, error) {
+	inner, err := accountant.New(accountant.Budget{Eps: b.Eps, Delta: b.Delta})
+	if err != nil {
+		return nil, err
+	}
+	return &Accountant{inner: inner}, nil
+}
+
+// Release runs sk.Release after atomically charging (p.Eps, p.Delta)
+// against the budget; nothing is released (or charged) if the budget cannot
+// cover it.
+func (a *Accountant) Release(sk *Sketch, p Params, seed uint64) (Histogram, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err // validate before charging so bad params never leak budget
+	}
+	if err := a.inner.Spend(p.Eps, p.Delta); err != nil {
+		return nil, err
+	}
+	return sk.Release(p, seed)
+}
+
+// ReleaseUser is Release for a UserSketch.
+func (a *Accountant) ReleaseUser(sk *UserSketch, p Params, seed uint64) (Histogram, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := a.inner.Spend(p.Eps, p.Delta); err != nil {
+		return nil, err
+	}
+	return sk.Release(p, seed)
+}
+
+// Remaining returns the unspent budget.
+func (a *Accountant) Remaining() Budget {
+	r := a.inner.Remaining()
+	return Budget{Eps: r.Eps, Delta: r.Delta}
+}
+
+// Releases returns how many releases have been admitted.
+func (a *Accountant) Releases() int { return a.inner.Releases() }

@@ -1,0 +1,76 @@
+// Command dpmg-gen writes synthetic traces (one item per line) for feeding
+// cmd/dpmg or any line-oriented ingest, using the same workload models the
+// experiments run on (see DESIGN.md for why synthetic traces substitute for
+// the paper's motivating proprietary streams).
+//
+// Usage:
+//
+//	dpmg-gen -model zipf -n 1000000 -d 100000 -s 1.1 > trace.txt
+//	dpmg-gen -model packets -n 1000000 -d 200000 -elephants 12 | dpmg -k 256
+//	dpmg-gen -model queries -n 500000 -d 50000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dpmg/internal/stream"
+	"dpmg/internal/workload"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "zipf", "zipf | uniform | packets | queries | adversarial")
+		n         = flag.Int("n", 1_000_000, "number of elements")
+		d         = flag.Int("d", 100_000, "universe size")
+		s         = flag.Float64("s", 1.1, "zipf exponent (zipf/queries)")
+		elephants = flag.Int("elephants", 12, "elephant flows (packets)")
+		k         = flag.Int("k", 256, "summary size (adversarial: emits k+1 items)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	if err := generate(w, *model, *n, *d, *s, *elephants, *k, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dpmg-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(w io.Writer, model string, n, d int, s float64, elephants, k int, seed uint64) error {
+	if n <= 0 || d <= 0 {
+		return fmt.Errorf("n and d must be positive")
+	}
+	var items stream.Stream
+	var dict *stream.Dictionary
+	switch model {
+	case "zipf":
+		items = workload.Zipf(n, d, s, seed)
+	case "uniform":
+		items = workload.Uniform(n, d, seed)
+	case "packets":
+		items = workload.NewPacketTrace(d, elephants, 0.4, seed).Stream(n)
+	case "queries":
+		items, dict = workload.QueryLog(n, d, s, seed)
+	case "adversarial":
+		items = workload.Adversarial(n, k)
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	for _, x := range items {
+		if dict != nil {
+			if _, err := fmt.Fprintln(w, dict.Name(x)); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "item-%d\n", x); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateModels(t *testing.T) {
+	for _, model := range []string{"zipf", "uniform", "packets", "queries", "adversarial"} {
+		var buf bytes.Buffer
+		if err := generate(&buf, model, 1000, 100, 1.1, 4, 8, 1); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 1000 {
+			t.Errorf("%s: %d lines, want 1000", model, len(lines))
+		}
+		for _, l := range lines[:10] {
+			if l == "" {
+				t.Errorf("%s: empty line", model)
+			}
+		}
+	}
+}
+
+func TestGenerateQueriesUsesDictionary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generate(&buf, "queries", 100, 50, 1.2, 0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "query-") {
+		t.Errorf("queries model did not emit query strings: %s", buf.String()[:80])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := generate(&a, "zipf", 500, 100, 1.1, 0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := generate(&b, "zipf", 500, 100, 1.1, 0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed, different trace")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generate(&buf, "nope", 10, 10, 1, 1, 1, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := generate(&buf, "zipf", 0, 10, 1, 1, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := generate(&buf, "zipf", 10, 0, 1, 1, 1, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+}

@@ -1,0 +1,48 @@
+// Command dpmg-server runs a trusted aggregator for the distributed
+// heavy-hitters setting of the paper's Section 7. Edge nodes sketch their
+// local streams with Misra-Gries summaries (dpmg.Sketch → Summary →
+// encoding.MarshalSummary) and POST them; analysts GET differentially
+// private releases, metered against a fixed total privacy budget.
+//
+//	dpmg-server -addr :8080 -k 256 -eps 4 -delta 1e-5
+//
+// Endpoints:
+//
+//	POST /v1/summary           binary mergeable summary (wire format in
+//	                           internal/encoding); folded into the running
+//	                           aggregate with bounded (2k) memory
+//	GET  /v1/release?eps=&delta=[&mech=gauss|laplace]
+//	                           private histogram; spends budget
+//	GET  /v1/stats             JSON: merges, counters, remaining budget
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"dpmg/internal/accountant"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		k     = flag.Int("k", 256, "summary size all nodes must use")
+		eps   = flag.Float64("eps", 4, "total epsilon budget")
+		delta = flag.Float64("delta", 1e-5, "total delta budget")
+	)
+	flag.Parse()
+
+	s, err := newServer(*k, accountant.Budget{Eps: *eps, Delta: *delta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("dpmg-server listening on %s (k=%d, budget eps=%g delta=%g)", *addr, *k, *eps, *delta)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"dpmg/internal/accountant"
+	"dpmg/internal/encoding"
+	"dpmg/internal/gshm"
+	"dpmg/internal/hist"
+	"dpmg/internal/merge"
+	"dpmg/internal/noise"
+)
+
+// server is the trusted aggregator of the Section 7 distributed setting:
+// edge nodes stream locally, ship their mergeable Misra-Gries summaries
+// over HTTP, and analysts request differentially private releases against a
+// fixed total privacy budget.
+type server struct {
+	mu     sync.Mutex
+	k      int
+	merged *merge.Summary
+	nodes  int
+	acct   *accountant.Accountant
+}
+
+func newServer(k int, budget accountant.Budget) (*server, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("k must be positive")
+	}
+	acct, err := accountant.New(budget)
+	if err != nil {
+		return nil, err
+	}
+	return &server{k: k, acct: acct}, nil
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/summary", s.handleSummary)
+	mux.HandleFunc("GET /v1/release", s.handleRelease)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// handleSummary ingests one binary summary (encoding.MarshalSummary) and
+// folds it into the running aggregate with the Agarwal et al. merge, so the
+// server never stores more than 2k counters.
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sum, err := encoding.UnmarshalSummary(http.MaxBytesReader(w, r.Body, 1<<24))
+	if err != nil {
+		http.Error(w, "bad summary: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sum.K != s.k {
+		http.Error(w, fmt.Sprintf("summary k=%d, server requires k=%d", sum.K, s.k),
+			http.StatusBadRequest)
+		return
+	}
+	if s.merged == nil {
+		s.merged = sum
+	} else {
+		m, err := merge.Merge(s.merged, sum)
+		if err != nil {
+			http.Error(w, "merge failed: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.merged = m
+	}
+	s.nodes++
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, "merged summary %d\n", s.nodes)
+}
+
+type releaseResponse struct {
+	Mechanism string             `json:"mechanism"`
+	Eps       float64            `json:"eps"`
+	Delta     float64            `json:"delta"`
+	Items     map[string]float64 `json:"items"`
+}
+
+// handleRelease produces a private histogram of the aggregate. Query
+// parameters: eps, delta (spent against the server's budget), and
+// mech=gauss (default, sqrt(k) Gaussian sparse histogram per Corollary 18)
+// or mech=laplace (k/eps Laplace with k-scaled threshold).
+func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	eps, err := strconv.ParseFloat(r.URL.Query().Get("eps"), 64)
+	if err != nil || eps <= 0 {
+		http.Error(w, "eps must be a positive float", http.StatusBadRequest)
+		return
+	}
+	delta, err := strconv.ParseFloat(r.URL.Query().Get("delta"), 64)
+	if err != nil || delta <= 0 || delta >= 1 {
+		http.Error(w, "delta must be a float in (0,1)", http.StatusBadRequest)
+		return
+	}
+	mech := r.URL.Query().Get("mech")
+	if mech == "" {
+		mech = "gauss"
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.merged == nil {
+		http.Error(w, "no summaries ingested yet", http.StatusConflict)
+		return
+	}
+	if err := s.acct.Spend(eps, delta); err != nil {
+		http.Error(w, "privacy budget exhausted: "+err.Error(), http.StatusTooManyRequests)
+		return
+	}
+	src := noise.NewSource(cryptoSeed())
+	var rel hist.Estimate
+	switch mech {
+	case "gauss":
+		cfg, err := gshm.Calibrate(eps, delta, s.k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rel = gshm.Release(s.merged.Counts, cfg, src)
+	case "laplace":
+		rel, err = merge.TrustedAggregateBounded([]*merge.Summary{s.merged}, eps, delta, src)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	default:
+		http.Error(w, "mech must be gauss or laplace", http.StatusBadRequest)
+		return
+	}
+	resp := releaseResponse{Mechanism: mech, Eps: eps, Delta: delta,
+		Items: make(map[string]float64, len(rel))}
+	for x, v := range rel {
+		resp.Items[strconv.FormatUint(uint64(x), 10)] = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+type statsResponse struct {
+	K             int     `json:"k"`
+	Nodes         int     `json:"summaries_merged"`
+	Counters      int     `json:"counters_held"`
+	RemainingEps  float64 `json:"remaining_eps"`
+	RemainingDel  float64 `json:"remaining_delta"`
+	ReleasesSoFar int     `json:"releases"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	counters := 0
+	if s.merged != nil {
+		counters = len(s.merged.Counts)
+	}
+	rem := s.acct.Remaining()
+	resp := statsResponse{
+		K: s.k, Nodes: s.nodes, Counters: counters,
+		RemainingEps: rem.Eps, RemainingDel: rem.Delta,
+		ReleasesSoFar: s.acct.Releases(),
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func cryptoSeed() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("dpmg-server: cannot draw a crypto-random seed: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}

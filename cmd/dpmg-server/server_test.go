@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"dpmg/internal/accountant"
+	"dpmg/internal/encoding"
+	"dpmg/internal/merge"
+	"dpmg/internal/mg"
+	"dpmg/internal/workload"
+)
+
+func summaryBytes(t *testing.T, k int, seed uint64) []byte {
+	t.Helper()
+	sk := mg.New(k, 1000)
+	sk.Process(workload.HeavyTail(100000, 1000, 3, 0.9, seed))
+	s, err := merge.FromCounters(k, 1000, sk.Counters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := encoding.MarshalSummary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, k int, eps, delta float64) *httptest.Server {
+	t.Helper()
+	s, err := newServer(k, accountant.Budget{Eps: eps, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestIngestAndRelease(t *testing.T) {
+	ts := newTestServer(t, 64, 4, 1e-4)
+	for seed := uint64(1); seed <= 3; seed++ {
+		resp := post(t, ts.URL+"/v1/summary", summaryBytes(t, 64, seed))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	resp := get(t, ts.URL+"/v1/release?eps=1&delta=1e-5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release status %d", resp.StatusCode)
+	}
+	var rel releaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rel); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Mechanism != "gauss" {
+		t.Errorf("default mechanism %q", rel.Mechanism)
+	}
+	// The three designated heavy items (1..3, 90% of 300k elements) must
+	// survive the release.
+	for x := 1; x <= 3; x++ {
+		if _, ok := rel.Items[strconv.Itoa(x)]; !ok {
+			t.Errorf("heavy item %d missing from release %v", x, rel.Items)
+		}
+	}
+}
+
+func TestReleaseLaplaceMechanism(t *testing.T) {
+	ts := newTestServer(t, 64, 4, 1e-4)
+	post(t, ts.URL+"/v1/summary", summaryBytes(t, 64, 9))
+	resp := get(t, ts.URL+"/v1/release?eps=1&delta=1e-5&mech=laplace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("laplace release status %d", resp.StatusCode)
+	}
+	var rel releaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rel); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Mechanism != "laplace" {
+		t.Errorf("mechanism %q", rel.Mechanism)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	ts := newTestServer(t, 32, 1, 1e-4)
+	post(t, ts.URL+"/v1/summary", summaryBytes(t, 32, 4))
+	if resp := get(t, ts.URL+"/v1/release?eps=0.6&delta=1e-5"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first release status %d", resp.StatusCode)
+	}
+	resp := get(t, ts.URL+"/v1/release?eps=0.6&delta=1e-5")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget release status %d, want 429", resp.StatusCode)
+	}
+	// Stats reflect the single successful release.
+	var st statsResponse
+	if err := json.NewDecoder(get(t, ts.URL+"/v1/stats").Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ReleasesSoFar != 1 || st.Nodes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.RemainingEps > 0.41 || st.RemainingEps < 0.39 {
+		t.Errorf("remaining eps = %v", st.RemainingEps)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	ts := newTestServer(t, 32, 1, 1e-4)
+	if resp := post(t, ts.URL+"/v1/summary", []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage summary status %d", resp.StatusCode)
+	}
+	// Wrong k.
+	if resp := post(t, ts.URL+"/v1/summary", summaryBytes(t, 16, 1)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("k-mismatch status %d", resp.StatusCode)
+	}
+	// Release before any data.
+	if resp := get(t, ts.URL+"/v1/release?eps=0.5&delta=1e-5"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("empty release status %d", resp.StatusCode)
+	}
+	post(t, ts.URL+"/v1/summary", summaryBytes(t, 32, 2))
+	for _, q := range []string{
+		"eps=0&delta=1e-5", "eps=abc&delta=1e-5", "eps=0.5&delta=2",
+		"eps=0.5&delta=1e-5&mech=nope",
+	} {
+		if resp := get(t, ts.URL+"/v1/release?"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestBoundedMemory(t *testing.T) {
+	// No matter how many summaries are merged, the server holds at most k
+	// counters after each fold.
+	ts := newTestServer(t, 16, 10, 1e-3)
+	for seed := uint64(1); seed <= 20; seed++ {
+		post(t, ts.URL+"/v1/summary", summaryBytes(t, 16, seed))
+	}
+	var st statsResponse
+	if err := json.NewDecoder(get(t, ts.URL+"/v1/stats").Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Counters > 16 {
+		t.Errorf("server holds %d counters, k=16", st.Counters)
+	}
+	if st.Nodes != 20 {
+		t.Errorf("nodes = %d", st.Nodes)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := newServer(0, accountant.Budget{Eps: 1, Delta: 0.1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := newServer(4, accountant.Budget{Eps: 0, Delta: 0.1}); err == nil {
+		t.Error("bad budget accepted")
+	}
+}

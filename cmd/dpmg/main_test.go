@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, lines []string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func heavyTrace() []string {
+	var lines []string
+	for i := 0; i < 2000; i++ {
+		lines = append(lines, "popular")
+	}
+	for i := 0; i < 1500; i++ {
+		lines = append(lines, "common")
+	}
+	for i := 0; i < 30; i++ {
+		lines = append(lines, "rare-"+strings.Repeat("x", i%3+1))
+	}
+	return lines
+}
+
+func TestRunTextOutput(t *testing.T) {
+	path := writeTrace(t, heavyTrace())
+	var out bytes.Buffer
+	if err := run(path, 16, 1000, 1, 1e-6, 42, false, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "popular") || !strings.Contains(got, "common") {
+		t.Errorf("heavy items missing from output:\n%s", got)
+	}
+	if strings.Contains(got, "rare-") {
+		t.Errorf("rare item leaked past the threshold:\n%s", got)
+	}
+	if !strings.Contains(got, "# n=3530") {
+		t.Errorf("header missing stream length:\n%s", got)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeTrace(t, heavyTrace())
+	var out bytes.Buffer
+	if err := run(path, 16, 1000, 1, 1e-6, 42, true, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		N     int     `json:"stream_length"`
+		K     int     `json:"k"`
+		Eps   float64 `json:"eps"`
+		Items []struct {
+			Name  string  `json:"Name"`
+			Count float64 `json:"Count"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if resp.N != 3530 || resp.K != 16 || resp.Eps != 1 {
+		t.Errorf("metadata = %+v", resp)
+	}
+	if len(resp.Items) == 0 || resp.Items[0].Name != "popular" {
+		t.Errorf("items = %+v", resp.Items)
+	}
+}
+
+func TestRunTopFlag(t *testing.T) {
+	path := writeTrace(t, heavyTrace())
+	var out bytes.Buffer
+	if err := run(path, 16, 1000, 1, 1e-6, 42, true, 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		Items []struct{ Name string } `json:"items"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 1 {
+		t.Errorf("top=1 returned %d items", len(resp.Items))
+	}
+}
+
+func TestRunDeterministicUnderSeed(t *testing.T) {
+	path := writeTrace(t, heavyTrace())
+	var a, b bytes.Buffer
+	if err := run(path, 16, 1000, 1, 1e-6, 7, false, 0, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 16, 1000, 1, 1e-6, 7, false, 0, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("/does/not/exist", 16, 100, 1, 1e-6, 1, false, 0, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Dictionary capacity exceeded.
+	path := writeTrace(t, []string{"a", "b", "c"})
+	if err := run(path, 4, 2, 1, 1e-6, 1, false, 0, &out); err == nil {
+		t.Error("capacity overflow not reported")
+	}
+	// Invalid privacy params surface as errors, not panics.
+	if err := run(path, 4, 100, 0, 1e-6, 1, false, 0, &out); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestRunSkipsBlankLines(t *testing.T) {
+	path := writeTrace(t, []string{"x", "", "x", ""})
+	var out bytes.Buffer
+	if err := run(path, 4, 10, 1, 1e-6, 1, false, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n=2") {
+		t.Errorf("blank lines counted: %s", out.String())
+	}
+}
+
+func TestCryptoSeedVaries(t *testing.T) {
+	if cryptoSeed() == cryptoSeed() {
+		t.Error("two crypto seeds identical")
+	}
+}

@@ -1,0 +1,63 @@
+package dpmg
+
+import (
+	"dpmg/internal/continual"
+	"dpmg/internal/hist"
+)
+
+// ContinualStrategy selects how a ContinualMonitor spends its budget across
+// epochs.
+type ContinualStrategy = continual.Strategy
+
+const (
+	// ContinualUniform re-releases a single growing sketch every epoch with
+	// a per-epoch budget from advanced composition. Simple; per-epoch noise
+	// grows with sqrt(T).
+	ContinualUniform = continual.Uniform
+	// ContinualDyadic releases each dyadic block of epochs once (the binary
+	// mechanism). Per-epoch noise grows only polylogarithmically in T;
+	// prefer it beyond a few dozen epochs.
+	ContinualDyadic = continual.Dyadic
+)
+
+// ContinualMonitor publishes a private heavy-hitters snapshot of the whole
+// stream prefix at the end of every epoch, spending one fixed total privacy
+// budget across all T epochs (the continual-observation setting of Chan et
+// al., with the paper's Algorithm 2 as the release subroutine).
+type ContinualMonitor struct {
+	inner *continual.Monitor
+}
+
+// NewContinualMonitor returns a monitor over the universe [1, d] with k
+// counters per sketch, publishing exactly `epochs` snapshots under a total
+// (p.Eps, p.Delta) budget.
+func NewContinualMonitor(k int, d uint64, epochs int, p Params, strategy ContinualStrategy, seed uint64) (*ContinualMonitor, error) {
+	m, err := continual.NewMonitor(continual.Options{
+		K: k, Universe: d, Epochs: epochs,
+		Eps: p.Eps, Delta: p.Delta, Strategy: strategy, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ContinualMonitor{inner: m}, nil
+}
+
+// Update feeds one stream element into the current epoch.
+func (m *ContinualMonitor) Update(x Item) { m.inner.Update(x) }
+
+// EndEpoch closes the current epoch and returns the private snapshot of the
+// entire prefix. It errors once all budgeted epochs have been published.
+func (m *ContinualMonitor) EndEpoch() (Histogram, error) {
+	rel, err := m.inner.EndEpoch()
+	if err != nil {
+		return nil, err
+	}
+	return Histogram(hist.Estimate(rel)), nil
+}
+
+// Epoch returns the number of snapshots published so far.
+func (m *ContinualMonitor) Epoch() int { return m.inner.Epoch() }
+
+// PerEpochEps returns the per-release epsilon the strategy arrived at,
+// useful for predicting per-snapshot noise.
+func (m *ContinualMonitor) PerEpochEps() float64 { return m.inner.PerEpochEps() }

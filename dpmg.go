@@ -1,0 +1,267 @@
+// Package dpmg is a differentially private streaming heavy-hitters library:
+// a production-oriented implementation of "Better Differentially Private
+// Approximate Histograms and Heavy Hitters using the Misra-Gries Sketch"
+// (Lebeda & Tětek, PODS 2023).
+//
+// The core object is the Misra-Gries sketch of size k, which summarizes a
+// stream of n items with at most k counters and per-item error n/(k+1).
+// This package releases such sketches under differential privacy with noise
+// of magnitude O(1/eps) per counter — independent of k — via the paper's
+// two-layer Laplace mechanism:
+//
+//	sk := dpmg.NewSketch(256, 1_000_000)         // k counters, universe [1, d]
+//	for _, x := range stream { sk.Update(x) }
+//	hh, err := sk.Release(dpmg.Params{Eps: 1, Delta: 1e-6}, seed)
+//
+// Releases satisfy (eps, delta)-differential privacy under add/remove
+// neighbors. Variants: pure eps-DP (ReleasePure), discrete geometric noise
+// (ReleaseGeometric), standard Misra-Gries implementations
+// (StandardSketch), distributed merging (MergeReleased, aggregation
+// pipelines in the examples), and user-level privacy for users contributing
+// sets of items (UserSketch, backed by the paper's Privacy-Aware
+// Misra-Gries sketch and the Gaussian Sparse Histogram Mechanism).
+package dpmg
+
+import (
+	"fmt"
+	"sort"
+
+	"dpmg/internal/core"
+	"dpmg/internal/gshm"
+	"dpmg/internal/hist"
+	"dpmg/internal/merge"
+	"dpmg/internal/mg"
+	"dpmg/internal/noise"
+	"dpmg/internal/pamg"
+	"dpmg/internal/puredp"
+	"dpmg/internal/stream"
+)
+
+// Item identifies a universe element; the universe is [1, d].
+type Item = stream.Item
+
+// Params are differential privacy parameters. Delta is ignored by the pure
+// eps-DP release.
+type Params = core.Params
+
+// Histogram is a released frequency table: items absent from the map have
+// estimate 0. Values are noisy and may exceed or undershoot true counts
+// within the bounds documented on each release method.
+type Histogram map[Item]float64
+
+// Get returns the estimated frequency of x, 0 if x was not released.
+func (h Histogram) Get(x Item) float64 { return h[x] }
+
+// TopK returns the k items with the largest released estimates, in
+// descending order of estimate (ties broken by smaller item).
+func (h Histogram) TopK(k int) []Item {
+	return hist.TopKEstimate(hist.Estimate(h), k)
+}
+
+// Items returns all released items in ascending order.
+func (h Histogram) Items() []Item {
+	out := make([]Item, 0, len(h))
+	for x := range h {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sketch is the paper-variant Misra-Gries sketch (Algorithm 1) ready for
+// private release. Not safe for concurrent use.
+type Sketch struct {
+	inner *mg.Sketch
+}
+
+// NewSketch returns a sketch with k counters over the universe [1, d].
+// Larger k means smaller sketch error (n/(k+1)) at 2k words of memory; the
+// privacy noise does not grow with k.
+func NewSketch(k int, d uint64) *Sketch {
+	return &Sketch{inner: mg.New(k, d)}
+}
+
+// Update processes one stream element in amortized O(1) time.
+func (s *Sketch) Update(x Item) { s.inner.Update(x) }
+
+// Estimate returns the non-private estimate of x's frequency, within
+// [f(x) - n/(k+1), f(x)]. Prefer Release for anything that leaves the
+// trust boundary.
+func (s *Sketch) Estimate(x Item) int64 { return s.inner.Estimate(x) }
+
+// K returns the sketch size parameter.
+func (s *Sketch) K() int { return s.inner.K() }
+
+// N returns the number of processed elements.
+func (s *Sketch) N() int64 { return s.inner.N() }
+
+// Release releases the sketch under (eps, delta)-differential privacy using
+// the paper's Algorithm 2. With probability 1-beta every estimate is within
+// 2·ln((k+1)/beta)/eps above the sketch value and within that plus
+// 1 + 2·ln(3/delta)/eps below it; elements never seen are never released.
+// The same seed yields the same release; never release twice with
+// different seeds unless you account for composition.
+func (s *Sketch) Release(p Params, seed uint64) (Histogram, error) {
+	rel, err := core.Release(s.inner, p, noise.NewSource(seed))
+	return Histogram(rel), err
+}
+
+// ReleaseGeometric is Release with two-sided geometric (discrete) noise, the
+// Section 5.2 variant recommended for deployments worried about
+// floating-point attacks. Released values are integers.
+func (s *Sketch) ReleaseGeometric(p Params, seed uint64) (Histogram, error) {
+	rel, err := core.ReleaseGeometric(s.inner, p, noise.NewSource(seed))
+	return Histogram(rel), err
+}
+
+// ReleasePure releases the sketch under pure eps-differential privacy via
+// the Section 6 pipeline: the sensitivity-reduction post-processing
+// (Algorithm 3) followed by Laplace(2/eps) noise on every universe element
+// and a top-k cut. Error n/(k+1) + O(log(d)/eps); runtime Theta(d).
+func (s *Sketch) ReleasePure(eps float64, seed uint64) (Histogram, error) {
+	rel, err := puredp.ReleasePure(puredp.Reduce(s.inner), eps, s.inner.Universe(), noise.NewSource(seed))
+	return Histogram(rel), err
+}
+
+// Summary extracts the mergeable non-private summary (positive real-item
+// counters only) for distributed aggregation; see MergeSummaries.
+func (s *Sketch) Summary() (*MergeableSummary, error) {
+	sum, err := merge.FromCounters(s.inner.K(), s.inner.Universe(), s.inner.Counters())
+	if err != nil {
+		return nil, err
+	}
+	return &MergeableSummary{inner: sum}, nil
+}
+
+// StandardSketch is a textbook Misra-Gries sketch (zero counters removed
+// immediately). Its release uses the raised Section 5.1 threshold. Use this
+// when interoperating with existing Misra-Gries implementations; otherwise
+// prefer Sketch, whose threshold is lower.
+type StandardSketch struct {
+	inner *mg.StandardSketch
+}
+
+// NewStandardSketch returns a standard Misra-Gries sketch with k counters.
+func NewStandardSketch(k int) *StandardSketch {
+	return &StandardSketch{inner: mg.NewStandard(k)}
+}
+
+// Update processes one stream element.
+func (s *StandardSketch) Update(x Item) { s.inner.Update(x) }
+
+// Estimate returns the non-private estimate of x's frequency.
+func (s *StandardSketch) Estimate(x Item) int64 { return s.inner.Estimate(x) }
+
+// K returns the sketch size parameter.
+func (s *StandardSketch) K() int { return s.inner.K() }
+
+// Release releases under (eps, delta)-DP with the Section 5.1 threshold
+// 1 + 2·ln((k+1)/(2·delta))/eps.
+func (s *StandardSketch) Release(p Params, seed uint64) (Histogram, error) {
+	rel, err := core.ReleaseStandard(s.inner, p, noise.NewSource(seed))
+	return Histogram(rel), err
+}
+
+// MergeableSummary is a non-private mergeable Misra-Gries summary
+// (Section 7). Merging is exact-memory-bounded: the aggregator never holds
+// more than 2k counters.
+type MergeableSummary struct {
+	inner *merge.Summary
+}
+
+// MergeSummaries folds the summaries with the Agarwal et al. algorithm; the
+// result summarizes the concatenation of all inputs with error N/(k+1).
+func MergeSummaries(summaries ...*MergeableSummary) (*MergeableSummary, error) {
+	if len(summaries) == 0 {
+		return nil, fmt.Errorf("dpmg: no summaries")
+	}
+	inner := make([]*merge.Summary, len(summaries))
+	for i, s := range summaries {
+		inner[i] = s.inner
+	}
+	m, err := merge.MergeAll(inner)
+	if err != nil {
+		return nil, err
+	}
+	return &MergeableSummary{inner: m}, nil
+}
+
+// Release privatizes a (possibly merged) summary with noise calibrated to
+// the merged sensitivity of Corollary 18 (up to k counters differ by one):
+// Laplace(k/eps) per counter plus a k-scaled threshold. The noise is
+// independent of how many summaries were merged. For a single unmerged
+// sketch prefer Sketch.Release, whose noise is O(1/eps).
+func (s *MergeableSummary) Release(p Params, seed uint64) (Histogram, error) {
+	rel, err := merge.TrustedAggregateBounded([]*merge.Summary{s.inner}, p.Eps, p.Delta, noise.NewSource(seed))
+	return Histogram(rel), err
+}
+
+// ReleaseGaussian privatizes the summary with the Gaussian Sparse Histogram
+// Mechanism calibrated by the exact Theorem 23 analysis with l = k, which
+// scales with sqrt(k) instead of k. Prefer this over Release for large k.
+func (s *MergeableSummary) ReleaseGaussian(p Params, seed uint64) (Histogram, error) {
+	cfg, err := gshm.Calibrate(p.Eps, p.Delta, s.inner.K)
+	if err != nil {
+		return nil, err
+	}
+	return Histogram(gshm.Release(s.inner.Counts, cfg, noise.NewSource(seed))), nil
+}
+
+// MergeReleased merges two already-private releases (the untrusted
+// aggregator setting): privacy is preserved by post-processing but errors
+// accumulate per merge.
+func MergeReleased(a, b Histogram, k int) Histogram {
+	return Histogram(merge.MergeNoisy(hist.Estimate(a), hist.Estimate(b), k))
+}
+
+// UserSketch is the paper's Privacy-Aware Misra-Gries sketch (Section 8,
+// Algorithm 4) for streams where each user contributes a set of up to m
+// distinct items. Its sensitivity does not grow with m, so the Gaussian
+// release noise is O(sqrt(k)·log/eps) rather than O(m/eps).
+type UserSketch struct {
+	inner *pamg.Sketch
+	m     int
+}
+
+// NewUserSketch returns a user-set sketch with k counters accepting sets of
+// at most m distinct items.
+func NewUserSketch(k, m int) *UserSketch {
+	if m <= 0 {
+		panic("dpmg: m must be positive")
+	}
+	if m > k {
+		panic("dpmg: m must be at most k (the sketch error is vacuous otherwise)")
+	}
+	return &UserSketch{inner: pamg.New(k), m: m}
+}
+
+// AddUser absorbs one user's distinct item set. It returns an error if the
+// set is empty, oversized, or contains duplicates.
+func (s *UserSketch) AddUser(set []Item) error {
+	if err := (stream.SetStream{set}).Validate(s.m); err != nil {
+		return err
+	}
+	s.inner.ProcessUser(set)
+	return nil
+}
+
+// Estimate returns the non-private estimate of x's user-level frequency,
+// within [f(x) - N/(k+1), f(x)] for N the total number of contributed items.
+func (s *UserSketch) Estimate(x Item) int64 { return s.inner.Estimate(x) }
+
+// K returns the sketch size parameter.
+func (s *UserSketch) K() int { return s.inner.K() }
+
+// Release privatizes the sketch with the Gaussian Sparse Histogram
+// Mechanism under user-level (eps, delta)-DP (Theorem 30). Noise scales
+// with sqrt(k), independent of m.
+func (s *UserSketch) Release(p Params, seed uint64) (Histogram, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := gshm.Calibrate(p.Eps, p.Delta, s.inner.K())
+	if err != nil {
+		return nil, err
+	}
+	return Histogram(gshm.Release(s.inner.Counters(), cfg, noise.NewSource(seed))), nil
+}

@@ -1,0 +1,131 @@
+package dpmg_test
+
+import (
+	"fmt"
+
+	"dpmg"
+)
+
+// The basic flow: sketch a stream, release once, read the heavy hitters.
+func Example() {
+	sk := dpmg.NewSketch(16, 1000) // 16 counters over universe [1, 1000]
+	for i := 0; i < 3000; i++ {
+		sk.Update(dpmg.Item(i%3 + 1)) // items 1..3, 1000 times each
+	}
+	hh, err := sk.Release(dpmg.Params{Eps: 1, Delta: 1e-6}, 42)
+	if err != nil {
+		panic(err)
+	}
+	for _, x := range hh.TopK(3) {
+		fmt.Printf("item %d ~%d\n", x, int(hh.Get(x)+0.5))
+	}
+	// Output:
+	// item 2 ~1002
+	// item 3 ~1001
+	// item 1 ~999
+}
+
+// String-keyed streams attach a dictionary in front of the sketch.
+func ExampleStringSketch() {
+	sk := dpmg.NewStringSketch(8, 100)
+	for i := 0; i < 500; i++ {
+		sk.Update("/checkout")
+		if i%5 == 0 {
+			sk.Update("/health")
+		}
+	}
+	rel, err := sk.Release(dpmg.Params{Eps: 1, Delta: 1e-6}, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("released", len(rel), "endpoints; first:", rel[0].Name)
+	// Output:
+	// released 2 endpoints; first: /checkout
+}
+
+// Distributed aggregation: merge per-server summaries, one private release.
+func ExampleMergeSummaries() {
+	var summaries []*dpmg.MergeableSummary
+	for server := 0; server < 3; server++ {
+		sk := dpmg.NewSketch(8, 100)
+		for i := 0; i < 1000; i++ {
+			sk.Update(7) // every server sees item 7 heavily
+		}
+		s, err := sk.Summary()
+		if err != nil {
+			panic(err)
+		}
+		summaries = append(summaries, s)
+	}
+	merged, err := dpmg.MergeSummaries(summaries...)
+	if err != nil {
+		panic(err)
+	}
+	h, err := merged.ReleaseGaussian(dpmg.Params{Eps: 1, Delta: 1e-6}, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("item 7 released:", h.Get(7) > 2500)
+	// Output:
+	// item 7 released: true
+}
+
+// User-level privacy: each user contributes a set of distinct items.
+func ExampleUserSketch() {
+	us := dpmg.NewUserSketch(32, 3)
+	for u := 0; u < 2000; u++ {
+		if err := us.AddUser([]dpmg.Item{1, 2, 3}); err != nil {
+			panic(err)
+		}
+	}
+	h, err := us.Release(dpmg.Params{Eps: 1, Delta: 1e-6}, 9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("all three items released:", len(h.TopK(3)) == 3)
+	// Output:
+	// all three items released: true
+}
+
+// Continual observation: T private snapshots from one fixed budget.
+func ExampleContinualMonitor() {
+	m, err := dpmg.NewContinualMonitor(16, 100, 4, dpmg.Params{Eps: 4, Delta: 1e-5}, dpmg.ContinualDyadic, 11)
+	if err != nil {
+		panic(err)
+	}
+	for epoch := 0; epoch < 4; epoch++ {
+		for i := 0; i < 1000; i++ {
+			m.Update(9)
+		}
+		snap, err := m.EndEpoch()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("epoch %d: item 9 ~%d\n", epoch+1, int(snap.Get(9)/100+0.5)*100)
+	}
+	// Output:
+	// epoch 1: item 9 ~1000
+	// epoch 2: item 9 ~2000
+	// epoch 3: item 9 ~3000
+	// epoch 4: item 9 ~4000
+}
+
+// Budget metering: the accountant refuses releases beyond the total budget.
+func ExampleAccountant() {
+	acct, err := dpmg.NewAccountant(dpmg.Budget{Eps: 1, Delta: 1e-5})
+	if err != nil {
+		panic(err)
+	}
+	sk := dpmg.NewSketch(8, 100)
+	for i := 0; i < 1000; i++ {
+		sk.Update(5)
+	}
+	p := dpmg.Params{Eps: 0.7, Delta: 1e-6}
+	if _, err := acct.Release(sk, p, 1); err != nil {
+		panic(err)
+	}
+	_, err = acct.Release(sk, p, 2)
+	fmt.Println("second release allowed:", err == nil)
+	// Output:
+	// second release allowed: false
+}

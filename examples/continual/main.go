@@ -1,0 +1,55 @@
+// Continual observation: publish a private heavy-hitters dashboard every
+// hour for 64 hours from one fixed privacy budget — the Chan et al. setting
+// with the paper's mechanism as the release subroutine. Compares the naive
+// uniform budget split against the dyadic (binary mechanism) strategy.
+//
+//	go run ./examples/continual
+package main
+
+import (
+	"fmt"
+
+	"dpmg"
+	"dpmg/internal/hist"
+	"dpmg/internal/workload"
+)
+
+func main() {
+	const (
+		epochs   = 64 // hourly snapshots
+		perEpoch = 20_000
+		d        = 10_000
+		k        = 128
+	)
+	p := dpmg.Params{Eps: 4, Delta: 1e-5} // TOTAL budget for all 64 snapshots
+	data := workload.Zipf(epochs*perEpoch, d, 1.15, 33)
+	truth := hist.Exact(data)
+
+	for _, s := range []struct {
+		name     string
+		strategy dpmg.ContinualStrategy
+	}{
+		{"uniform split", dpmg.ContinualUniform},
+		{"dyadic (binary mechanism)", dpmg.ContinualDyadic},
+	} {
+		m, err := dpmg.NewContinualMonitor(k, d, epochs, p, s.strategy, 5)
+		if err != nil {
+			panic(err)
+		}
+		var final dpmg.Histogram
+		for e := 0; e < epochs; e++ {
+			for i := 0; i < perEpoch; i++ {
+				m.Update(data[e*perEpoch+i])
+			}
+			final, err = m.EndEpoch()
+			if err != nil {
+				panic(err)
+			}
+		}
+		fmt.Printf("%-28s per-release eps=%.3f  final snapshot: top item ~%.0f (true %d), max error %.0f\n",
+			s.name, m.PerEpochEps(), final.Get(1), truth[1],
+			hist.MaxError(hist.Estimate(final), truth))
+	}
+	fmt.Println("\nthe dyadic strategy's error stays polylog in the epoch count;")
+	fmt.Println("the uniform split pays sqrt(T) more noise per snapshot.")
+}

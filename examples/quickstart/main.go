@@ -1,0 +1,48 @@
+// Quickstart: sketch a stream and release a differentially private
+// histogram of its heavy hitters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dpmg"
+)
+
+func main() {
+	// A stream over the universe [1, d] with three planted heavy hitters.
+	const (
+		d = 100_000 // universe size
+		n = 500_000 // stream length
+		k = 128     // sketch counters: sketch error is n/(k+1)
+	)
+	rng := rand.New(rand.NewPCG(1, 2))
+
+	sk := dpmg.NewSketch(k, d)
+	for i := 0; i < n; i++ {
+		var x dpmg.Item
+		switch {
+		case rng.Float64() < 0.30:
+			x = dpmg.Item(rng.IntN(3) + 1) // items 1..3 carry 30% of traffic
+		default:
+			x = dpmg.Item(rng.IntN(d) + 1)
+		}
+		sk.Update(x)
+	}
+
+	// One private release. Same seed => same output; fresh releases compose.
+	hh, err := sk.Release(dpmg.Params{Eps: 1.0, Delta: 1e-6}, 42)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("processed %d elements with %d counters (sketch error <= %d)\n",
+		sk.N(), sk.K(), n/(k+1))
+	fmt.Printf("released %d heavy hitters under (1.0, 1e-6)-DP:\n", len(hh))
+	for _, x := range hh.TopK(10) {
+		fmt.Printf("  item %-6d  private count %10.1f   (non-private sketch: %d)\n",
+			x, hh.Get(x), sk.Estimate(x))
+	}
+}

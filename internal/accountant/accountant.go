@@ -1,0 +1,154 @@
+// Package accountant tracks cumulative privacy loss across multiple
+// releases of the same data. The paper's mechanisms are analyzed for a
+// single release; real deployments that publish repeatedly (dashboards,
+// continual monitoring as in Chan et al.) must compose. This package
+// implements the two standard composition theorems for (eps, delta)-DP:
+//
+//   - basic composition: k releases at (eps_i, delta_i) cost
+//     (sum eps_i, sum delta_i) (Dwork & Roth, Thm 3.16);
+//   - advanced composition: k releases at (eps, delta) cost
+//     (eps·sqrt(2k·ln(1/delta')) + k·eps·(e^eps - 1), k·delta + delta')
+//     for any slack delta' > 0 (Dwork & Roth, Thm 3.20).
+//
+// An Accountant is given a total budget up front and admits or refuses
+// individual releases against it.
+package accountant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Budget is a total (eps, delta) allowance.
+type Budget struct {
+	Eps   float64
+	Delta float64
+}
+
+// Valid reports whether the budget is usable.
+func (b Budget) Valid() error {
+	if b.Eps <= 0 {
+		return fmt.Errorf("accountant: eps budget must be positive, got %v", b.Eps)
+	}
+	if b.Delta < 0 || b.Delta >= 1 {
+		return fmt.Errorf("accountant: delta budget must be in [0,1), got %v", b.Delta)
+	}
+	return nil
+}
+
+// Accountant admits releases until the budget under basic composition is
+// exhausted. It is safe for concurrent use.
+type Accountant struct {
+	mu       sync.Mutex
+	budget   Budget
+	spentEps float64
+	spentDel float64
+	releases int
+}
+
+// New returns an accountant over the given total budget.
+func New(budget Budget) (*Accountant, error) {
+	if err := budget.Valid(); err != nil {
+		return nil, err
+	}
+	return &Accountant{budget: budget}, nil
+}
+
+// Spend admits a release costing (eps, delta) if it fits the remaining
+// budget under basic composition, atomically recording it. It returns an
+// error (and records nothing) otherwise.
+func (a *Accountant) Spend(eps, delta float64) error {
+	if eps <= 0 || delta < 0 {
+		return fmt.Errorf("accountant: invalid spend (%v, %v)", eps, delta)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spentEps+eps > a.budget.Eps+1e-12 {
+		return fmt.Errorf("accountant: eps budget exceeded: spent %v + %v > %v",
+			a.spentEps, eps, a.budget.Eps)
+	}
+	if a.spentDel+delta > a.budget.Delta+1e-18 {
+		return fmt.Errorf("accountant: delta budget exceeded: spent %v + %v > %v",
+			a.spentDel, delta, a.budget.Delta)
+	}
+	a.spentEps += eps
+	a.spentDel += delta
+	a.releases++
+	return nil
+}
+
+// Remaining returns the unspent budget under basic composition.
+func (a *Accountant) Remaining() Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Budget{Eps: a.budget.Eps - a.spentEps, Delta: a.budget.Delta - a.spentDel}
+}
+
+// Releases returns how many releases have been admitted.
+func (a *Accountant) Releases() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.releases
+}
+
+// BasicCompose returns the total cost of k releases each at (eps, delta).
+func BasicCompose(eps, delta float64, k int) Budget {
+	return Budget{Eps: float64(k) * eps, Delta: float64(k) * delta}
+}
+
+// AdvancedCompose returns the total cost of k releases each at (eps, delta)
+// under the advanced composition theorem with slack deltaPrime.
+func AdvancedCompose(eps, delta, deltaPrime float64, k int) Budget {
+	kf := float64(k)
+	return Budget{
+		Eps:   eps*math.Sqrt(2*kf*math.Log(1/deltaPrime)) + kf*eps*(math.Exp(eps)-1),
+		Delta: kf*delta + deltaPrime,
+	}
+}
+
+// PerReleaseEps inverts advanced composition: the largest per-release eps
+// (at the given per-release delta) such that k releases stay within the
+// total budget with slack deltaPrime. It returns an error when even
+// arbitrarily small releases cannot fit (delta exhausted). Found by
+// bisection; AdvancedCompose is monotone in eps.
+func PerReleaseEps(total Budget, delta, deltaPrime float64, k int) (float64, error) {
+	if err := total.Valid(); err != nil {
+		return 0, err
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("accountant: k must be positive, got %d", k)
+	}
+	if float64(k)*delta+deltaPrime > total.Delta {
+		return 0, fmt.Errorf("accountant: delta budget %v cannot cover k·delta + delta' = %v",
+			total.Delta, float64(k)*delta+deltaPrime)
+	}
+	lo, hi := 0.0, total.Eps
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if AdvancedCompose(mid, delta, deltaPrime, k).Eps <= total.Eps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0, fmt.Errorf("accountant: no positive per-release eps fits")
+	}
+	return lo, nil
+}
+
+// BestPerReleaseEps returns the larger of the basic-composition split
+// (total.Eps/k) and the advanced-composition solution: for small k basic
+// composition is better, for large k advanced wins.
+func BestPerReleaseEps(total Budget, delta, deltaPrime float64, k int) (float64, error) {
+	basic := total.Eps / float64(k)
+	if float64(k)*delta > total.Delta {
+		return 0, fmt.Errorf("accountant: delta budget cannot cover k releases")
+	}
+	adv, err := PerReleaseEps(total, delta, deltaPrime, k)
+	if err != nil || adv < basic {
+		return basic, nil
+	}
+	return adv, nil
+}

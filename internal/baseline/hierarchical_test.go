@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"testing"
+
+	"dpmg/internal/hist"
+	"dpmg/internal/noise"
+	"dpmg/internal/stream"
+	"dpmg/internal/workload"
+)
+
+func TestHierarchicalRecoversPlantedHeavyHitters(t *testing.T) {
+	d := uint64(1 << 16)
+	// Plant heavy items across the universe, including above the top-bit
+	// boundary (guards the tree-descent against subtree pruning bugs).
+	heavy := []stream.Item{3, 1000, stream.Item(d/2 + 7), stream.Item(d - 1)}
+	var str stream.Stream
+	for i := 0; i < 20000; i++ {
+		str = append(str, heavy[i%len(heavy)])
+	}
+	str = append(str, workload.Uniform(20000, int(d), 3)...)
+
+	h, err := NewHierarchical(d, 0.005, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Process(str)
+	rel := h.Release(8, 0.02, noise.NewSource(1))
+	for _, x := range heavy {
+		if _, ok := rel[x]; !ok {
+			t.Errorf("planted heavy item %d missed: got %v", x, rel)
+		}
+	}
+}
+
+func TestHierarchicalEstimatesReasonable(t *testing.T) {
+	d := uint64(1 << 12)
+	str := workload.HeavyTail(100000, int(d), 3, 0.9, 5)
+	f := hist.Exact(str)
+	h, err := NewHierarchical(d, 0.01, 1.0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Process(str)
+	rel := h.Release(8, 0.02, noise.NewSource(2))
+	for _, x := range hist.TopK(f, 3) {
+		v, ok := rel[x]
+		if !ok {
+			t.Fatalf("top item %d missed", x)
+		}
+		// CMS over-count + Theta(log d/eps) noise; allow a generous band.
+		if v < float64(f[x])-3000 || v > float64(f[x])+5000 {
+			t.Errorf("item %d: estimate %v vs true %d", x, v, f[x])
+		}
+	}
+}
+
+func TestHierarchicalNoiseExceedsPMGStyle(t *testing.T) {
+	// The paper's point: this route pays Theta(log d) noise per estimate.
+	// The injected Laplace scale must grow with the tree height.
+	small, err := NewHierarchical(1<<8, 0.01, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewHierarchical(1<<24, 0.01, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.height <= small.height {
+		t.Fatal("height should grow with log d")
+	}
+	// 3 rows per level: effective noise scale 3·height/eps.
+	if 3*big.height <= 2*3*small.height {
+		t.Errorf("expected ~3x noise growth from d=2^8 to 2^24: %d vs %d",
+			3*big.height, 3*small.height)
+	}
+}
+
+func TestHierarchicalDoesNotIterateUniverse(t *testing.T) {
+	// Recovery must be fast even for a huge universe: this is the whole
+	// point of the prefix tree. 2^40 leaves would be impossible to scan.
+	d := uint64(1) << 40
+	h, err := NewHierarchical(d, 0.01, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var str stream.Stream
+	for i := 0; i < 5000; i++ {
+		str = append(str, stream.Item(uint64(1)<<39+42)) // deep heavy item
+	}
+	h.Process(str)
+	rel := h.Release(4, 0.1, noise.NewSource(4))
+	if _, ok := rel[stream.Item(uint64(1)<<39+42)]; !ok {
+		t.Errorf("deep heavy item missed: %v", rel)
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	if _, err := NewHierarchical(0, 0.01, 1, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewHierarchical(10, 0.01, 0, 1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewHierarchical(10, 0, 1, 1); err == nil {
+		t.Error("errFrac=0 accepted")
+	}
+	if _, err := NewHierarchical(10, 1, 1, 1); err == nil {
+		t.Error("errFrac=1 accepted")
+	}
+}
+
+func TestHierarchicalSmallItemsReachable(t *testing.T) {
+	// Items below 2^l share prefix 0 at inner levels; make sure item 1 is
+	// still recoverable (guards the zero-prefix pruning).
+	d := uint64(1 << 10)
+	h, err := NewHierarchical(d, 0.01, 1.0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var str stream.Stream
+	for i := 0; i < 5000; i++ {
+		str = append(str, 1)
+	}
+	h.Process(str)
+	rel := h.Release(4, 0.1, noise.NewSource(5))
+	if _, ok := rel[1]; !ok {
+		t.Errorf("item 1 missed: %v", rel)
+	}
+}

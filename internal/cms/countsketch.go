@@ -1,0 +1,126 @@
+package cms
+
+import (
+	"fmt"
+	"sort"
+
+	"dpmg/internal/stream"
+)
+
+// CountSketch is the Charikar-Chen-Farach-Colton sketch: like Count-Min but
+// each update carries a random sign and the estimate is the median over
+// rows, making it unbiased with two-sided error. It backs the
+// private-countsketch line of work the paper cites ([25] Pagh & Thorup) as
+// another frequency-oracle substrate.
+type CountSketch struct {
+	depth, width int
+	rows         [][]int64
+	seeds        []uint64
+	n            int64
+}
+
+// NewCountSketch returns a Count-Sketch with the given shape; seed selects
+// the hash family.
+func NewCountSketch(depth, width int, seed uint64) *CountSketch {
+	if depth <= 0 || width <= 0 {
+		panic("cms: depth and width must be positive")
+	}
+	s := &CountSketch{depth: depth, width: width}
+	s.rows = make([][]int64, depth)
+	s.seeds = make([]uint64, depth)
+	x := seed | 1
+	for i := range s.rows {
+		s.rows[i] = make([]int64, width)
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s.seeds[i] = z ^ (z >> 31)
+	}
+	return s
+}
+
+// cellSign returns the bucket and ±1 sign of x in row i.
+func (s *CountSketch) cellSign(row int, x stream.Item) (int, int64) {
+	h := (uint64(x) + 0x9e3779b97f4a7c15) * (s.seeds[row] | 1)
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	sign := int64(1)
+	if h&1 == 1 {
+		sign = -1
+	}
+	return int((h >> 1) % uint64(s.width)), sign
+}
+
+// Update adds one occurrence of x.
+func (s *CountSketch) Update(x stream.Item) {
+	s.n++
+	for i := 0; i < s.depth; i++ {
+		c, sign := s.cellSign(i, x)
+		s.rows[i][c] += sign
+	}
+}
+
+// Estimate returns the median-of-rows estimate of x's frequency. It is
+// unbiased; the error of each row is bounded by ||f||_2/sqrt(width) in
+// expectation.
+func (s *CountSketch) Estimate(x stream.Item) int64 {
+	ests := make([]int64, s.depth)
+	for i := 0; i < s.depth; i++ {
+		c, sign := s.cellSign(i, x)
+		ests[i] = sign * s.rows[i][c]
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
+	mid := s.depth / 2
+	if s.depth%2 == 1 {
+		return ests[mid]
+	}
+	return (ests[mid-1] + ests[mid]) / 2
+}
+
+// N returns the number of processed elements.
+func (s *CountSketch) N() int64 { return s.n }
+
+// Depth returns the number of rows.
+func (s *CountSketch) Depth() int { return s.depth }
+
+// Width returns the columns per row.
+func (s *CountSketch) Width() int { return s.width }
+
+// Merge adds other into s; both must share shape and hash family.
+func (s *CountSketch) Merge(other *CountSketch) error {
+	if s.depth != other.depth || s.width != other.width {
+		return fmt.Errorf("cms: shape mismatch %dx%d vs %dx%d", s.depth, s.width, other.depth, other.width)
+	}
+	for i := range s.seeds {
+		if s.seeds[i] != other.seeds[i] {
+			return fmt.Errorf("cms: hash family mismatch")
+		}
+	}
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] += other.rows[i][j]
+		}
+	}
+	s.n += other.n
+	return nil
+}
+
+// AddNoise adds a fresh sample to every cell (rounded); as with Count-Min,
+// one element touches one cell per row, so the table's l1-sensitivity is
+// depth and callers must scale the noise accordingly.
+func (s *CountSketch) AddNoise(sample func() float64) {
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] += int64(roundHalfAway(sample()))
+		}
+	}
+}
+
+func roundHalfAway(v float64) float64 {
+	if v >= 0 {
+		return float64(int64(v + 0.5))
+	}
+	return float64(int64(v - 0.5))
+}

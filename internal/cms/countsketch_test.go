@@ -1,0 +1,150 @@
+package cms
+
+import (
+	"math"
+	"testing"
+
+	"dpmg/internal/hist"
+	"dpmg/internal/stream"
+	"dpmg/internal/workload"
+)
+
+func TestCountSketchAccuracyOnHeavyItems(t *testing.T) {
+	s := NewCountSketch(5, 1024, 1)
+	str := workload.HeavyTail(100000, 5000, 4, 0.8, 2)
+	for _, x := range str {
+		s.Update(x)
+	}
+	f := hist.Exact(str)
+	for _, x := range hist.TopK(f, 4) {
+		est := s.Estimate(x)
+		rel := math.Abs(float64(est-f[x])) / float64(f[x])
+		if rel > 0.05 {
+			t.Errorf("heavy item %d: estimate %d vs true %d (rel err %v)", x, est, f[x], rel)
+		}
+	}
+}
+
+func TestCountSketchApproxUnbiased(t *testing.T) {
+	// Average signed error over many independent hash families must be
+	// near zero (unbiasedness), in contrast to Count-Min which only
+	// overestimates.
+	str := workload.Zipf(20000, 2000, 1.1, 3)
+	f := hist.Exact(str)
+	x := hist.TopK(f, 20)[19] // mid item so collisions matter
+	var sum float64
+	const fams = 60
+	for seed := uint64(0); seed < fams; seed++ {
+		s := NewCountSketch(1, 256, seed)
+		for _, y := range str {
+			s.Update(y)
+		}
+		sum += float64(s.Estimate(x) - f[x])
+	}
+	// Per-row sd is ~||f||_2/sqrt(width) ≈ 190 here, so the mean of 60
+	// families has sd ≈ 25; allow 3 sigma.
+	mean := sum / fams
+	if math.Abs(mean) > 80 {
+		t.Errorf("mean signed error %v, want ~0 (unbiased)", mean)
+	}
+}
+
+func TestCountSketchTwoSidedErrors(t *testing.T) {
+	// Count-Sketch must sometimes underestimate — that is what
+	// distinguishes it from Count-Min.
+	str := workload.Zipf(50000, 5000, 1.0, 4)
+	f := hist.Exact(str)
+	s := NewCountSketch(3, 128, 5) // narrow: collisions guaranteed
+	for _, x := range str {
+		s.Update(x)
+	}
+	under := false
+	for x, fx := range f {
+		if s.Estimate(x) < fx {
+			under = true
+			break
+		}
+	}
+	if !under {
+		t.Error("no underestimates observed; sign hashing broken?")
+	}
+}
+
+func TestCountSketchMerge(t *testing.T) {
+	a := NewCountSketch(3, 512, 7)
+	b := NewCountSketch(3, 512, 7)
+	whole := NewCountSketch(3, 512, 7)
+	d1 := workload.Zipf(20000, 1000, 1.1, 8)
+	d2 := workload.Zipf(20000, 1000, 1.1, 9)
+	for _, x := range d1 {
+		a.Update(x)
+		whole.Update(x)
+	}
+	for _, x := range d2 {
+		b.Update(x)
+		whole.Update(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for x := stream.Item(1); x <= 1000; x++ {
+		if a.Estimate(x) != whole.Estimate(x) {
+			t.Fatalf("merge mismatch at %d", x)
+		}
+	}
+	if err := a.Merge(NewCountSketch(2, 512, 7)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if err := a.Merge(NewCountSketch(3, 512, 8)); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+}
+
+func TestCountSketchEvenDepthMedian(t *testing.T) {
+	s := NewCountSketch(4, 512, 11)
+	for i := 0; i < 1000; i++ {
+		s.Update(42)
+	}
+	if est := s.Estimate(42); est != 1000 {
+		t.Errorf("clean estimate %d want 1000", est)
+	}
+}
+
+func TestCountSketchAddNoise(t *testing.T) {
+	s := NewCountSketch(2, 8, 1)
+	s.Update(3)
+	s.AddNoise(func() float64 { return 0 })
+	if s.Estimate(3) != 1 {
+		t.Error("zero noise changed the sketch")
+	}
+	s.AddNoise(func() float64 { return -1.2 })
+	// Every cell shifted by -1; the signed median can shift by at most 1.
+	if est := s.Estimate(3); est > 2 || est < -1 {
+		t.Errorf("estimate after noise: %d", est)
+	}
+}
+
+func TestCountSketchPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCountSketch(0, 8, 1) },
+		func() { NewCountSketch(3, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRoundHalfAway(t *testing.T) {
+	cases := map[float64]float64{0.4: 0, 0.5: 1, -0.5: -1, -1.4: -1, 2.6: 3}
+	for in, want := range cases {
+		if got := roundHalfAway(in); got != want {
+			t.Errorf("roundHalfAway(%v) = %v want %v", in, got, want)
+		}
+	}
+}

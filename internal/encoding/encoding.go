@@ -1,0 +1,288 @@
+// Package encoding provides a compact, versioned binary wire format for the
+// sketches in this repository, so that distributed deployments (Section 7:
+// per-server sketches shipped to an aggregator) can serialize summaries
+// without pulling in any external dependency. The format is
+// little-endian, length-prefixed, and guarded by a magic/version header so
+// foreign bytes fail loudly rather than decode garbage.
+//
+// Layout (all integers little-endian):
+//
+//	[4] magic "DPMG"
+//	[1] version (1)
+//	[1] kind
+//	[8] k
+//	[8] universe (0 when the kind has none)
+//	[8] n / total elements (semantics per kind)
+//	[8] decrements (0 when the kind has none)
+//	[8] number of entries m
+//	m × ([8] item, [8] count)
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"dpmg/internal/merge"
+	"dpmg/internal/mg"
+	"dpmg/internal/pamg"
+	"dpmg/internal/stream"
+)
+
+// Kind tags the serialized structure.
+type Kind byte
+
+const (
+	// KindSummary is a mergeable Misra-Gries summary (positive counters).
+	KindSummary Kind = 1
+	// KindPAMG is a Privacy-Aware Misra-Gries counter table.
+	KindPAMG Kind = 2
+	// KindCounters is a raw counter table (full Algorithm 1 state,
+	// including zero and dummy counters).
+	KindCounters Kind = 3
+)
+
+var magic = [4]byte{'D', 'P', 'M', 'G'}
+
+const version = 1
+
+// header mirrors the fixed-size prefix.
+type header struct {
+	Kind       Kind
+	K          uint64
+	Universe   uint64
+	N          uint64
+	Decrements uint64
+	Entries    uint64
+}
+
+func writeHeader(w io.Writer, h header) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, byte(version)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, byte(h.Kind)); err != nil {
+		return err
+	}
+	for _, v := range []uint64{h.K, h.Universe, h.N, h.Decrements, h.Entries} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readHeader(r io.Reader) (header, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return header{}, fmt.Errorf("encoding: reading magic: %w", err)
+	}
+	if m != magic {
+		return header{}, fmt.Errorf("encoding: bad magic %q", m)
+	}
+	var ver, kind byte
+	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+		return header{}, err
+	}
+	if ver != version {
+		return header{}, fmt.Errorf("encoding: unsupported version %d", ver)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+		return header{}, err
+	}
+	h := header{Kind: Kind(kind)}
+	for _, p := range []*uint64{&h.K, &h.Universe, &h.N, &h.Decrements, &h.Entries} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return header{}, err
+		}
+	}
+	return h, nil
+}
+
+// writeEntries emits the counter table in ascending key order — a canonical
+// encoding, so equal tables serialize to equal bytes (and nothing about
+// insertion history leaks through the wire format; the Section 5.2 release
+// concern applies to serialized sketches too).
+func writeEntries(w io.Writer, counts map[stream.Item]int64) error {
+	keys := make([]stream.Item, 0, len(counts))
+	for x := range counts {
+		keys = append(keys, x)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, x := range keys {
+		if err := binary.Write(w, binary.LittleEndian, uint64(x)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, counts[x]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readEntries(r io.Reader, n uint64, maxEntries uint64) (map[stream.Item]int64, error) {
+	if n > maxEntries {
+		return nil, fmt.Errorf("encoding: %d entries exceed limit %d", n, maxEntries)
+	}
+	out := make(map[stream.Item]int64, n)
+	var prev uint64
+	for i := uint64(0); i < n; i++ {
+		var item uint64
+		var count int64
+		if err := binary.Read(r, binary.LittleEndian, &item); err != nil {
+			return nil, fmt.Errorf("encoding: entry %d: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("encoding: entry %d: %w", i, err)
+		}
+		if i > 0 && item <= prev {
+			return nil, fmt.Errorf("encoding: entries not strictly ascending at %d", i)
+		}
+		prev = item
+		out[stream.Item(item)] = count
+	}
+	return out, nil
+}
+
+// MarshalSummary serializes a mergeable summary.
+func MarshalSummary(w io.Writer, s *merge.Summary) error {
+	if err := writeHeader(w, header{
+		Kind: KindSummary, K: uint64(s.K), Entries: uint64(len(s.Counts)),
+	}); err != nil {
+		return err
+	}
+	return writeEntries(w, s.Counts)
+}
+
+// UnmarshalSummary reads a summary, validating structure (k bound, positive
+// counters).
+func UnmarshalSummary(r io.Reader) (*merge.Summary, error) {
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != KindSummary {
+		return nil, fmt.Errorf("encoding: expected summary, got kind %d", h.Kind)
+	}
+	if h.K == 0 || h.K > 1<<30 {
+		return nil, fmt.Errorf("encoding: implausible k %d", h.K)
+	}
+	counts, err := readEntries(r, h.Entries, h.K)
+	if err != nil {
+		return nil, err
+	}
+	for x, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("encoding: non-positive counter %d for item %d", c, x)
+		}
+	}
+	return &merge.Summary{K: int(h.K), Counts: counts}, nil
+}
+
+// MarshalPAMG serializes a PAMG counter table together with its
+// bookkeeping so an aggregator can both merge it and reason about its
+// error bound (Lemma 26 needs the total element count).
+func MarshalPAMG(w io.Writer, s *pamg.Sketch) error {
+	counts := s.Counters()
+	if err := writeHeader(w, header{
+		Kind: KindPAMG, K: uint64(s.K()), N: uint64(s.TotalLen()),
+		Decrements: uint64(s.Decrements()), Entries: uint64(len(counts)),
+	}); err != nil {
+		return err
+	}
+	return writeEntries(w, counts)
+}
+
+// PAMGWire is the decoded form of a serialized PAMG sketch: the counter
+// table plus the error-bound bookkeeping. (The sketch itself cannot be
+// resumed from the wire — PAMG state is its counter table, so this is
+// lossless for aggregation purposes.)
+type PAMGWire struct {
+	K          int
+	TotalLen   int64
+	Decrements int64
+	Counts     map[stream.Item]int64
+}
+
+// UnmarshalPAMG reads a PAMG wire table.
+func UnmarshalPAMG(r io.Reader) (*PAMGWire, error) {
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != KindPAMG {
+		return nil, fmt.Errorf("encoding: expected pamg, got kind %d", h.Kind)
+	}
+	if h.K == 0 || h.K > 1<<30 {
+		return nil, fmt.Errorf("encoding: implausible k %d", h.K)
+	}
+	counts, err := readEntries(r, h.Entries, h.K)
+	if err != nil {
+		return nil, err
+	}
+	for x, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("encoding: non-positive counter %d for item %d", c, x)
+		}
+	}
+	return &PAMGWire{
+		K: int(h.K), TotalLen: int64(h.N), Decrements: int64(h.Decrements),
+		Counts: counts,
+	}, nil
+}
+
+// MarshalSketch serializes the full Algorithm 1 state (including zero and
+// dummy counters) so a paused stream can be resumed elsewhere.
+func MarshalSketch(w io.Writer, s *mg.Sketch) error {
+	counts := s.Counters()
+	if err := writeHeader(w, header{
+		Kind: KindCounters, K: uint64(s.K()), Universe: s.Universe(),
+		N: uint64(s.N()), Decrements: uint64(s.Decrements()),
+		Entries: uint64(len(counts)),
+	}); err != nil {
+		return err
+	}
+	return writeEntries(w, counts)
+}
+
+// SketchWire is the decoded full Algorithm 1 state.
+type SketchWire struct {
+	K          int
+	Universe   uint64
+	N          int64
+	Decrements int64
+	Counts     map[stream.Item]int64
+}
+
+// UnmarshalSketch reads a full sketch state.
+func UnmarshalSketch(r io.Reader) (*SketchWire, error) {
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != KindCounters {
+		return nil, fmt.Errorf("encoding: expected counters, got kind %d", h.Kind)
+	}
+	if h.K == 0 || h.K > 1<<30 {
+		return nil, fmt.Errorf("encoding: implausible k %d", h.K)
+	}
+	if h.Entries != h.K {
+		return nil, fmt.Errorf("encoding: Algorithm 1 state must hold exactly k=%d entries, got %d", h.K, h.Entries)
+	}
+	counts, err := readEntries(r, h.Entries, h.K)
+	if err != nil {
+		return nil, err
+	}
+	for x, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("encoding: negative counter %d for item %d", c, x)
+		}
+	}
+	return &SketchWire{
+		K: int(h.K), Universe: h.Universe, N: int64(h.N),
+		Decrements: int64(h.Decrements), Counts: counts,
+	}, nil
+}

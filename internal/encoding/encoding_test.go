@@ -1,0 +1,283 @@
+package encoding
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dpmg/internal/merge"
+	"dpmg/internal/mg"
+	"dpmg/internal/pamg"
+	"dpmg/internal/stream"
+	"dpmg/internal/workload"
+)
+
+func TestSummaryRoundTrip(t *testing.T) {
+	sk := mg.New(16, 1000)
+	sk.Process(workload.Zipf(20000, 1000, 1.1, 1))
+	s, err := merge.FromCounters(16, 1000, sk.Counters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := MarshalSummary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != s.K || !reflect.DeepEqual(got.Counts, s.Counts) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, s)
+	}
+}
+
+func TestSummaryRoundTripProperty(t *testing.T) {
+	f := func(kRaw uint8, items []uint16, vals []uint8) bool {
+		k := int(kRaw%32) + 1
+		counts := map[stream.Item]int64{}
+		for i, it := range items {
+			if len(counts) >= k || len(vals) == 0 {
+				break
+			}
+			counts[stream.Item(it)+1] = int64(vals[i%len(vals)]%100) + 1
+		}
+		s := &merge.Summary{K: k, Counts: counts}
+		var buf bytes.Buffer
+		if err := MarshalSummary(&buf, s); err != nil {
+			return false
+		}
+		got, err := UnmarshalSummary(&buf)
+		if err != nil {
+			return false
+		}
+		return got.K == k && reflect.DeepEqual(got.Counts, counts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalBytes(t *testing.T) {
+	// Two equal tables built in different insertion orders must serialize
+	// identically (no history side channel).
+	a := &merge.Summary{K: 4, Counts: map[stream.Item]int64{1: 5, 2: 3, 9: 1}}
+	b := &merge.Summary{K: 4, Counts: map[stream.Item]int64{}}
+	for _, x := range []stream.Item{9, 1, 2} {
+		b.Counts[x] = a.Counts[x]
+	}
+	var ba, bb bytes.Buffer
+	if err := MarshalSummary(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := MarshalSummary(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("encoding not canonical")
+	}
+}
+
+func TestPAMGRoundTrip(t *testing.T) {
+	sk := pamg.New(32)
+	sk.Process(workload.UserSets(2000, 300, 4, 1.1, 2))
+	var buf bytes.Buffer
+	if err := MarshalPAMG(&buf, sk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPAMG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != sk.K() || got.TotalLen != sk.TotalLen() || got.Decrements != sk.Decrements() {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Counts, sk.Counters()) {
+		t.Fatal("counter mismatch")
+	}
+}
+
+func TestSketchRoundTrip(t *testing.T) {
+	sk := mg.New(8, 500)
+	sk.Process(workload.Zipf(5000, 500, 1.2, 3))
+	var buf bytes.Buffer
+	if err := MarshalSketch(&buf, sk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSketch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != 8 || got.Universe != 500 || got.N != sk.N() || got.Decrements != sk.Decrements() {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Counts, sk.Counters()) {
+		t.Fatal("counter mismatch")
+	}
+}
+
+func TestRejectsForeignBytes(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXX\x01\x01" + string(make([]byte, 48))),
+		append([]byte("DPMG\x02\x01"), make([]byte, 48)...), // bad version
+	}
+	for i, b := range cases {
+		if _, err := UnmarshalSummary(bytes.NewReader(b)); err == nil {
+			t.Errorf("case %d: foreign bytes accepted", i)
+		}
+	}
+}
+
+func TestRejectsKindMismatch(t *testing.T) {
+	sk := pamg.New(4)
+	sk.ProcessUser([]stream.Item{1})
+	var buf bytes.Buffer
+	if err := MarshalPAMG(&buf, sk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSummary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("pamg bytes accepted as summary")
+	}
+}
+
+func TestRejectsCorruptEntries(t *testing.T) {
+	s := &merge.Summary{K: 4, Counts: map[stream.Item]int64{1: 5, 2: 3}}
+	var buf bytes.Buffer
+	if err := MarshalSummary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Truncated payload.
+	if _, err := UnmarshalSummary(bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Zero out a counter (violates positivity).
+	corrupt := append([]byte(nil), raw...)
+	for i := len(corrupt) - 8; i < len(corrupt); i++ {
+		corrupt[i] = 0
+	}
+	if _, err := UnmarshalSummary(bytes.NewReader(corrupt)); err == nil {
+		t.Error("non-positive counter accepted")
+	}
+}
+
+func TestRejectsOverfullSummary(t *testing.T) {
+	// Entries beyond k must be refused (resource exhaustion guard).
+	s := &merge.Summary{K: 2, Counts: map[stream.Item]int64{1: 1, 2: 1, 3: 1}}
+	var buf bytes.Buffer
+	if err := MarshalSummary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSummary(&buf); err == nil {
+		t.Error("summary with more than k entries accepted")
+	}
+}
+
+func TestSketchWireRequiresExactlyK(t *testing.T) {
+	// Hand-craft a counters blob with fewer than k entries.
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, header{Kind: KindCounters, K: 4, Universe: 10, Entries: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeEntries(&buf, map[stream.Item]int64{1: 0, 2: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSketch(&buf); err == nil {
+		t.Error("sketch state with entries != k accepted")
+	}
+}
+
+func TestMergeAfterWire(t *testing.T) {
+	// End-to-end distributed flow: marshal two summaries, unmarshal, merge;
+	// must equal merging the originals.
+	mk := func(seed uint64) *merge.Summary {
+		sk := mg.New(8, 200)
+		sk.Process(workload.Zipf(5000, 200, 1.2, seed))
+		s, err := merge.FromCounters(8, 200, sk.Counters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(5), mk(6)
+	want, err := merge.Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := MarshalSummary(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := MarshalSummary(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := UnmarshalSummary(&ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := UnmarshalSummary(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := merge.Merge(a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Counts, want.Counts) {
+		t.Error("merge after wire differs from direct merge")
+	}
+}
+
+// failingWriter errors after n bytes, exercising every write error path.
+type failingWriter struct{ left int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, errShort
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+var errShort = fmt.Errorf("short write")
+
+func TestMarshalWriteErrors(t *testing.T) {
+	sum := &merge.Summary{K: 4, Counts: map[stream.Item]int64{1: 2, 3: 4}}
+	sk := mg.New(2, 10)
+	sk.Update(1)
+	pa := pamg.New(2)
+	pa.ProcessUser([]stream.Item{1})
+	// Try every truncation point; each must surface an error.
+	for budget := 0; budget < 60; budget += 7 {
+		if err := MarshalSummary(&failingWriter{left: budget}, sum); err == nil {
+			t.Errorf("summary: no error at budget %d", budget)
+		}
+		if err := MarshalSketch(&failingWriter{left: budget}, sk); err == nil {
+			t.Errorf("sketch: no error at budget %d", budget)
+		}
+		if err := MarshalPAMG(&failingWriter{left: budget}, pa); err == nil {
+			t.Errorf("pamg: no error at budget %d", budget)
+		}
+	}
+}
+
+func TestUnmarshalWrongKindEverywhere(t *testing.T) {
+	sum := &merge.Summary{K: 2, Counts: map[stream.Item]int64{1: 1}}
+	var buf bytes.Buffer
+	if err := MarshalSummary(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := UnmarshalPAMG(bytes.NewReader(raw)); err == nil {
+		t.Error("summary accepted as pamg")
+	}
+	if _, err := UnmarshalSketch(bytes.NewReader(raw)); err == nil {
+		t.Error("summary accepted as sketch")
+	}
+}

@@ -1,0 +1,41 @@
+package encoding
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalSummary throws arbitrary bytes at the decoder: it must
+// either return an error or a structurally valid summary, never panic and
+// never allocate unboundedly (the k guard caps entries).
+func FuzzUnmarshalSummary(f *testing.F) {
+	f.Add([]byte("DPMG"))
+	f.Add([]byte("DPMG\x01\x01" + string(make([]byte, 40))))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSummary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s.K <= 0 || len(s.Counts) > s.K {
+			t.Fatalf("decoder returned invalid summary: k=%d entries=%d", s.K, len(s.Counts))
+		}
+		for _, c := range s.Counts {
+			if c <= 0 {
+				t.Fatal("decoder returned non-positive counter")
+			}
+		}
+		// A decoded summary must re-encode and decode to itself.
+		var buf bytes.Buffer
+		if err := MarshalSummary(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := UnmarshalSummary(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2.K != s.K || len(s2.Counts) != len(s.Counts) {
+			t.Fatal("re-encode not stable")
+		}
+	})
+}

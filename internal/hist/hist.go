@@ -1,0 +1,45 @@
+// Package hist provides exact histograms over streams and the error metrics
+// the experiments report: maximum absolute error over the universe, mean
+// squared error, and top-k precision/recall for the heavy hitters problem.
+package hist
+
+import "dpmg/internal/stream"
+
+// Exact returns the true frequency f(x) of every element appearing in s
+// (Section 3: f(x) = sum over stream positions of 1[x in S_i]).
+func Exact(s stream.Stream) map[stream.Item]int64 {
+	f := make(map[stream.Item]int64)
+	for _, x := range s {
+		f[x]++
+	}
+	return f
+}
+
+// ExactSets returns element frequencies of a user-set stream: each user
+// contributes at most 1 to each element's count.
+func ExactSets(s stream.SetStream) map[stream.Item]int64 {
+	f := make(map[stream.Item]int64)
+	for _, set := range s {
+		for _, x := range set {
+			f[x]++
+		}
+	}
+	return f
+}
+
+// Estimate is a released (possibly noisy) frequency table. Elements absent
+// from the table implicitly have estimate 0, matching the paper's convention
+// that c_j = 0 for j not in T.
+type Estimate map[stream.Item]float64
+
+// Get returns the estimated frequency of x, 0 if absent.
+func (e Estimate) Get(x stream.Item) float64 { return e[x] }
+
+// FromCounts converts integer counters into an Estimate.
+func FromCounts(c map[stream.Item]int64) Estimate {
+	e := make(Estimate, len(c))
+	for x, v := range c {
+		e[x] = float64(v)
+	}
+	return e
+}

@@ -1,0 +1,65 @@
+package hist
+
+import (
+	"container/heap"
+
+	"dpmg/internal/stream"
+)
+
+// TopAccumulator keeps the k largest (item, value) pairs seen so far in
+// O(log k) per offer. The pure-DP and baseline releases use it to extract
+// the top-k noisy counts while iterating a large universe.
+type TopAccumulator struct {
+	k int
+	h pairHeap
+}
+
+// NewTopAccumulator returns an accumulator retaining the k largest offers.
+func NewTopAccumulator(k int) *TopAccumulator {
+	if k <= 0 {
+		panic("hist: TopAccumulator k must be positive")
+	}
+	return &TopAccumulator{k: k}
+}
+
+// Offer considers one (item, value) pair.
+func (t *TopAccumulator) Offer(x stream.Item, v float64) {
+	if t.h.Len() < t.k {
+		heap.Push(&t.h, pair{x, v})
+		return
+	}
+	if v > t.h[0].v {
+		t.h[0] = pair{x, v}
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Estimate returns the retained pairs as a frequency table.
+func (t *TopAccumulator) Estimate() Estimate {
+	out := make(Estimate, t.h.Len())
+	for _, p := range t.h {
+		out[p.x] = p.v
+	}
+	return out
+}
+
+type pair struct {
+	x stream.Item
+	v float64
+}
+
+// pairHeap is a min-heap on value, so the root is the smallest retained
+// pair and can be displaced by larger offers.
+type pairHeap []pair
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].v < h[j].v }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

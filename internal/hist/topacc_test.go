@@ -1,0 +1,73 @@
+package hist
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"dpmg/internal/stream"
+)
+
+func TestTopAccumulatorBasic(t *testing.T) {
+	acc := NewTopAccumulator(2)
+	acc.Offer(1, 1)
+	acc.Offer(2, 5)
+	acc.Offer(3, 3)
+	acc.Offer(4, 0.5)
+	e := acc.Estimate()
+	if len(e) != 2 || e[2] != 5 || e[3] != 3 {
+		t.Errorf("Estimate = %v", e)
+	}
+}
+
+func TestTopAccumulatorFewerThanK(t *testing.T) {
+	acc := NewTopAccumulator(5)
+	acc.Offer(1, 2)
+	e := acc.Estimate()
+	if len(e) != 1 || e[1] != 2 {
+		t.Errorf("Estimate = %v", e)
+	}
+}
+
+func TestTopAccumulatorMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.IntN(10)
+		n := 1 + rng.IntN(200)
+		acc := NewTopAccumulator(k)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+			acc.Offer(stream.Item(i+1), vals[i])
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		e := acc.Estimate()
+		keep := k
+		if keep > n {
+			keep = n
+		}
+		if len(e) != keep {
+			t.Fatalf("kept %d want %d", len(e), keep)
+		}
+		var got []float64
+		for _, v := range e {
+			got = append(got, v)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(got)))
+		for i := 0; i < keep; i++ {
+			if got[i] != sorted[i] {
+				t.Fatalf("trial %d: top values %v vs %v", trial, got, sorted[:keep])
+			}
+		}
+	}
+}
+
+func TestTopAccumulatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTopAccumulator(0)
+}

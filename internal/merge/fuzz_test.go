@@ -1,0 +1,61 @@
+package merge
+
+import (
+	"testing"
+
+	"dpmg/internal/hist"
+	"dpmg/internal/mg"
+	"dpmg/internal/stream"
+)
+
+// FuzzMergeErrorBound splits arbitrary bytes into two streams, merges their
+// summaries, and checks the Lemma 29 bound plus the size cap.
+func FuzzMergeErrorBound(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5}, []byte{3, 5, 4, 3, 2, 1})
+	f.Add([]byte{1, 0}, []byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, d1, d2 []byte) {
+		if len(d1) < 1 || len(d2) < 1 {
+			return
+		}
+		k := int(d1[0]%6) + 1
+		d := uint64(8)
+		mkStream := func(raw []byte) stream.Stream {
+			var s stream.Stream
+			for _, b := range raw {
+				s = append(s, stream.Item(uint64(b)%d+1))
+			}
+			return s
+		}
+		s1, s2 := mkStream(d1[1:]), mkStream(d2)
+		sum := func(s stream.Stream) *Summary {
+			sk := mg.New(k, d)
+			sk.Process(s)
+			out, err := FromCounters(k, d, sk.Counters())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		merged, err := Merge(sum(s1), sum(s2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged.Counts) > k {
+			t.Fatalf("merged holds %d > k counters", len(merged.Counts))
+		}
+		all := append(append(stream.Stream{}, s1...), s2...)
+		f := hist.Exact(all)
+		slack := int64(len(all)) / int64(k+1)
+		for x, fx := range f {
+			est := merged.Estimate(x)
+			if est > fx || est < fx-slack {
+				t.Fatalf("Lemma 29 violated at %d: est %d true %d slack %d", x, est, fx, slack)
+			}
+		}
+		for _, c := range merged.Counts {
+			if c <= 0 {
+				t.Fatal("non-positive merged counter")
+			}
+		}
+	})
+}

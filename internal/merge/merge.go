@@ -1,0 +1,144 @@
+// Package merge implements the Misra-Gries merging algorithm of Agarwal,
+// Cormode, Huang, Phillips, Wei and Yi ("Mergeable summaries") that
+// Section 7 of the paper builds on, together with the sensitivity facts the
+// paper proves about it: merging preserves the "counters differ by at most
+// one" structure of neighboring sketches (Lemma 17, Corollary 18), so a
+// merged sketch can be released with noise calibrated to l1-sensitivity k
+// or l2-sensitivity sqrt(k) regardless of how many merges happened.
+package merge
+
+import (
+	"fmt"
+	"sort"
+
+	"dpmg/internal/stream"
+)
+
+// Summary is a mergeable Misra-Gries summary: at most k strictly positive
+// counters. It is the Section 7 object of study — zero-count keys are not
+// stored (unlike the Algorithm 1 sketch).
+type Summary struct {
+	K      int
+	Counts map[stream.Item]int64
+}
+
+// FromCounters builds a Summary from a counter table, dropping non-positive
+// counters and any dummy keys above the universe bound (pass universe = 0 to
+// keep all keys). It errors if more than k positive counters remain.
+func FromCounters(k int, universe uint64, counts map[stream.Item]int64) (*Summary, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("merge: k must be positive")
+	}
+	out := make(map[stream.Item]int64)
+	for x, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		if universe > 0 && uint64(x) > universe {
+			continue
+		}
+		out[x] = c
+	}
+	if len(out) > k {
+		return nil, fmt.Errorf("merge: %d positive counters exceed k=%d", len(out), k)
+	}
+	return &Summary{K: k, Counts: out}, nil
+}
+
+// Clone returns a deep copy.
+func (s *Summary) Clone() *Summary {
+	out := make(map[stream.Item]int64, len(s.Counts))
+	for x, c := range s.Counts {
+		out[x] = c
+	}
+	return &Summary{K: s.K, Counts: out}
+}
+
+// Estimate returns the summarized frequency of x (0 if absent).
+func (s *Summary) Estimate(x stream.Item) int64 { return s.Counts[x] }
+
+// Merge combines two size-k summaries into one size-k summary using the
+// Agarwal et al. algorithm: add the counter vectors, subtract the (k+1)-th
+// largest value from every counter, and drop non-positive counters. The
+// result summarizes the concatenated input with error at most N/(k+1) for N
+// the combined stream length (Lemma 29 via [1]).
+func Merge(a, b *Summary) (*Summary, error) {
+	if a.K != b.K {
+		return nil, fmt.Errorf("merge: size mismatch k=%d vs k=%d", a.K, b.K)
+	}
+	k := a.K
+	combined := make(map[stream.Item]int64, len(a.Counts)+len(b.Counts))
+	for x, c := range a.Counts {
+		combined[x] = c
+	}
+	for x, c := range b.Counts {
+		combined[x] += c
+	}
+	sub := kPlusFirstLargest(combined, k)
+	out := make(map[stream.Item]int64, k)
+	for x, c := range combined {
+		if c > sub {
+			out[x] = c - sub
+		}
+	}
+	return &Summary{K: k, Counts: out}, nil
+}
+
+// MergeAll left-folds Merge over the summaries in order. It errors on an
+// empty input or mismatched sizes.
+func MergeAll(summaries []*Summary) (*Summary, error) {
+	if len(summaries) == 0 {
+		return nil, fmt.Errorf("merge: no summaries")
+	}
+	acc := summaries[0].Clone()
+	for _, s := range summaries[1:] {
+		next, err := Merge(acc, s)
+		if err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// kPlusFirstLargest returns the (k+1)-th largest counter value, or 0 when
+// fewer than k+1 counters exist (then nothing needs subtracting).
+func kPlusFirstLargest(counts map[stream.Item]int64, k int) int64 {
+	if len(counts) <= k {
+		return 0
+	}
+	vals := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	return vals[k]
+}
+
+// CheckNeighborStructure verifies the Lemma 17 / Corollary 18 invariant on
+// two merged counter tables from neighboring inputs: one table's key set
+// contains the other's and counters differ by at most 1, all in the same
+// direction. This is the same structure as pamg.CheckNeighborStructure and
+// is what qualifies merged sketches for the Gaussian Sparse Histogram
+// Mechanism with l = k.
+func CheckNeighborStructure(c, cPrime map[stream.Item]int64) error {
+	if oneSided(c, cPrime) || oneSided(cPrime, c) {
+		return nil
+	}
+	return fmt.Errorf("merge: Lemma 17 structure violated: %v vs %v", c, cPrime)
+}
+
+func oneSided(hi, lo map[stream.Item]int64) bool {
+	for x := range lo {
+		if _, ok := hi[x]; !ok {
+			return false
+		}
+	}
+	for x, h := range hi {
+		d := h - lo[x]
+		if d != 0 && d != 1 {
+			return false
+		}
+	}
+	return true
+}

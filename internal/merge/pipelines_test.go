@@ -1,0 +1,169 @@
+package merge
+
+import (
+	"testing"
+
+	"dpmg/internal/core"
+	"dpmg/internal/hist"
+	"dpmg/internal/mg"
+	"dpmg/internal/noise"
+	"dpmg/internal/puredp"
+	"dpmg/internal/stream"
+	"dpmg/internal/workload"
+)
+
+func partStreams(l, n, d int, seed uint64) ([]stream.Stream, stream.Stream) {
+	var parts []stream.Stream
+	var all stream.Stream
+	for i := 0; i < l; i++ {
+		s := workload.HeavyTail(n, d, 4, 0.8, seed+uint64(i))
+		parts = append(parts, s)
+		all = append(all, s...)
+	}
+	return parts, all
+}
+
+func TestMergeNoisy(t *testing.T) {
+	a := hist.Estimate{1: 10, 2: 4}
+	b := hist.Estimate{3: 7}
+	m := MergeNoisy(a, b, 2)
+	// values 10,7,4 -> subtract 4 -> {1:6, 3:3}
+	if len(m) != 2 || m[1] != 6 || m[3] != 3 {
+		t.Fatalf("MergeNoisy = %v", m)
+	}
+	// Under k: exact addition.
+	m2 := MergeNoisy(hist.Estimate{1: 1}, hist.Estimate{2: 2}, 4)
+	if len(m2) != 2 || m2[1] != 1 || m2[2] != 2 {
+		t.Fatalf("MergeNoisy small = %v", m2)
+	}
+}
+
+func TestUntrustedAggregateRecoversHeavy(t *testing.T) {
+	k := 32
+	d := 200
+	parts, all := partStreams(4, 100000, d, 10)
+	p := core.Params{Eps: 1, Delta: 1e-6}
+	rel, err := UntrustedAggregate(parts, k, uint64(d), p, noise.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := hist.Exact(all)
+	for _, x := range hist.TopK(f, 4) {
+		if _, ok := rel[x]; !ok {
+			t.Errorf("heavy item %d missed", x)
+		}
+	}
+}
+
+func TestUntrustedErrorGrowsWithMerges(t *testing.T) {
+	// The defining Section 7 behavior: "the error from the thresholding step
+	// of Algorithm 2 scales linearly in the number of sketches for
+	// worst-case input". Worst case: an item sitting just below the
+	// threshold in every local stream is dropped by every local release, so
+	// the aggregate loses ~threshold per sketch. Use k >= d so the sketches
+	// themselves are exact and only the privacy error remains.
+	k, d := 16, 10
+	p := core.Params{Eps: 1, Delta: 1e-6}
+	below := int(p.Threshold()) - 5 // per-part count of the victim item
+	errAt := func(l int) float64 {
+		var parts []stream.Stream
+		var all stream.Stream
+		for i := 0; i < l; i++ {
+			var s stream.Stream
+			for j := 0; j < below; j++ {
+				s = append(s, 1)
+			}
+			for j := 0; j < 1000; j++ {
+				s = append(s, stream.Item(2+j%(d-1)))
+			}
+			parts = append(parts, s)
+			all = append(all, s...)
+		}
+		f := hist.Exact(all)
+		var sum float64
+		for seed := uint64(0); seed < 5; seed++ {
+			rel, err := UntrustedAggregate(parts, k, uint64(d), p, noise.NewSource(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(f[1]) - rel[1] // victim item's lost mass
+		}
+		return sum / 5
+	}
+	e2, e16 := errAt(2), errAt(16)
+	if e16 < 4*e2 {
+		t.Errorf("threshold loss should grow ~linearly with merges: l=2 %v, l=16 %v", e2, e16)
+	}
+}
+
+func TestTrustedAggregateLaplace(t *testing.T) {
+	k := 32
+	d := uint64(200)
+	parts, all := partStreams(8, 50000, int(d), 20)
+	var reduced []map[stream.Item]float64
+	for _, str := range parts {
+		sk := mg.New(k, d)
+		sk.Process(str)
+		reduced = append(reduced, puredp.Reduce(sk).Counts)
+	}
+	rel, err := TrustedAggregateLaplace(reduced, 1, 1e-6, noise.NewSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := hist.Exact(all)
+	for _, x := range hist.TopK(f, 4) {
+		if _, ok := rel[x]; !ok {
+			t.Errorf("heavy item %d missed", x)
+		}
+	}
+	// Error must be bounded by total sketch error + small noise: each part
+	// contributes n/(k+1) sketch+reduction error.
+	bound := float64(len(all))/float64(k+1) + 100
+	if got := hist.MaxError(rel, f); got > bound {
+		t.Errorf("trusted error %v > bound %v", got, bound)
+	}
+}
+
+func TestTrustedAggregateBounded(t *testing.T) {
+	k := 16
+	d := uint64(100)
+	parts, all := partStreams(64, 20000, int(d), 30)
+	var summaries []*Summary
+	for _, str := range parts {
+		sk := mg.New(k, d)
+		sk.Process(str)
+		s, err := FromCounters(k, d, sk.Counters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		summaries = append(summaries, s)
+	}
+	rel, err := TrustedAggregateBounded(summaries, 1, 1e-6, noise.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := hist.Exact(all)
+	for _, x := range hist.TopK(f, 2) {
+		if _, ok := rel[x]; !ok {
+			t.Errorf("heavy item %d missed", x)
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := UntrustedAggregate(nil, 4, 10, core.Params{Eps: 1, Delta: 1e-6}, noise.NewSource(1)); err == nil {
+		t.Error("empty streams accepted")
+	}
+	if _, err := TrustedAggregateLaplace(nil, 1, 1e-6, noise.NewSource(1)); err == nil {
+		t.Error("empty tables accepted")
+	}
+	if _, err := TrustedAggregateLaplace([]map[stream.Item]float64{{}}, 0, 1e-6, noise.NewSource(1)); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := TrustedAggregateBounded(nil, 1, 1e-6, noise.NewSource(1)); err == nil {
+		t.Error("empty summaries accepted")
+	}
+	if _, err := TrustedAggregateBounded([]*Summary{{K: 2, Counts: map[stream.Item]int64{}}}, 1, 2, noise.NewSource(1)); err == nil {
+		t.Error("delta=2 accepted")
+	}
+}

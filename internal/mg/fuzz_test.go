@@ -1,0 +1,83 @@
+package mg
+
+import (
+	"testing"
+
+	"dpmg/internal/hist"
+	"dpmg/internal/stream"
+)
+
+// decodeStream maps fuzz bytes to a stream over a small universe plus the
+// sketch parameters, so the fuzzer explores branch interleavings densely.
+func decodeStream(data []byte) (k int, d uint64, str stream.Stream) {
+	if len(data) < 2 {
+		return 1, 2, nil
+	}
+	k = int(data[0]%8) + 1
+	d = uint64(data[1]%12) + 2
+	for _, b := range data[2:] {
+		str = append(str, stream.Item(uint64(b)%d+1))
+	}
+	return k, d, str
+}
+
+// FuzzSketchInvariants drives Algorithm 1 with arbitrary inputs and checks
+// every structural invariant: exactly k stored keys, Fact 7 estimate
+// bounds, decrement accounting, and estimate equality with the standard
+// variant.
+func FuzzSketchInvariants(f *testing.F) {
+	f.Add([]byte{3, 5, 1, 2, 3, 4, 5, 1, 1, 2})
+	f.Add([]byte{1, 2, 0, 1, 0, 1, 0})
+	f.Add([]byte{7, 11, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, d, str := decodeStream(data)
+		paper := New(k, d)
+		std := NewStandard(k)
+		for _, x := range str {
+			paper.Update(x)
+			std.Update(x)
+		}
+		if paper.Len() != k {
+			t.Fatalf("stored %d keys, want exactly k=%d", paper.Len(), k)
+		}
+		if paper.Decrements() != std.Decrements() {
+			t.Fatalf("decrement mismatch: %d vs %d", paper.Decrements(), std.Decrements())
+		}
+		n := int64(len(str))
+		if paper.Decrements() > n/int64(k+1) {
+			t.Fatalf("decrements %d exceed n/(k+1)", paper.Decrements())
+		}
+		f := hist.Exact(str)
+		slack := n / int64(k+1)
+		for x := stream.Item(1); uint64(x) <= d; x++ {
+			est := paper.Estimate(x)
+			if est != std.Estimate(x) {
+				t.Fatalf("variant estimates differ at %d: %d vs %d", x, est, std.Estimate(x))
+			}
+			if est > f[x] || est < f[x]-slack {
+				t.Fatalf("Fact 7 violated at %d: est %d true %d slack %d", x, est, f[x], slack)
+			}
+		}
+	})
+}
+
+// FuzzLemma8 drives random neighbor pairs through Algorithm 1 and checks
+// the full Lemma 8 structure.
+func FuzzLemma8(f *testing.F) {
+	f.Add([]byte{3, 5, 1, 2, 3, 4, 5, 1, 1, 2}, uint16(3))
+	f.Add([]byte{2, 3, 0, 1, 2, 0, 1, 2, 0}, uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, pos uint16) {
+		k, d, str := decodeStream(data)
+		if len(str) == 0 {
+			return
+		}
+		idx := int(pos) % len(str)
+		a := New(k, d)
+		a.Process(str)
+		b := New(k, d)
+		b.Process(str.RemoveAt(idx))
+		if err := CheckNeighborStructure(k, a.Counters(), b.Counters()); err != nil {
+			t.Fatalf("k=%d d=%d idx=%d: %v\nstream=%v", k, d, idx, err, str)
+		}
+	})
+}

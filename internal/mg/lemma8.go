@@ -1,0 +1,86 @@
+package mg
+
+import (
+	"fmt"
+
+	"dpmg/internal/stream"
+)
+
+// CheckNeighborStructure verifies the conclusion of Lemma 8 on a pair of
+// full counter tables (dummy keys included): c from MG(k, S) and cPrime from
+// MG(k, S') where S' was obtained by removing one element from S. It returns
+// nil when the structure holds and a descriptive error otherwise.
+//
+// Lemma 8 states: |T ∩ T'| >= k-2, every counter outside the intersection is
+// at most 1, and either
+//
+//	(1) c_i = c'_i - 1 for all i in T' and c_j = 0 for all j not in T', or
+//	(2) there is exactly one i with c_i = c'_i + 1 and c_j = c'_j elsewhere
+//
+// (counts are implicitly 0 outside a sketch's key set).
+func CheckNeighborStructure(k int, c, cPrime map[stream.Item]int64) error {
+	inter := 0
+	for x := range c {
+		if _, ok := cPrime[x]; ok {
+			inter++
+		}
+	}
+	if inter < k-2 {
+		return fmt.Errorf("|T ∩ T'| = %d < k-2 = %d", inter, k-2)
+	}
+	for x, v := range c {
+		if _, ok := cPrime[x]; !ok && v > 1 {
+			return fmt.Errorf("key %d only in T has count %d > 1", x, v)
+		}
+	}
+	for x, v := range cPrime {
+		if _, ok := c[x]; !ok && v > 1 {
+			return fmt.Errorf("key %d only in T' has count %d > 1", x, v)
+		}
+	}
+
+	union := make(map[stream.Item]struct{}, len(c)+len(cPrime))
+	for x := range c {
+		union[x] = struct{}{}
+	}
+	for x := range cPrime {
+		union[x] = struct{}{}
+	}
+
+	// Case (1): all of T' is one lower in c, and c vanishes outside T'.
+	case1 := true
+	for x := range cPrime {
+		if c[x] != cPrime[x]-1 {
+			case1 = false
+			break
+		}
+	}
+	if case1 {
+		for x := range c {
+			if _, ok := cPrime[x]; !ok && c[x] != 0 {
+				case1 = false
+				break
+			}
+		}
+	}
+	if case1 {
+		return nil
+	}
+
+	// Case (2): exactly one key one higher in c, everything else equal.
+	higher := 0
+	for x := range union {
+		d := c[x] - cPrime[x]
+		switch d {
+		case 0:
+		case 1:
+			higher++
+		default:
+			return fmt.Errorf("key %d differs by %d (not case 1, and case 2 allows only +1)", x, d)
+		}
+	}
+	if higher != 1 {
+		return fmt.Errorf("neither case: %d keys are higher by one in c", higher)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package mg
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dpmg/internal/hist"
+	"dpmg/internal/stream"
+	"dpmg/internal/workload"
+)
+
+// runPair computes the two sketches of a neighboring pair: s on the full
+// stream and sPrime on the stream with position idx removed.
+func runPair(k int, d uint64, str stream.Stream, idx int) (*Sketch, *Sketch) {
+	a := New(k, d)
+	a.Process(str)
+	b := New(k, d)
+	b.Process(str.RemoveAt(idx))
+	return a, b
+}
+
+func TestLemma8RandomStreams(t *testing.T) {
+	// Exhaustive randomized check of the Lemma 8 state machine: small
+	// universes and sketch sizes maximize branch collisions.
+	rng := rand.New(rand.NewPCG(7, 13))
+	trials := 3000
+	if testing.Short() {
+		trials = 300
+	}
+	for trial := 0; trial < trials; trial++ {
+		k := 1 + rng.IntN(6)
+		d := uint64(2 + rng.IntN(8))
+		n := 1 + rng.IntN(80)
+		str := make(stream.Stream, n)
+		for i := range str {
+			str[i] = stream.Item(rng.IntN(int(d)) + 1)
+		}
+		idx := rng.IntN(n)
+		a, b := runPair(k, d, str, idx)
+		if err := CheckNeighborStructure(k, a.Counters(), b.Counters()); err != nil {
+			t.Fatalf("trial %d (k=%d d=%d n=%d idx=%d): %v\nstream=%v",
+				trial, k, d, n, idx, err, str)
+		}
+	}
+}
+
+func TestLemma8ZipfStreams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 17))
+	for trial := 0; trial < 50; trial++ {
+		k := 4 + rng.IntN(12)
+		str := workload.Zipf(2000, 64, 1.0, uint64(trial+100))
+		idx := rng.IntN(len(str))
+		a, b := runPair(k, 64, str, idx)
+		if err := CheckNeighborStructure(k, a.Counters(), b.Counters()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestLemma8L1SensitivityAtMostK(t *testing.T) {
+	// The coarser Chan et al. bound: ||MG_S - MG_S'||_1 <= k, which follows
+	// from Lemma 8 and is what the baselines calibrate noise to.
+	rng := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.IntN(5)
+		d := uint64(2 + rng.IntN(6))
+		n := 1 + rng.IntN(60)
+		str := make(stream.Stream, n)
+		for i := range str {
+			str[i] = stream.Item(rng.IntN(int(d)) + 1)
+		}
+		a, b := runPair(k, d, str, rng.IntN(n))
+		if l1 := hist.L1Distance(a.Counters(), b.Counters()); l1 > float64(k) {
+			t.Fatalf("trial %d: l1 = %v > k = %d", trial, l1, k)
+		}
+	}
+}
+
+func TestLemma8KeyDifferenceAtMostTwo(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 23))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.IntN(6)
+		d := uint64(2 + rng.IntN(8))
+		n := 1 + rng.IntN(100)
+		str := make(stream.Stream, n)
+		for i := range str {
+			str[i] = stream.Item(rng.IntN(int(d)) + 1)
+		}
+		a, b := runPair(k, d, str, rng.IntN(n))
+		onlyA := 0
+		bc := b.Counters()
+		for x := range a.Counters() {
+			if _, ok := bc[x]; !ok {
+				onlyA++
+			}
+		}
+		if onlyA > 2 {
+			t.Fatalf("trial %d: %d keys only in sketch 1", trial, onlyA)
+		}
+	}
+}
+
+func TestLemma8DecrementCase(t *testing.T) {
+	// Construct a pair that lands in case (1): S has one extra element that
+	// triggers a decrement-all. S = 1,2,3 then 4 (k=3, all full at 1), S'
+	// drops the 4.
+	str := stream.Stream{1, 2, 3, 4}
+	a, b := runPair(3, 10, str, 3)
+	if err := CheckNeighborStructure(3, a.Counters(), b.Counters()); err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Counters(), b.Counters()
+	for x := stream.Item(1); x <= 3; x++ {
+		if ca[x] != cb[x]-1 {
+			t.Fatalf("expected case 1 shape, got %v vs %v", ca, cb)
+		}
+	}
+}
+
+func TestLemma8IncrementCase(t *testing.T) {
+	// Case (2): the extra element increments an existing counter.
+	str := stream.Stream{1, 2, 1}
+	a, b := runPair(3, 10, str, 2)
+	ca, cb := a.Counters(), b.Counters()
+	if ca[1] != cb[1]+1 || ca[2] != cb[2] {
+		t.Fatalf("expected case 2 shape, got %v vs %v", ca, cb)
+	}
+}
+
+func TestCheckNeighborStructureRejectsBadPairs(t *testing.T) {
+	// Sanity: the checker must reject non-neighboring structures.
+	c := map[stream.Item]int64{1: 5, 2: 5, 3: 5}
+	bad := map[stream.Item]int64{1: 3, 2: 5, 3: 5} // one counter differs by 2
+	if CheckNeighborStructure(3, c, bad) == nil {
+		t.Error("accepted a pair differing by 2 in one counter")
+	}
+	bad2 := map[stream.Item]int64{4: 5, 5: 5, 6: 5} // all keys differ
+	if CheckNeighborStructure(3, c, bad2) == nil {
+		t.Error("accepted a pair with disjoint keys and large counters")
+	}
+	bad3 := map[stream.Item]int64{1: 6, 2: 6, 3: 5} // two counters higher
+	if CheckNeighborStructure(3, c, bad3) == nil {
+		t.Error("accepted two raised counters")
+	}
+}

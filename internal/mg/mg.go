@@ -1,0 +1,193 @@
+// Package mg implements the Misra-Gries sketch in the exact variant the
+// paper privatizes (Algorithm 1): the sketch starts with k dummy keys,
+// counters that reach zero are kept until their slot is reused, and when a
+// slot must be reused the *smallest* zero-count key is evicted. Those three
+// details are what bound the key difference between sketches of neighboring
+// streams by two (Lemma 8), which in turn is what lets Algorithm 2 release
+// the sketch with noise independent of k.
+//
+// The package also provides the standard Misra-Gries variant (zero counters
+// removed immediately) for the Section 5.1 release path and for the
+// estimate-equality property the paper relies on (both variants return
+// exactly the same frequency estimates, so Fact 7 applies to both).
+package mg
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"dpmg/internal/stream"
+)
+
+// Sketch is the paper-variant Misra-Gries sketch of Algorithm 1.
+// It is not safe for concurrent use.
+type Sketch struct {
+	k        int
+	universe uint64 // d; dummy keys are d+1 .. d+k
+	counts   map[stream.Item]int64
+	zeros    itemHeap // lazy min-heap of keys whose count may be zero
+	nzero    int      // exact number of stored keys with count zero
+	n        int64    // stream length processed
+	decs     int64    // number of decrement-all steps (branch 2 executions)
+}
+
+// New returns an empty sketch with k counters over the universe [1, d].
+// Keys d+1..d+k are used as the initial dummy keys exactly as in
+// Algorithm 1; callers must therefore only feed items in [1, d].
+func New(k int, d uint64) *Sketch {
+	if k <= 0 {
+		panic("mg: k must be positive")
+	}
+	if d == 0 {
+		panic("mg: universe size must be positive")
+	}
+	s := &Sketch{
+		k:        k,
+		universe: d,
+		counts:   make(map[stream.Item]int64, k),
+	}
+	for i := 1; i <= k; i++ {
+		key := stream.Item(d + uint64(i))
+		s.counts[key] = 0
+		heap.Push(&s.zeros, key)
+	}
+	s.nzero = k
+	return s
+}
+
+// K returns the sketch size parameter.
+func (s *Sketch) K() int { return s.k }
+
+// Universe returns d.
+func (s *Sketch) Universe() uint64 { return s.universe }
+
+// N returns the number of processed elements.
+func (s *Sketch) N() int64 { return s.n }
+
+// Decrements returns how many times the decrement-all branch ran. This is
+// the alpha of Lemma 15, needed by the Section 6 sensitivity reduction and
+// bounded by N/(k+1) (Fact 7).
+func (s *Sketch) Decrements() int64 { return s.decs }
+
+// Update processes one stream element (one iteration of Algorithm 1's loop).
+// It panics if x is outside [1, universe], since items above the universe
+// would collide with the dummy keys.
+func (s *Sketch) Update(x stream.Item) {
+	if x == 0 || uint64(x) > s.universe {
+		panic(fmt.Sprintf("mg: item %d outside universe [1,%d]", x, s.universe))
+	}
+	s.n++
+	if c, ok := s.counts[x]; ok {
+		// Branch 1: increment.
+		if c == 0 {
+			s.nzero--
+		}
+		s.counts[x] = c + 1
+		return
+	}
+	if s.nzero == 0 {
+		// Branch 2: decrement all counters; keys reaching zero stay stored.
+		s.decs++
+		for y, c := range s.counts {
+			c--
+			s.counts[y] = c
+			if c == 0 {
+				s.nzero++
+				heap.Push(&s.zeros, y)
+			}
+		}
+		return
+	}
+	// Branch 3: replace the smallest zero-count key with x.
+	y := s.popSmallestZero()
+	delete(s.counts, y)
+	s.counts[x] = 1
+}
+
+// popSmallestZero removes and returns the smallest stored key whose count is
+// zero. The heap may hold stale entries (keys later incremented or already
+// replaced); they are skipped lazily.
+func (s *Sketch) popSmallestZero() stream.Item {
+	for s.zeros.Len() > 0 {
+		y := heap.Pop(&s.zeros).(stream.Item)
+		if c, ok := s.counts[y]; ok && c == 0 {
+			s.nzero--
+			return y
+		}
+	}
+	panic("mg: internal error: nzero > 0 but no zero key found")
+}
+
+// Process feeds every element of str through Update.
+func (s *Sketch) Process(str stream.Stream) {
+	for _, x := range str {
+		s.Update(x)
+	}
+}
+
+// Estimate returns the frequency estimate for x: its counter if stored
+// (dummy keys included, always 0), otherwise 0. By Fact 7 the estimate lies
+// in [f(x) - n/(k+1), f(x)].
+func (s *Sketch) Estimate(x stream.Item) int64 {
+	return s.counts[x]
+}
+
+// Len returns the number of stored keys, always exactly k for this variant
+// (zero-count and dummy keys stay stored).
+func (s *Sketch) Len() int { return len(s.counts) }
+
+// Counters returns a copy of the full counter table, including zero-count
+// and dummy keys. This is the raw sketch state that Algorithm 2 privatizes.
+func (s *Sketch) Counters() map[stream.Item]int64 {
+	out := make(map[stream.Item]int64, len(s.counts))
+	for x, c := range s.counts {
+		out[x] = c
+	}
+	return out
+}
+
+// RealCounters returns a copy of the counter table restricted to genuine
+// universe elements with positive counts — the post-processed view an
+// application reads (dummy keys and zero counters removed).
+func (s *Sketch) RealCounters() map[stream.Item]int64 {
+	out := make(map[stream.Item]int64, len(s.counts))
+	for x, c := range s.counts {
+		if c > 0 && uint64(x) <= s.universe {
+			out[x] = c
+		}
+	}
+	return out
+}
+
+// SortedKeys returns all stored keys in ascending order. Releasing key-value
+// pairs in an input-independent order is one of the Section 5.2 requirements
+// (hash-table iteration order can leak the insertion history).
+func (s *Sketch) SortedKeys() []stream.Item {
+	keys := make([]stream.Item, 0, len(s.counts))
+	for x := range s.counts {
+		keys = append(keys, x)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// IsDummy reports whether x is one of the sketch's dummy keys.
+func (s *Sketch) IsDummy(x stream.Item) bool {
+	return uint64(x) > s.universe && uint64(x) <= s.universe+uint64(s.k)
+}
+
+// itemHeap is a min-heap of items ordered by numeric value.
+type itemHeap []stream.Item
+
+func (h itemHeap) Len() int            { return len(h) }
+func (h itemHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(stream.Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,155 @@
+package mg
+
+import (
+	"fmt"
+
+	"dpmg/internal/stream"
+)
+
+// EvictionPolicy selects which zero-count key Branch 3 of Algorithm 1
+// replaces. The paper requires the order of removal to be independent of
+// the stream ("the choice of removing the minimum element is arbitrary but
+// the order of removal must be independent of the stream"): MinZero and
+// MaxZero satisfy this and preserve the Lemma 8 key-difference bound;
+// OldestZero (replace the key that reached zero earliest — an
+// insertion-history-dependent order, what an LRU-style implementation would
+// naturally do) violates it, and the E12 ablation shows the bound breaking.
+type EvictionPolicy int
+
+const (
+	// MinZero replaces the smallest zero-count key (the paper's choice).
+	MinZero EvictionPolicy = iota
+	// MaxZero replaces the largest zero-count key (also stream-independent).
+	MaxZero
+	// OldestZero replaces the key that became zero first. The order depends
+	// on the stream history, so Lemma 8 does NOT hold; ablation only.
+	OldestZero
+)
+
+// PolicySketch is Algorithm 1 with a configurable eviction policy. It is
+// used by the E12 ablation to demonstrate that the paper's
+// stream-independent-eviction requirement is load-bearing; production code
+// should use Sketch, which hard-codes the (heap-accelerated) MinZero policy.
+// Branch 3 scans the stored keys (O(k)), which is fine at ablation sizes.
+type PolicySketch struct {
+	policy   EvictionPolicy
+	k        int
+	universe uint64
+	counts   map[stream.Item]int64
+	zeroSeq  map[stream.Item]int64 // sequence number when the key hit zero
+	seq      int64
+	nzero    int
+	n        int64
+}
+
+// NewWithPolicy returns an Algorithm 1 sketch with the given eviction
+// policy, k counters and universe [1, d].
+func NewWithPolicy(k int, d uint64, policy EvictionPolicy) *PolicySketch {
+	if k <= 0 {
+		panic("mg: k must be positive")
+	}
+	if d == 0 {
+		panic("mg: universe size must be positive")
+	}
+	if policy < MinZero || policy > OldestZero {
+		panic(fmt.Sprintf("mg: unknown eviction policy %d", policy))
+	}
+	s := &PolicySketch{
+		policy:   policy,
+		k:        k,
+		universe: d,
+		counts:   make(map[stream.Item]int64, k),
+		zeroSeq:  make(map[stream.Item]int64, k),
+	}
+	for i := 1; i <= k; i++ {
+		key := stream.Item(d + uint64(i))
+		s.counts[key] = 0
+		s.seq++
+		s.zeroSeq[key] = s.seq
+	}
+	s.nzero = k
+	return s
+}
+
+// Update processes one stream element.
+func (s *PolicySketch) Update(x stream.Item) {
+	if x == 0 || uint64(x) > s.universe {
+		panic(fmt.Sprintf("mg: item %d outside universe [1,%d]", x, s.universe))
+	}
+	s.n++
+	if c, ok := s.counts[x]; ok {
+		if c == 0 {
+			s.nzero--
+			delete(s.zeroSeq, x)
+		}
+		s.counts[x] = c + 1
+		return
+	}
+	if s.nzero == 0 {
+		for y, c := range s.counts {
+			c--
+			s.counts[y] = c
+			if c == 0 {
+				s.nzero++
+				s.seq++
+				s.zeroSeq[y] = s.seq
+			}
+		}
+		return
+	}
+	y := s.pickZero()
+	delete(s.counts, y)
+	delete(s.zeroSeq, y)
+	s.nzero--
+	s.counts[x] = 1
+}
+
+// pickZero scans the zero-count keys and applies the policy.
+func (s *PolicySketch) pickZero() stream.Item {
+	first := true
+	var best stream.Item
+	var bestSeq int64
+	for y, sq := range s.zeroSeq {
+		if first {
+			best, bestSeq, first = y, sq, false
+			continue
+		}
+		switch s.policy {
+		case MinZero:
+			if y < best {
+				best = y
+			}
+		case MaxZero:
+			if y > best {
+				best = y
+			}
+		case OldestZero:
+			if sq < bestSeq {
+				best, bestSeq = y, sq
+			}
+		}
+	}
+	if first {
+		panic("mg: internal error: no zero key")
+	}
+	return best
+}
+
+// Process feeds every element of str through Update.
+func (s *PolicySketch) Process(str stream.Stream) {
+	for _, x := range str {
+		s.Update(x)
+	}
+}
+
+// Estimate returns the frequency estimate for x.
+func (s *PolicySketch) Estimate(x stream.Item) int64 { return s.counts[x] }
+
+// Counters returns a copy of the full counter table.
+func (s *PolicySketch) Counters() map[stream.Item]int64 {
+	out := make(map[stream.Item]int64, len(s.counts))
+	for x, c := range s.counts {
+		out[x] = c
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package mg
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dpmg/internal/stream"
+)
+
+func TestPolicyMinZeroMatchesSketch(t *testing.T) {
+	// The MinZero policy sketch must be bit-identical to the production
+	// Sketch on any stream.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.IntN(6)
+		d := uint64(2 + rng.IntN(10))
+		n := rng.IntN(150)
+		a := New(k, d)
+		b := NewWithPolicy(k, d, MinZero)
+		for i := 0; i < n; i++ {
+			x := stream.Item(rng.IntN(int(d)) + 1)
+			a.Update(x)
+			b.Update(x)
+		}
+		ca, cb := a.Counters(), b.Counters()
+		if len(ca) != len(cb) {
+			t.Fatalf("trial %d: key counts differ", trial)
+		}
+		for x, v := range ca {
+			if cb[x] != v {
+				t.Fatalf("trial %d: mismatch at %d: %d vs %d", trial, x, v, cb[x])
+			}
+		}
+	}
+}
+
+func TestPolicyEstimatesAgree(t *testing.T) {
+	// All policies yield the same frequency estimates (the estimates only
+	// depend on the counter values, not on which zero key was evicted).
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.IntN(6)
+		d := uint64(2 + rng.IntN(10))
+		n := rng.IntN(150)
+		str := make(stream.Stream, n)
+		for i := range str {
+			str[i] = stream.Item(rng.IntN(int(d)) + 1)
+		}
+		min := NewWithPolicy(k, d, MinZero)
+		max := NewWithPolicy(k, d, MaxZero)
+		old := NewWithPolicy(k, d, OldestZero)
+		min.Process(str)
+		max.Process(str)
+		old.Process(str)
+		for x := stream.Item(1); uint64(x) <= d; x++ {
+			if min.Estimate(x) != max.Estimate(x) || min.Estimate(x) != old.Estimate(x) {
+				t.Fatalf("trial %d: estimates diverge at %d", trial, x)
+			}
+		}
+	}
+}
+
+// policyNeighborStats measures, over random neighbor pairs, the worst
+// differing-key count and the number of Lemma 8 structure violations for a
+// policy. Violations under history-dependent eviction are rare (a handful
+// per 30000 pairs), so detecting them needs both many trials and streams
+// long enough (n up to 200) for the eviction histories to diverge.
+func policyNeighborStats(t *testing.T, policy EvictionPolicy, trials int) (worst, violations int) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(7, uint64(policy)+9))
+	for trial := 0; trial < trials; trial++ {
+		k := 2 + rng.IntN(5)
+		d := uint64(3 + rng.IntN(8))
+		n := 5 + rng.IntN(200)
+		str := make(stream.Stream, n)
+		for i := range str {
+			str[i] = stream.Item(rng.IntN(int(d)) + 1)
+		}
+		idx := rng.IntN(n)
+		a := NewWithPolicy(k, d, policy)
+		a.Process(str)
+		b := NewWithPolicy(k, d, policy)
+		b.Process(str.RemoveAt(idx))
+		ca, cb := a.Counters(), b.Counters()
+		diff := 0
+		for x := range ca {
+			if _, ok := cb[x]; !ok {
+				diff++
+			}
+		}
+		if diff > worst {
+			worst = diff
+		}
+		if CheckNeighborStructure(k, ca, cb) != nil {
+			violations++
+		}
+	}
+	return worst, violations
+}
+
+func TestStreamIndependentPoliciesKeepLemma8(t *testing.T) {
+	// Both stream-independent orders keep the full Lemma 8 structure.
+	trials := 10000
+	if testing.Short() {
+		trials = 1000
+	}
+	for _, p := range []EvictionPolicy{MinZero, MaxZero} {
+		worst, violations := policyNeighborStats(t, p, trials)
+		if worst > 2 || violations > 0 {
+			t.Errorf("policy %d: worst keydiff %d, %d structure violations", p, worst, violations)
+		}
+	}
+}
+
+func TestOldestZeroBreaksLemma8(t *testing.T) {
+	// The history-dependent order must violate the structure on some pair —
+	// that is exactly why the paper requires stream-independent eviction.
+	if testing.Short() {
+		t.Skip("needs ~30000 pairs to expose the rare violations")
+	}
+	worst, violations := policyNeighborStats(t, OldestZero, 30000)
+	if worst <= 2 && violations == 0 {
+		t.Errorf("OldestZero never violated the Lemma 8 structure in 30000 trials "+
+			"(worst keydiff %d); expected history-dependent eviction to break it", worst)
+	}
+}
+
+func TestNewWithPolicyPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewWithPolicy(0, 10, MinZero) },
+		func() { NewWithPolicy(2, 0, MinZero) },
+		func() { NewWithPolicy(2, 10, EvictionPolicy(9)) },
+		func() { NewWithPolicy(2, 10, MinZero).Update(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

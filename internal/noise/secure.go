@@ -1,0 +1,47 @@
+package noise
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"math"
+)
+
+// SecureSource is a Source backed by crypto/rand. Production releases must
+// not use predictable noise: an adversary who can guess the PCG seed can
+// subtract the noise and recover exact counters. Use NewSource(seed) for
+// reproducible experiments and tests; use NewSecureSource() for anything
+// that leaves the trust boundary with real data.
+type SecureSource struct{ buf [8]byte }
+
+// NewSecureSource returns a Source drawing from the operating system's
+// CSPRNG. It panics if the CSPRNG is unavailable — releasing with broken
+// randomness would be a silent privacy failure, which is worse than
+// crashing.
+func NewSecureSource() *SecureSource { return &SecureSource{} }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *SecureSource) Uint64() uint64 {
+	if _, err := cryptorand.Read(s.buf[:]); err != nil {
+		panic("noise: CSPRNG unavailable: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(s.buf[:])
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *SecureSource) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal value via the Box-Muller transform.
+// (math/rand's ziggurat is faster but needs its internal tables; Box-Muller
+// keeps this implementation self-contained and auditable.)
+func (s *SecureSource) NormFloat64() float64 {
+	for {
+		u1 := s.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := s.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}

@@ -1,0 +1,72 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSecureSourceUniform(t *testing.T) {
+	s := NewSecureSource()
+	const n = 50000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		u := s.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of range: %v", u)
+		}
+		sum += u
+		buckets[int(u*10)]++
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %v, want ~0.5", mean)
+	}
+	for i, b := range buckets {
+		if b < n/10-n/40 || b > n/10+n/40 {
+			t.Errorf("bucket %d count %d, want ~%d", i, b, n/10)
+		}
+	}
+}
+
+func TestSecureSourceNormal(t *testing.T) {
+	s := NewSecureSource()
+	const n = 50000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance %v", variance)
+	}
+}
+
+func TestSecureSourceNonRepeating(t *testing.T) {
+	s := NewSecureSource()
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatal("repeated 64-bit value in 1000 draws")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSecureSourceWorksWithLaplace(t *testing.T) {
+	s := NewSecureSource()
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += Laplace(s, 1)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.03 {
+		t.Errorf("Laplace mean %v via secure source", mean)
+	}
+}

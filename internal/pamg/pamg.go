@@ -1,0 +1,144 @@
+// Package pamg implements the Privacy-Aware Misra-Gries sketch of Section 8
+// (Algorithm 4), the paper's new sketch for streams where each user
+// contributes a set of up to m distinct elements. Counters for all of a
+// user's elements are incremented, and all counters are decremented at most
+// once per user (not once per element). This keeps the per-counter
+// difference between neighboring sketches at most 1 (Lemma 27), giving
+// l2-sensitivity sqrt(k) independent of m, while matching the Misra-Gries
+// error guarantee N/(k+1) (Lemma 26).
+package pamg
+
+import (
+	"fmt"
+	"sort"
+
+	"dpmg/internal/stream"
+)
+
+// Sketch is the Privacy-Aware Misra-Gries sketch. The zero value is not
+// usable; construct with New. Not safe for concurrent use.
+type Sketch struct {
+	k      int
+	counts map[stream.Item]int64
+	users  int64
+	total  int64 // N: total number of elements across all users
+	decs   int64 // number of decrement sweeps (line 9 condition fired)
+}
+
+// New returns an empty PAMG sketch with size parameter k. The stored key set
+// can temporarily grow to k+m while a user's set is being absorbed, exactly
+// as Algorithm 4 allows.
+func New(k int) *Sketch {
+	if k <= 0 {
+		panic("pamg: k must be positive")
+	}
+	return &Sketch{k: k, counts: make(map[stream.Item]int64, k)}
+}
+
+// K returns the sketch size parameter.
+func (s *Sketch) K() int { return s.k }
+
+// Users returns the number of user sets processed.
+func (s *Sketch) Users() int64 { return s.users }
+
+// TotalLen returns N, the total number of contributed elements.
+func (s *Sketch) TotalLen() int64 { return s.total }
+
+// Decrements returns how many decrement sweeps have run. Each sweep lowers
+// the counter sum by at least k+1, so Decrements() <= TotalLen()/(k+1)
+// (the error bound of Lemma 26).
+func (s *Sketch) Decrements() int64 { return s.decs }
+
+// ProcessUser absorbs one user's element set. The set must contain distinct
+// elements; duplicates panic because they would silently break the
+// sensitivity analysis (a duplicate increments the same counter twice).
+func (s *Sketch) ProcessUser(set []stream.Item) {
+	seen := make(map[stream.Item]struct{}, len(set))
+	for _, x := range set {
+		if x == 0 {
+			panic("pamg: item 0 is reserved")
+		}
+		if _, dup := seen[x]; dup {
+			panic(fmt.Sprintf("pamg: duplicate element %d in user set", x))
+		}
+		seen[x] = struct{}{}
+		s.counts[x]++
+		s.total++
+	}
+	s.users++
+	if len(s.counts) > s.k {
+		s.decs++
+		for y, c := range s.counts {
+			if c == 1 {
+				delete(s.counts, y)
+			} else {
+				s.counts[y] = c - 1
+			}
+		}
+	}
+}
+
+// Process absorbs a whole user-set stream.
+func (s *Sketch) Process(ss stream.SetStream) {
+	for _, set := range ss {
+		s.ProcessUser(set)
+	}
+}
+
+// Estimate returns the frequency estimate for x (0 if not stored). By
+// Lemma 26 it lies in [f(x) - floor(N/(k+1)), f(x)].
+func (s *Sketch) Estimate(x stream.Item) int64 { return s.counts[x] }
+
+// Len returns the number of stored keys, at most k between user sets.
+func (s *Sketch) Len() int { return len(s.counts) }
+
+// Counters returns a copy of the counter table; all counters are positive.
+func (s *Sketch) Counters() map[stream.Item]int64 {
+	out := make(map[stream.Item]int64, len(s.counts))
+	for x, c := range s.counts {
+		out[x] = c
+	}
+	return out
+}
+
+// SortedKeys returns the stored keys in ascending order (input-independent
+// release order, Section 5.2).
+func (s *Sketch) SortedKeys() []stream.Item {
+	keys := make([]stream.Item, 0, len(s.counts))
+	for x := range s.counts {
+		keys = append(keys, x)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// CheckNeighborStructure verifies Lemma 27 on counter tables of PAMG
+// sketches built from neighboring user streams: either T' ⊆ T with
+// c_i - c'_i ∈ {0,1} for all i, or T ⊆ T' with the roles swapped. It
+// returns nil if the structure holds.
+func CheckNeighborStructure(c, cPrime map[stream.Item]int64) error {
+	if ok := oneSided(c, cPrime); ok {
+		return nil
+	}
+	if ok := oneSided(cPrime, c); ok {
+		return nil
+	}
+	return fmt.Errorf("pamg: neither containment direction holds: %v vs %v", c, cPrime)
+}
+
+// oneSided reports whether keys(lo) ⊆ keys(hi) and hi_i - lo_i ∈ {0,1}
+// everywhere (with implicit zeros).
+func oneSided(hi, lo map[stream.Item]int64) bool {
+	for x := range lo {
+		if _, ok := hi[x]; !ok {
+			return false
+		}
+	}
+	for x, h := range hi {
+		d := h - lo[x]
+		if d != 0 && d != 1 {
+			return false
+		}
+	}
+	return true
+}

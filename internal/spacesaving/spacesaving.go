@@ -1,0 +1,131 @@
+// Package spacesaving implements the Space-Saving sketch of Metwally,
+// Agrawal and El Abbadi — the other classical counter-based summary, known
+// to be isomorphic to Misra-Gries (a Space-Saving sketch with k counters
+// carries exactly the information of an MG sketch with k-1 counters; their
+// estimates differ by the minimum counter). It is provided as a
+// cross-validation substrate: the equivalence is property-tested against
+// this repository's MG implementation, and it serves as a non-private
+// baseline summary in the experiments.
+//
+// Unlike Misra-Gries, Space-Saving overestimates: the estimate of x lies in
+// [f(x), f(x) + n/k].
+package spacesaving
+
+import (
+	"fmt"
+	"sort"
+
+	"dpmg/internal/stream"
+)
+
+// Sketch is a Space-Saving summary with at most k counters.
+// Not safe for concurrent use.
+type Sketch struct {
+	k      int
+	counts map[stream.Item]int64
+	n      int64
+}
+
+// New returns an empty Space-Saving sketch with k counters.
+func New(k int) *Sketch {
+	if k <= 0 {
+		panic("spacesaving: k must be positive")
+	}
+	return &Sketch{k: k, counts: make(map[stream.Item]int64, k)}
+}
+
+// K returns the sketch size parameter.
+func (s *Sketch) K() int { return s.k }
+
+// N returns the number of processed elements.
+func (s *Sketch) N() int64 { return s.n }
+
+// Len returns the number of stored keys.
+func (s *Sketch) Len() int { return len(s.counts) }
+
+// Update processes one stream element: increment if stored, insert if there
+// is room, otherwise replace the minimum counter (smallest key among ties,
+// for determinism) and set the new counter to min+1.
+func (s *Sketch) Update(x stream.Item) {
+	if x == 0 {
+		panic(fmt.Sprint("spacesaving: item 0 is reserved"))
+	}
+	s.n++
+	if _, ok := s.counts[x]; ok {
+		s.counts[x]++
+		return
+	}
+	if len(s.counts) < s.k {
+		s.counts[x] = 1
+		return
+	}
+	y, min := s.minCounter()
+	delete(s.counts, y)
+	s.counts[x] = min + 1
+}
+
+// minCounter returns the stored key with the smallest counter, ties broken
+// by smallest key so the eviction order is input-independent (the same
+// requirement Algorithm 1 imposes for its zero-counter evictions).
+func (s *Sketch) minCounter() (stream.Item, int64) {
+	first := true
+	var bestKey stream.Item
+	var best int64
+	for x, c := range s.counts {
+		if first || c < best || (c == best && x < bestKey) {
+			bestKey, best = x, c
+			first = false
+		}
+	}
+	return bestKey, best
+}
+
+// Process feeds every element of str through Update.
+func (s *Sketch) Process(str stream.Stream) {
+	for _, x := range str {
+		s.Update(x)
+	}
+}
+
+// Estimate returns the (over-)estimate for x: its counter if stored, else
+// the current minimum counter (the tightest upper bound available), or 0
+// while the sketch is not yet full.
+func (s *Sketch) Estimate(x stream.Item) int64 {
+	if c, ok := s.counts[x]; ok {
+		return c
+	}
+	if len(s.counts) < s.k {
+		return 0
+	}
+	_, min := s.minCounter()
+	return min
+}
+
+// Min returns the smallest stored counter (0 when not yet full), which
+// bounds the overestimation error of every estimate.
+func (s *Sketch) Min() int64 {
+	if len(s.counts) < s.k {
+		return 0
+	}
+	_, min := s.minCounter()
+	return min
+}
+
+// Counters returns a copy of the counter table.
+func (s *Sketch) Counters() map[stream.Item]int64 {
+	out := make(map[stream.Item]int64, len(s.counts))
+	for x, c := range s.counts {
+		out[x] = c
+	}
+	return out
+}
+
+// SortedKeys returns stored keys in ascending order.
+func (s *Sketch) SortedKeys() []stream.Item {
+	keys := make([]stream.Item, 0, len(s.counts))
+	for x := range s.counts {
+		keys = append(keys, x)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

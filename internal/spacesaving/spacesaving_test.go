@@ -1,0 +1,162 @@
+package spacesaving
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dpmg/internal/hist"
+	"dpmg/internal/mg"
+	"dpmg/internal/stream"
+	"dpmg/internal/workload"
+)
+
+func TestOverestimateWithinNOverK(t *testing.T) {
+	cases := []struct {
+		k   int
+		str stream.Stream
+	}{
+		{16, workload.Zipf(20000, 1000, 1.1, 1)},
+		{4, workload.Adversarial(1000, 4)},
+		{8, workload.Uniform(5000, 50, 2)},
+	}
+	for _, c := range cases {
+		s := New(c.k)
+		s.Process(c.str)
+		f := hist.Exact(c.str)
+		slack := int64(len(c.str) / c.k)
+		for x, fx := range f {
+			est := s.Estimate(x)
+			if est < fx {
+				t.Fatalf("item %d: estimate %d < true %d (must overestimate)", x, est, fx)
+			}
+			if est > fx+slack {
+				t.Fatalf("item %d: estimate %d > %d + %d", x, est, fx, slack)
+			}
+		}
+	}
+}
+
+func TestMinBoundsError(t *testing.T) {
+	str := workload.Zipf(30000, 500, 1.2, 3)
+	s := New(32)
+	s.Process(str)
+	f := hist.Exact(str)
+	min := s.Min()
+	for x := range s.Counters() {
+		if over := s.Estimate(x) - f[x]; over > min {
+			t.Fatalf("item %d overestimates by %d > min %d", x, over, min)
+		}
+	}
+}
+
+func TestMGEquivalence(t *testing.T) {
+	// Folklore equivalence: a Space-Saving sketch with k counters carries
+	// the information of a Misra-Gries sketch with k-1 counters, and
+	// MG_est(x) = max(0, SS_est(x) - SS_min) for every x.
+	rng := rand.New(rand.NewPCG(4, 5))
+	for trial := 0; trial < 300; trial++ {
+		k := 2 + rng.IntN(8)
+		d := uint64(2 + rng.IntN(12))
+		n := rng.IntN(200)
+		str := make(stream.Stream, n)
+		for i := range str {
+			str[i] = stream.Item(rng.IntN(int(d)) + 1)
+		}
+		ss := New(k)
+		ss.Process(str)
+		mgsk := mg.New(k-1, d)
+		mgsk.Process(str)
+		min := ss.Min()
+		for x := stream.Item(1); uint64(x) <= d; x++ {
+			var ssAdj int64
+			if c, ok := ss.Counters()[x]; ok {
+				ssAdj = c - min
+				if ssAdj < 0 {
+					ssAdj = 0
+				}
+			}
+			if got := mgsk.Estimate(x); got != ssAdj {
+				t.Fatalf("trial %d item %d: MG %d vs SS-min %d (min=%d)\nstream=%v",
+					trial, x, got, ssAdj, min, str)
+			}
+		}
+	}
+}
+
+func TestTopKRecovery(t *testing.T) {
+	str := workload.HeavyTail(100000, 5000, 5, 0.8, 6)
+	s := New(64)
+	s.Process(str)
+	f := hist.Exact(str)
+	est := hist.FromCounts(s.Counters())
+	if r := hist.RecallAtK(est, f, 5); r < 1 {
+		t.Errorf("top-5 recall %v, want 1", r)
+	}
+}
+
+func TestDeterministicEviction(t *testing.T) {
+	// Same stream twice must give identical sketches (tie-breaking by key).
+	str := workload.Uniform(5000, 100, 7)
+	a := New(8)
+	a.Process(str)
+	b := New(8)
+	b.Process(str)
+	ca, cb := a.Counters(), b.Counters()
+	if len(ca) != len(cb) {
+		t.Fatal("nondeterministic size")
+	}
+	for x, v := range ca {
+		if cb[x] != v {
+			t.Fatal("nondeterministic counters")
+		}
+	}
+}
+
+func TestSizeNeverExceedsK(t *testing.T) {
+	s := New(5)
+	s.Process(workload.Zipf(10000, 1000, 1.0, 8))
+	if s.Len() > 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.N() != 10000 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestEstimateUnstoredWhenNotFull(t *testing.T) {
+	s := New(4)
+	s.Update(1)
+	if s.Estimate(2) != 0 {
+		t.Error("unstored estimate should be 0 while not full")
+	}
+	if s.Min() != 0 {
+		t.Error("Min should be 0 while not full")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0) },
+		func() { New(2).Update(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	s := New(8)
+	s.Process(workload.Zipf(1000, 100, 1.0, 9))
+	keys := s.SortedKeys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("keys not sorted")
+		}
+	}
+}

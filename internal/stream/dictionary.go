@@ -1,0 +1,58 @@
+package stream
+
+import "fmt"
+
+// Dictionary maps application-level string keys (URLs, flow identifiers,
+// search queries, ...) to universe items 1..d and back. The sketches operate
+// on Items; applications that stream strings attach a Dictionary in front.
+// The zero value is not usable; construct with NewDictionary.
+type Dictionary struct {
+	toItem map[string]Item
+	toName []string // index i holds the name of Item(i+1)
+	frozen bool
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{toItem: make(map[string]Item)}
+}
+
+// Intern returns the Item for name, assigning the next free identifier on
+// first use. It panics if the dictionary has been frozen.
+func (d *Dictionary) Intern(name string) Item {
+	if it, ok := d.toItem[name]; ok {
+		return it
+	}
+	if d.frozen {
+		panic(fmt.Sprintf("stream: Intern(%q) on frozen dictionary", name))
+	}
+	it := Item(len(d.toName) + 1)
+	d.toItem[name] = it
+	d.toName = append(d.toName, name)
+	return it
+}
+
+// Lookup returns the Item for name if it has been interned.
+func (d *Dictionary) Lookup(name string) (Item, bool) {
+	it, ok := d.toItem[name]
+	return it, ok
+}
+
+// Name returns the string for it, or "" if it was never interned. Dummy keys
+// (items above Size) are reported as "" as well: they never correspond to
+// real data and Algorithm 2's post-processing removes them before release.
+func (d *Dictionary) Name(it Item) string {
+	i := int(it) - 1
+	if i < 0 || i >= len(d.toName) {
+		return ""
+	}
+	return d.toName[i]
+}
+
+// Size returns d, the number of interned names, i.e. the realised universe
+// size.
+func (d *Dictionary) Size() int { return len(d.toName) }
+
+// Freeze prevents further interning. A frozen dictionary pins the universe
+// size d, which the pure-DP release of Section 6 needs to know up front.
+func (d *Dictionary) Freeze() { d.frozen = true }

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dpmg/internal/stream"
+)
+
+// PacketTrace simulates the flow-size distribution of a network link: a few
+// "elephant" flows carrying most packets and many short "mice" flows, the
+// classical heavy-tailed shape that motivates heavy-hitter detection in
+// network monitoring. Flows are identified by items in [1, d]; elephants
+// occupy items 1..elephants.
+type PacketTrace struct {
+	d         int
+	elephants int
+	elephFrac float64
+	rng       *rand.Rand
+	burst     stream.Item // current elephant burst, 0 when idle
+	burstLeft int
+}
+
+// NewPacketTrace builds a trace generator over universe [1, d] where
+// `elephants` flows carry elephFrac of all packets and packets of the same
+// elephant arrive in bursts (trains) of geometric length, mimicking TCP
+// windows.
+func NewPacketTrace(d, elephants int, elephFrac float64, seed uint64) *PacketTrace {
+	if elephants <= 0 || elephants > d {
+		panic("workload: NewPacketTrace needs 0 < elephants <= d")
+	}
+	return &PacketTrace{
+		d:         d,
+		elephants: elephants,
+		elephFrac: elephFrac,
+		rng:       rand.New(rand.NewPCG(seed, seed^0x85ebca6b)),
+	}
+}
+
+// Next returns the flow ID of the next packet.
+func (p *PacketTrace) Next() stream.Item {
+	if p.burstLeft > 0 {
+		p.burstLeft--
+		return p.burst
+	}
+	if p.rng.Float64() < p.elephFrac {
+		p.burst = stream.Item(p.rng.IntN(p.elephants) + 1)
+		p.burstLeft = p.rng.IntN(16) // burst of up to 16 more packets
+		return p.burst
+	}
+	// Mouse flow: uniform over the non-elephant universe.
+	return stream.Item(p.elephants + 1 + p.rng.IntN(p.d-p.elephants))
+}
+
+// Stream returns the next n packets.
+func (p *PacketTrace) Stream(n int) stream.Stream {
+	s := make(stream.Stream, n)
+	for i := range s {
+		s[i] = p.Next()
+	}
+	return s
+}
+
+// QueryLog simulates a search-query log in the style of the Korolova et al.
+// scenario the paper compares against: a Zipf-distributed query population
+// with a dictionary of realistic query strings. Items map to queries via the
+// returned Dictionary.
+func QueryLog(n, vocab int, s float64, seed uint64) (stream.Stream, *stream.Dictionary) {
+	dict := stream.NewDictionary()
+	for i := 0; i < vocab; i++ {
+		dict.Intern(fmt.Sprintf("query-%04d", i))
+	}
+	dict.Freeze()
+	return Zipf(n, vocab, s, seed), dict
+}
+
+// UserSets generates a Section 8 stream: n users each contributing a set of
+// exactly m distinct items, sampled by Zipf-weighted sampling without
+// replacement so heavy items appear in many users' sets.
+func UserSets(n, d, m int, s float64, seed uint64) stream.SetStream {
+	if m > d {
+		panic("workload: UserSets needs m <= d")
+	}
+	z := NewZipfian(d, s, seed)
+	out := make(stream.SetStream, n)
+	for i := range out {
+		seen := make(map[stream.Item]struct{}, m)
+		set := make([]stream.Item, 0, m)
+		for len(set) < m {
+			x := z.Next()
+			if _, dup := seen[x]; dup {
+				continue
+			}
+			seen[x] = struct{}{}
+			set = append(set, x)
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// Drift generates a stream whose heavy-hitter set rotates over time: the
+// stream is split into `phases` equal segments, and in phase p the heavy
+// mass concentrates on items [p·h+1, (p+1)·h]. This stresses sketches and
+// continual monitors with non-stationary data — counters built in one phase
+// must be evicted to track the next.
+func Drift(n, d, phases, h int, heavyFrac float64, seed uint64) stream.Stream {
+	if phases <= 0 || h <= 0 || phases*h > d {
+		panic("workload: Drift needs phases*h <= d")
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x27d4eb2f))
+	s := make(stream.Stream, n)
+	segment := (n + phases - 1) / phases
+	for i := range s {
+		p := i / segment
+		if rng.Float64() < heavyFrac {
+			s[i] = stream.Item(p*h + rng.IntN(h) + 1)
+		} else {
+			s[i] = stream.Item(rng.IntN(d) + 1)
+		}
+	}
+	return s
+}
+
+// Lemma25Streams constructs the adversarial pair of neighboring set-streams
+// from the proof of Lemma 25: after processing, the MG sketch for S has a
+// single counter c_x = m while the sketch for S' (S with user k+1 removed)
+// has c'_x = 0, witnessing that the flattened-MG sensitivity scales with m.
+// It returns (S, S', x) where extra copies of {x} pad the tail.
+func Lemma25Streams(k, m, tail int) (stream.SetStream, stream.SetStream, stream.Item) {
+	if m > k {
+		panic("workload: Lemma25Streams needs m <= k")
+	}
+	x := stream.Item(k + 2) // outside the k cycled elements and never dummy
+	var s stream.SetStream
+	// k users cycling through k distinct elements (not x), m at a time, so
+	// each of the k elements ends with count exactly m.
+	idx := 0
+	for i := 0; i < k; i++ {
+		set := make([]stream.Item, m)
+		for j := 0; j < m; j++ {
+			set[j] = stream.Item(idx%k + 1)
+			idx++
+		}
+		s = append(s, set)
+	}
+	// User k+1: m fresh elements, all absent from the sketch -> full
+	// decrement cascade that empties the sketch for S.
+	fresh := make([]stream.Item, m)
+	for j := 0; j < m; j++ {
+		fresh[j] = stream.Item(k + 2 + 1 + j) // distinct, > x
+	}
+	s = append(s, fresh)
+	// Tail: copies of {x}.
+	for i := 0; i < m+tail; i++ {
+		s = append(s, []stream.Item{x})
+	}
+	sPrime := s.RemoveAt(k) // drop user k+1
+	return s, sPrime, x
+}

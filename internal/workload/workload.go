@@ -1,0 +1,116 @@
+// Package workload generates the synthetic input streams the experiments
+// run on. The paper motivates streaming heavy hitters with high-volume
+// sources such as network monitoring and search-query logs (Section 1); we
+// do not have those proprietary traces, so this package provides synthetic
+// equivalents with the same frequency structure: Zipf-skewed streams,
+// uniform background traffic, adversarial worst-case inputs, a flow-level
+// packet-trace simulator, a query-log simulator, and user-set streams for
+// the Section 8 model. All generators are deterministic under a fixed seed.
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"dpmg/internal/stream"
+)
+
+// Zipfian draws items from [1, d] with Pr[x] proportional to 1/x^s using a
+// precomputed inverse-CDF table, so any exponent s > 0 is supported
+// (including s <= 1, which rejection samplers often exclude). The table
+// costs O(d) memory; all experiment universes are at most a few million.
+type Zipfian struct {
+	cdf []float64 // cdf[i] = Pr[X <= i+1]
+	rng *rand.Rand
+}
+
+// NewZipfian builds a Zipf(s) sampler over the universe [1, d].
+func NewZipfian(d int, s float64, seed uint64) *Zipfian {
+	if d <= 0 {
+		panic("workload: universe size must be positive")
+	}
+	if s <= 0 {
+		panic("workload: Zipf exponent must be positive")
+	}
+	cdf := make([]float64, d)
+	sum := 0.0
+	for i := 1; i <= d; i++ {
+		sum += math.Pow(float64(i), -s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipfian{cdf: cdf, rng: rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5))}
+}
+
+// Next samples one item.
+func (z *Zipfian) Next() stream.Item {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return stream.Item(lo + 1)
+}
+
+// Stream samples n items.
+func (z *Zipfian) Stream(n int) stream.Stream {
+	s := make(stream.Stream, n)
+	for i := range s {
+		s[i] = z.Next()
+	}
+	return s
+}
+
+// Zipf is a convenience wrapper: a length-n Zipf(s) stream over [1, d].
+func Zipf(n, d int, s float64, seed uint64) stream.Stream {
+	return NewZipfian(d, s, seed).Stream(n)
+}
+
+// Uniform returns a length-n stream drawn uniformly from [1, d].
+func Uniform(n, d int, seed uint64) stream.Stream {
+	rng := rand.New(rand.NewPCG(seed, seed^0x5bd1e995))
+	s := make(stream.Stream, n)
+	for i := range s {
+		s[i] = stream.Item(rng.IntN(d) + 1)
+	}
+	return s
+}
+
+// Adversarial returns the worst-case input for any k-item summary (the
+// matching lower-bound instance of Fact 7): k+1 distinct elements, each with
+// frequency n/(k+1), interleaved round-robin so the MG sketch decrements as
+// often as possible.
+func Adversarial(n, k int) stream.Stream {
+	s := make(stream.Stream, n)
+	for i := range s {
+		s[i] = stream.Item(i%(k+1) + 1)
+	}
+	return s
+}
+
+// HeavyTail returns a stream with h explicit heavy hitters that together
+// carry `heavyFrac` of the mass (split evenly), and the remaining mass
+// uniform over the rest of [1, d]. Useful when a test needs to control the
+// exact number of recoverable heavy hitters.
+func HeavyTail(n, d, h int, heavyFrac float64, seed uint64) stream.Stream {
+	if h <= 0 || h > d {
+		panic("workload: HeavyTail needs 0 < h <= d")
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xc2b2ae35))
+	s := make(stream.Stream, n)
+	for i := range s {
+		if rng.Float64() < heavyFrac {
+			s[i] = stream.Item(rng.IntN(h) + 1)
+		} else {
+			s[i] = stream.Item(rng.IntN(d) + 1)
+		}
+	}
+	return s
+}

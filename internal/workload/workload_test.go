@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dpmg/internal/hist"
+	"dpmg/internal/stream"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	a := Zipf(1000, 100, 1.1, 7)
+	b := Zipf(1000, 100, 1.1, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := Zipf(1000, 100, 1.1, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	d := 50
+	for _, x := range Zipf(5000, d, 1.2, 1) {
+		if x < 1 || x > stream.Item(d) {
+			t.Fatalf("item %d outside [1,%d]", x, d)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Item 1 must be the most frequent, and the head must dominate.
+	f := hist.Exact(Zipf(100000, 1000, 1.5, 2))
+	if hist.TopK(f, 1)[0] != 1 {
+		t.Errorf("most frequent item is %v, want 1", hist.TopK(f, 1)[0])
+	}
+	// Theoretical Pr[1] for s=1.5, d=1000 is 1/zeta ~ 0.383; allow slack.
+	p1 := float64(f[1]) / 100000
+	if p1 < 0.3 || p1 > 0.47 {
+		t.Errorf("Pr[1] = %v, want ~0.38", p1)
+	}
+	// Frequencies must be (statistically) decreasing across decades.
+	if f[1] < f[10] || f[10] < f[100] {
+		t.Errorf("frequencies not decreasing: f1=%d f10=%d f100=%d", f[1], f[10], f[100])
+	}
+}
+
+func TestZipfLowExponent(t *testing.T) {
+	// s <= 1 must work (table-based inversion, unlike rejection samplers).
+	s := Zipf(10000, 100, 0.8, 3)
+	if len(s) != 10000 {
+		t.Fatal("wrong length")
+	}
+	f := hist.Exact(s)
+	if f[1] <= f[50] {
+		t.Error("even flat Zipf should favor item 1 over item 50")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipfian(0, 1, 1) },
+		func() { NewZipfian(10, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := 20
+	f := hist.Exact(Uniform(100000, d, 4))
+	if len(f) != d {
+		t.Fatalf("saw %d distinct items, want %d", len(f), d)
+	}
+	want := 100000.0 / float64(d)
+	for x, c := range f {
+		if math.Abs(float64(c)-want)/want > 0.1 {
+			t.Errorf("item %d count %d, want ~%v", x, c, want)
+		}
+	}
+}
+
+func TestAdversarial(t *testing.T) {
+	k := 4
+	s := Adversarial(100, k)
+	f := hist.Exact(s)
+	if len(f) != k+1 {
+		t.Fatalf("distinct items %d want %d", len(f), k+1)
+	}
+	for x, c := range f {
+		if c != 20 {
+			t.Errorf("item %d count %d want 20", x, c)
+		}
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	n, d, h := 100000, 10000, 5
+	f := hist.Exact(HeavyTail(n, d, h, 0.5, 5))
+	var heavyMass int64
+	for x := stream.Item(1); x <= stream.Item(h); x++ {
+		heavyMass += f[x]
+	}
+	frac := float64(heavyMass) / float64(n)
+	if frac < 0.45 || frac > 0.56 {
+		t.Errorf("heavy mass fraction %v, want ~0.5", frac)
+	}
+	top := hist.TopK(f, h)
+	for _, x := range top {
+		if x > stream.Item(h) {
+			t.Errorf("top-%d contains non-designated item %d", h, x)
+		}
+	}
+}
+
+func TestPacketTrace(t *testing.T) {
+	p := NewPacketTrace(10000, 8, 0.3, 6)
+	s := p.Stream(200000)
+	f := hist.Exact(s)
+	var eleph int64
+	for x := stream.Item(1); x <= 8; x++ {
+		eleph += f[x]
+	}
+	frac := float64(eleph) / 200000
+	// Bursting inflates the elephant share well above elephFrac.
+	if frac < 0.5 {
+		t.Errorf("elephant fraction %v, want > 0.5 with bursts", frac)
+	}
+	for _, x := range s {
+		if x < 1 || x > 10000 {
+			t.Fatalf("flow id %d out of range", x)
+		}
+	}
+}
+
+func TestQueryLog(t *testing.T) {
+	s, dict := QueryLog(1000, 50, 1.1, 7)
+	if dict.Size() != 50 {
+		t.Fatalf("vocab size %d", dict.Size())
+	}
+	for _, x := range s {
+		if dict.Name(x) == "" {
+			t.Fatalf("item %d has no query string", x)
+		}
+	}
+	if dict.Name(1) != "query-0000" {
+		t.Errorf("Name(1) = %q", dict.Name(1))
+	}
+}
+
+func TestUserSets(t *testing.T) {
+	ss := UserSets(200, 100, 5, 1.1, 8)
+	if len(ss) != 200 {
+		t.Fatalf("users %d", len(ss))
+	}
+	if err := ss.Validate(5); err != nil {
+		t.Fatalf("invalid user sets: %v", err)
+	}
+	for _, set := range ss {
+		if len(set) != 5 {
+			t.Fatalf("set size %d want 5", len(set))
+		}
+	}
+}
+
+func TestLemma25Streams(t *testing.T) {
+	k, m := 8, 3
+	s, sPrime, x := Lemma25Streams(k, m, 10)
+	if err := s.Validate(m); err != nil {
+		t.Fatalf("S invalid: %v", err)
+	}
+	if err := sPrime.Validate(m); err != nil {
+		t.Fatalf("S' invalid: %v", err)
+	}
+	if len(s) != len(sPrime)+1 {
+		t.Fatalf("not neighbors: |S|=%d |S'|=%d", len(s), len(sPrime))
+	}
+	// The tail must consist of singleton {x}.
+	last := s[len(s)-1]
+	if len(last) != 1 || last[0] != x {
+		t.Errorf("tail element %v, want {%d}", last, x)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	n, d, phases, h := 100000, 1000, 4, 5
+	s := Drift(n, d, phases, h, 0.7, 12)
+	if len(s) != n {
+		t.Fatalf("length %d", len(s))
+	}
+	// In each phase, the phase-local heavy items must dominate.
+	segment := n / phases
+	for p := 0; p < phases; p++ {
+		f := hist.Exact(s[p*segment : (p+1)*segment])
+		var phaseMass int64
+		for x := stream.Item(p*h + 1); x <= stream.Item((p+1)*h); x++ {
+			phaseMass += f[x]
+		}
+		frac := float64(phaseMass) / float64(segment)
+		if frac < 0.6 {
+			t.Errorf("phase %d: heavy mass %v, want > 0.6", p, frac)
+		}
+	}
+	// Phase-0 heavies must NOT be heavy in the last phase.
+	last := hist.Exact(s[(phases-1)*segment:])
+	if float64(last[1]) > float64(segment)/20 {
+		t.Errorf("phase-0 item still heavy in last phase: %d", last[1])
+	}
+}
+
+func TestDriftPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Drift(100, 10, 4, 5, 0.5, 1) // phases*h > d
+}

@@ -1,0 +1,126 @@
+package dpmg
+
+import (
+	"fmt"
+	"sync"
+
+	"dpmg/internal/core"
+	"dpmg/internal/gshm"
+	"dpmg/internal/merge"
+	"dpmg/internal/mg"
+	"dpmg/internal/noise"
+)
+
+// ShardedSketch ingests a stream from many goroutines: items are hashed to
+// one of `shards` independent Misra-Gries sketches, each guarded by its own
+// mutex, so concurrent Update calls rarely contend. At release time the
+// shard summaries are merged with the Agarwal et al. algorithm — every item
+// lives in exactly one shard, so the merge is a disjoint union and the
+// combined summary keeps the N/(k+1) error bound over the whole stream.
+//
+// The merged summary no longer has the Lemma 8 single-stream structure, so
+// releases use the Gaussian Sparse Histogram Mechanism with l = k
+// (Corollary 18 justifies it for merged summaries), paying sqrt(k)-scaled
+// noise. If the O(1/eps) noise of Sketch.Release matters more than ingest
+// parallelism, feed a single Sketch from one goroutine instead.
+type ShardedSketch struct {
+	k      int
+	d      uint64
+	shards []shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	sk *mg.Sketch
+}
+
+// NewShardedSketch returns a sketch with `shards` shards of k counters each
+// over the universe [1, d].
+func NewShardedSketch(shards, k int, d uint64) *ShardedSketch {
+	if shards <= 0 {
+		panic("dpmg: shards must be positive")
+	}
+	s := &ShardedSketch{k: k, d: d, shards: make([]shard, shards)}
+	for i := range s.shards {
+		s.shards[i].sk = mg.New(k, d)
+	}
+	return s
+}
+
+// Update processes one stream element; safe for concurrent use.
+func (s *ShardedSketch) Update(x Item) {
+	sh := &s.shards[s.shardOf(x)]
+	sh.mu.Lock()
+	sh.sk.Update(x)
+	sh.mu.Unlock()
+}
+
+// shardOf routes items to shards with a fixed multiplicative hash, so the
+// routing is input-independent (the same requirement the eviction order has:
+// nothing about the stream history may influence structure placement).
+func (s *ShardedSketch) shardOf(x Item) int {
+	h := (uint64(x) + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return int(h % uint64(len(s.shards)))
+}
+
+// N returns the total number of processed elements across shards.
+func (s *ShardedSketch) N() int64 {
+	var n int64
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += s.shards[i].sk.N()
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Estimate returns the non-private estimate for x from its shard.
+func (s *ShardedSketch) Estimate(x Item) int64 {
+	sh := &s.shards[s.shardOf(x)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sk.Estimate(x)
+}
+
+// merged folds the shard summaries; each shard contributes at most k
+// counters and items are disjoint across shards.
+func (s *ShardedSketch) merged() (*merge.Summary, error) {
+	summaries := make([]*merge.Summary, len(s.shards))
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		sum, err := merge.FromCounters(s.k, s.d, s.shards[i].sk.Counters())
+		s.shards[i].mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("dpmg: shard %d: %w", i, err)
+		}
+		summaries[i] = sum
+	}
+	return merge.MergeAll(summaries)
+}
+
+// Release privatizes the merged shards under (eps, delta)-DP with the
+// Gaussian Sparse Histogram Mechanism (noise ~ sqrt(k)·log(k/delta)/eps).
+func (s *ShardedSketch) Release(p Params, seed uint64) (Histogram, error) {
+	if err := core.Params(p).Validate(); err != nil {
+		return nil, err
+	}
+	m, err := s.merged()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := gshm.Calibrate(p.Eps, p.Delta, s.k)
+	if err != nil {
+		return nil, err
+	}
+	return Histogram(gshm.Release(m.Counts, cfg, noise.NewSource(seed))), nil
+}
+
+// Summary extracts the merged non-private summary for further aggregation.
+func (s *ShardedSketch) Summary() (*MergeableSummary, error) {
+	m, err := s.merged()
+	if err != nil {
+		return nil, err
+	}
+	return &MergeableSummary{inner: m}, nil
+}

@@ -1,0 +1,107 @@
+package dpmg
+
+import (
+	"sync"
+	"testing"
+
+	"dpmg/internal/hist"
+	"dpmg/internal/workload"
+)
+
+func TestShardedConcurrentIngest(t *testing.T) {
+	const d = 10_000
+	const workers = 8
+	const perWorker = 50_000
+	s := NewShardedSketch(16, 128, d)
+	streams := make([][]Item, workers)
+	var all []Item
+	for w := range streams {
+		str := workload.HeavyTail(perWorker, d, 4, 0.8, uint64(w+1))
+		streams[w] = str
+		all = append(all, str...)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(str []Item) {
+			defer wg.Done()
+			for _, x := range str {
+				s.Update(x)
+			}
+		}(streams[w])
+	}
+	wg.Wait()
+	if s.N() != workers*perWorker {
+		t.Fatalf("N = %d want %d", s.N(), workers*perWorker)
+	}
+	f := hist.Exact(all)
+	// Shard-local estimates respect the per-shard Fact 7 bound: never
+	// overestimate, and the heavy items remain recoverable.
+	for x := Item(1); x <= 4; x++ {
+		if est := s.Estimate(x); est > f[x] || est < f[x]/2 {
+			t.Errorf("item %d: estimate %d vs true %d", x, est, f[x])
+		}
+	}
+	h, err := s.Release(Params{Eps: 1, Delta: 1e-6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := Item(1); x <= 4; x++ {
+		if _, ok := h[x]; !ok {
+			t.Errorf("heavy item %d missing from sharded release", x)
+		}
+	}
+}
+
+func TestShardedMatchesSingleSketchBound(t *testing.T) {
+	// The merged shard summary must obey the N/(k+1) bound over the whole
+	// stream.
+	const d = 2_000
+	str := workload.Zipf(200_000, d, 1.1, 7)
+	s := NewShardedSketch(8, 64, d)
+	for _, x := range str {
+		s.Update(x)
+	}
+	sum, err := s.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := hist.Exact(str)
+	slack := int64(len(str)) / 65
+	for x, fx := range f {
+		est := sum.inner.Estimate(x)
+		if est > fx || est < fx-slack {
+			t.Fatalf("item %d: merged estimate %d vs true %d (slack %d)", x, est, fx, slack)
+		}
+	}
+}
+
+func TestShardedRouting(t *testing.T) {
+	s := NewShardedSketch(4, 8, 100)
+	// The same item always lands in the same shard.
+	for x := Item(1); x <= 100; x++ {
+		a := s.shardOf(x)
+		if b := s.shardOf(x); a != b {
+			t.Fatal("routing not stable")
+		}
+		if a < 0 || a >= 4 {
+			t.Fatal("shard index out of range")
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shards=0 accepted")
+		}
+	}()
+	NewShardedSketch(0, 8, 10)
+}
+
+func TestShardedReleaseRejectsBadParams(t *testing.T) {
+	s := NewShardedSketch(2, 8, 10)
+	if _, err := s.Release(Params{Eps: 0, Delta: 0.1}, 1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}

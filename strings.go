@@ -1,0 +1,63 @@
+package dpmg
+
+import (
+	"fmt"
+
+	"dpmg/internal/stream"
+)
+
+// StringSketch wraps Sketch with a string-to-item dictionary so applications
+// can stream string keys (URLs, flow IDs, search queries) directly. The
+// universe capacity d must be fixed up front because the underlying sketch
+// reserves items above d as dummy keys; Update fails once d distinct
+// strings have been seen.
+type StringSketch struct {
+	sketch *Sketch
+	dict   *stream.Dictionary
+	d      uint64
+}
+
+// NewStringSketch returns a string-keyed sketch with k counters and
+// capacity for d distinct strings.
+func NewStringSketch(k int, d uint64) *StringSketch {
+	return &StringSketch{sketch: NewSketch(k, d), dict: stream.NewDictionary(), d: d}
+}
+
+// Update processes one string element. It returns an error when the
+// dictionary capacity d would be exceeded.
+func (s *StringSketch) Update(name string) error {
+	if _, ok := s.dict.Lookup(name); !ok && uint64(s.dict.Size()) >= s.d {
+		return fmt.Errorf("dpmg: dictionary capacity %d exhausted", s.d)
+	}
+	s.sketch.Update(s.dict.Intern(name))
+	return nil
+}
+
+// Estimate returns the non-private estimate for name (0 if never interned).
+func (s *StringSketch) Estimate(name string) int64 {
+	it, ok := s.dict.Lookup(name)
+	if !ok {
+		return 0
+	}
+	return s.sketch.Estimate(it)
+}
+
+// StringCount is one released (name, estimate) pair.
+type StringCount struct {
+	Name  string
+	Count float64
+}
+
+// Release privatizes the sketch and maps released items back to strings,
+// sorted by descending estimate.
+func (s *StringSketch) Release(p Params, seed uint64) ([]StringCount, error) {
+	h, err := s.sketch.Release(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StringCount, 0, len(h))
+	for _, x := range h.TopK(len(h)) {
+		out = append(out, StringCount{Name: s.dict.Name(x), Count: h[x]})
+	}
+	return out, nil
+}
