@@ -77,6 +77,46 @@ func BenchmarkSketchUpdateAdversarial(b *testing.B) {
 	}
 }
 
+func BenchmarkSketchUpdateBatch(b *testing.B) {
+	const d = 1 << 16
+	str := workload.Zipf(1<<20, d, 1.05, 1)
+	sk := NewSketch(256, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 1024 {
+		lo := i & (1<<20 - 1)
+		end := lo + 1024
+		if end > 1<<20 {
+			end = 1 << 20
+		}
+		sk.UpdateBatch(str[lo:end])
+	}
+}
+
+func BenchmarkShardedUpdate(b *testing.B) {
+	const d = 1 << 16
+	str := workload.Zipf(1<<20, d, 1.05, 1)
+	sk := NewShardedSketch(8, 256, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Update(str[i&(1<<20-1)])
+	}
+}
+
+func BenchmarkShardedUpdateBatch(b *testing.B) {
+	const d = 1 << 16
+	str := workload.Zipf(1<<20, d, 1.05, 1)
+	sk := NewShardedSketch(8, 256, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 4096 {
+		lo := i & (1<<20 - 1)
+		end := lo + 4096
+		if end > 1<<20 {
+			end = 1 << 20
+		}
+		sk.UpdateBatch(str[lo:end])
+	}
+}
+
 func BenchmarkRelease(b *testing.B) {
 	const d = 1 << 16
 	sk := NewSketch(256, d)

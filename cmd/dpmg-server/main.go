@@ -1,19 +1,24 @@
 // Command dpmg-server runs a trusted aggregator for the distributed
-// heavy-hitters setting of the paper's Section 7. Edge nodes sketch their
-// local streams with Misra-Gries summaries (dpmg.Sketch → Summary →
-// encoding.MarshalSummary) and POST them; analysts GET differentially
-// private releases, metered against a fixed total privacy budget.
+// heavy-hitters setting of the paper's Section 7. Edge nodes either sketch
+// their local streams with Misra-Gries summaries (dpmg.Sketch → Summary →
+// encoding.MarshalSummary) and POST them, or ship raw item batches for the
+// server to sketch itself; analysts GET differentially private releases,
+// metered against a fixed total privacy budget.
 //
-//	dpmg-server -addr :8080 -k 256 -eps 4 -delta 1e-5
+//	dpmg-server -addr :8080 -k 256 -d 1048576 -eps 4 -delta 1e-5
 //
 // Endpoints:
 //
 //	POST /v1/summary           binary mergeable summary (wire format in
 //	                           internal/encoding); folded into the running
 //	                           aggregate with bounded (2k) memory
+//	POST /v1/batch             raw item batch (8-byte little-endian items,
+//	                           encoding.MarshalItems); sketched server-side
+//	                           with one lock acquisition per batch
 //	GET  /v1/release?eps=&delta=[&mech=gauss|laplace]
-//	                           private histogram; spends budget
-//	GET  /v1/stats             JSON: merges, counters, remaining budget
+//	                           private histogram over summaries ∪ batches;
+//	                           spends budget
+//	GET  /v1/stats             JSON: merges, batches, counters, budget
 package main
 
 import (
@@ -29,12 +34,13 @@ func main() {
 	var (
 		addr  = flag.String("addr", ":8080", "listen address")
 		k     = flag.Int("k", 256, "summary size all nodes must use")
+		d     = flag.Uint64("d", 1<<20, "universe bound for raw batch ingest")
 		eps   = flag.Float64("eps", 4, "total epsilon budget")
 		delta = flag.Float64("delta", 1e-5, "total delta budget")
 	)
 	flag.Parse()
 
-	s, err := newServer(*k, accountant.Budget{Eps: *eps, Delta: *delta})
+	s, err := newServer(*k, *d, accountant.Budget{Eps: *eps, Delta: *delta})
 	if err != nil {
 		log.Fatal(err)
 	}

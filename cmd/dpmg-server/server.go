@@ -14,35 +14,46 @@ import (
 	"dpmg/internal/gshm"
 	"dpmg/internal/hist"
 	"dpmg/internal/merge"
+	"dpmg/internal/mg"
 	"dpmg/internal/noise"
 )
 
 // server is the trusted aggregator of the Section 7 distributed setting:
-// edge nodes stream locally, ship their mergeable Misra-Gries summaries
-// over HTTP, and analysts request differentially private releases against a
-// fixed total privacy budget.
+// edge nodes either sketch locally and ship mergeable Misra-Gries
+// summaries, or ship raw item batches for the server to sketch itself
+// (POST /v1/batch, for thin edges à la C-POD's edge-pod aggregation);
+// analysts request differentially private releases against a fixed total
+// privacy budget.
 type server struct {
-	mu     sync.Mutex
-	k      int
-	merged *merge.Summary
-	nodes  int
-	acct   *accountant.Accountant
+	mu       sync.Mutex
+	k        int
+	d        uint64 // universe bound for raw batch ingest
+	merged   *merge.Summary
+	nodes    int
+	ingest   *mg.Sketch // raw-item ingest sketch, batch-updated
+	batches  int
+	ingested int64
+	acct     *accountant.Accountant
 }
 
-func newServer(k int, budget accountant.Budget) (*server, error) {
+func newServer(k int, d uint64, budget accountant.Budget) (*server, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("k must be positive")
+	}
+	if d == 0 {
+		return nil, fmt.Errorf("universe must be positive")
 	}
 	acct, err := accountant.New(budget)
 	if err != nil {
 		return nil, err
 	}
-	return &server{k: k, acct: acct}, nil
+	return &server{k: k, d: d, ingest: mg.New(k, d), acct: acct}, nil
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/summary", s.handleSummary)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/release", s.handleRelease)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
@@ -79,6 +90,53 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "merged summary %d\n", s.nodes)
 }
 
+// handleBatch ingests a raw item batch (consecutive 8-byte little-endian
+// items, see encoding.MarshalItems) into the server-side Misra-Gries
+// sketch. The whole batch is validated against the universe bound before
+// any item is applied, then applied under one lock acquisition — the
+// batch API exists precisely so ingest cost is one round trip and one
+// lock per batch, not per item.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	items, err := encoding.UnmarshalItems(http.MaxBytesReader(w, r.Body, 1<<24), 1<<21)
+	if err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, x := range items {
+		if x == 0 || uint64(x) > s.d {
+			http.Error(w, fmt.Sprintf("item %d outside universe [1,%d]", x, s.d),
+				http.StatusBadRequest)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.ingest.UpdateBatch(items)
+	s.batches++
+	s.ingested += int64(len(items))
+	total := s.ingested
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, "ingested %d items (%d total)\n", len(items), total)
+}
+
+// combined folds the raw-ingest sketch (if it has seen data) into the
+// merged node summaries without mutating server state, so repeated
+// releases see a consistent view. Callers must hold s.mu.
+func (s *server) combined() (*merge.Summary, error) {
+	base := s.merged
+	if s.ingested == 0 {
+		return base, nil
+	}
+	sum, err := merge.FromCounters(s.k, s.d, s.ingest.Counters())
+	if err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return sum, nil
+	}
+	return merge.Merge(base, sum)
+}
+
 type releaseResponse struct {
 	Mechanism string             `json:"mechanism"`
 	Eps       float64            `json:"eps"`
@@ -105,11 +163,20 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if mech == "" {
 		mech = "gauss"
 	}
+	if mech != "gauss" && mech != "laplace" {
+		http.Error(w, "mech must be gauss or laplace", http.StatusBadRequest)
+		return
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.merged == nil {
-		http.Error(w, "no summaries ingested yet", http.StatusConflict)
+	if s.merged == nil && s.ingested == 0 {
+		http.Error(w, "no summaries or batches ingested yet", http.StatusConflict)
+		return
+	}
+	agg, err := s.combined()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	if err := s.acct.Spend(eps, delta); err != nil {
@@ -125,16 +192,13 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		rel = gshm.Release(s.merged.Counts, cfg, src)
+		rel = gshm.Release(agg.Counts, cfg, src)
 	case "laplace":
-		rel, err = merge.TrustedAggregateBounded([]*merge.Summary{s.merged}, eps, delta, src)
+		rel, err = merge.TrustedAggregateBounded([]*merge.Summary{agg}, eps, delta, src)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-	default:
-		http.Error(w, "mech must be gauss or laplace", http.StatusBadRequest)
-		return
 	}
 	resp := releaseResponse{Mechanism: mech, Eps: eps, Delta: delta,
 		Items: make(map[string]float64, len(rel))}
@@ -149,8 +213,12 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 
 type statsResponse struct {
 	K             int     `json:"k"`
+	Universe      uint64  `json:"universe"`
 	Nodes         int     `json:"summaries_merged"`
 	Counters      int     `json:"counters_held"`
+	Batches       int     `json:"batches_ingested"`
+	Items         int64   `json:"items_ingested"`
+	IngestLive    int     `json:"ingest_counters"` // positive counters in the raw-ingest sketch
 	RemainingEps  float64 `json:"remaining_eps"`
 	RemainingDel  float64 `json:"remaining_delta"`
 	ReleasesSoFar int     `json:"releases"`
@@ -163,8 +231,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		counters = len(s.merged.Counts)
 	}
 	rem := s.acct.Remaining()
+	ingestLive := 0
+	if s.ingested > 0 {
+		ingestLive = len(s.ingest.RealCounters())
+	}
 	resp := statsResponse{
-		K: s.k, Nodes: s.nodes, Counters: counters,
+		K: s.k, Universe: s.d, Nodes: s.nodes, Counters: counters,
+		Batches: s.batches, Items: s.ingested, IngestLive: ingestLive,
 		RemainingEps: rem.Eps, RemainingDel: rem.Delta,
 		ReleasesSoFar: s.acct.Releases(),
 	}

@@ -12,6 +12,7 @@ import (
 	"dpmg/internal/encoding"
 	"dpmg/internal/merge"
 	"dpmg/internal/mg"
+	"dpmg/internal/stream"
 	"dpmg/internal/workload"
 )
 
@@ -32,7 +33,7 @@ func summaryBytes(t *testing.T, k int, seed uint64) []byte {
 
 func newTestServer(t *testing.T, k int, eps, delta float64) *httptest.Server {
 	t.Helper()
-	s, err := newServer(k, accountant.Budget{Eps: eps, Delta: delta})
+	s, err := newServer(k, 1000, accountant.Budget{Eps: eps, Delta: delta})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,10 +173,114 @@ func TestBoundedMemory(t *testing.T) {
 }
 
 func TestNewServerValidation(t *testing.T) {
-	if _, err := newServer(0, accountant.Budget{Eps: 1, Delta: 0.1}); err == nil {
+	if _, err := newServer(0, 1000, accountant.Budget{Eps: 1, Delta: 0.1}); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := newServer(4, accountant.Budget{Eps: 0, Delta: 0.1}); err == nil {
+	if _, err := newServer(4, 0, accountant.Budget{Eps: 1, Delta: 0.1}); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := newServer(4, 1000, accountant.Budget{Eps: 0, Delta: 0.1}); err == nil {
 		t.Error("bad budget accepted")
+	}
+}
+
+func batchBytes(t *testing.T, items []stream.Item) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := encoding.MarshalItems(&buf, items); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBatchIngestAndRelease(t *testing.T) {
+	ts := newTestServer(t, 64, 4, 1e-4)
+	// Three heavy items carry most of a 60k-element stream, shipped raw in
+	// ragged batches.
+	str := workload.HeavyTail(60000, 1000, 3, 0.9, 42)
+	for i := 0; i < len(str); i += 7001 {
+		end := i + 7001
+		if end > len(str) {
+			end = len(str)
+		}
+		resp := post(t, ts.URL+"/v1/batch", batchBytes(t, str[i:end]))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("batch ingest status %d", resp.StatusCode)
+		}
+	}
+	var st statsResponse
+	if err := json.NewDecoder(get(t, ts.URL+"/v1/stats").Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != int64(len(str)) {
+		t.Fatalf("items_ingested = %d, want %d", st.Items, len(str))
+	}
+	if st.Batches != (len(str)+7000)/7001 {
+		t.Fatalf("batches_ingested = %d", st.Batches)
+	}
+	if st.IngestLive == 0 || st.IngestLive > 64 {
+		t.Fatalf("ingest_counters = %d, want in (0, k=64]", st.IngestLive)
+	}
+	resp := get(t, ts.URL+"/v1/release?eps=1&delta=1e-5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release status %d", resp.StatusCode)
+	}
+	var rel releaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rel); err != nil {
+		t.Fatal(err)
+	}
+	for x := 1; x <= 3; x++ {
+		if _, ok := rel.Items[strconv.Itoa(x)]; !ok {
+			t.Errorf("heavy item %d missing from batch-fed release %v", x, rel.Items)
+		}
+	}
+}
+
+func TestBatchAndSummariesCombine(t *testing.T) {
+	ts := newTestServer(t, 64, 4, 1e-4)
+	// One node ships a summary, another ships raw batches of the same
+	// distribution; the release must see both.
+	post(t, ts.URL+"/v1/summary", summaryBytes(t, 64, 5))
+	post(t, ts.URL+"/v1/batch", batchBytes(t, workload.HeavyTail(50000, 1000, 3, 0.9, 6)))
+	resp := get(t, ts.URL+"/v1/release?eps=1&delta=1e-5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("combined release status %d", resp.StatusCode)
+	}
+	var rel releaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rel); err != nil {
+		t.Fatal(err)
+	}
+	for x := 1; x <= 3; x++ {
+		if _, ok := rel.Items[strconv.Itoa(x)]; !ok {
+			t.Errorf("heavy item %d missing from combined release %v", x, rel.Items)
+		}
+	}
+}
+
+func TestBatchRejectsBadInput(t *testing.T) {
+	ts := newTestServer(t, 32, 1, 1e-4)
+	// Truncated body (not a multiple of 8).
+	if resp := post(t, ts.URL+"/v1/batch", []byte{1, 2, 3}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated batch status %d", resp.StatusCode)
+	}
+	// Item outside the universe (test server uses d=1000).
+	if resp := post(t, ts.URL+"/v1/batch", batchBytes(t, []stream.Item{1, 2, 1001})); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-universe batch status %d", resp.StatusCode)
+	}
+	// Item zero is reserved.
+	if resp := post(t, ts.URL+"/v1/batch", batchBytes(t, []stream.Item{0})); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero-item batch status %d", resp.StatusCode)
+	}
+	// A rejected batch must not have been partially applied.
+	var st statsResponse
+	if err := json.NewDecoder(get(t, ts.URL+"/v1/stats").Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != 0 || st.Batches != 0 {
+		t.Errorf("rejected batches leaked into stats: %+v", st)
+	}
+	// Release with nothing ingested stays a conflict.
+	if resp := get(t, ts.URL+"/v1/release?eps=0.5&delta=1e-5"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("empty release status %d", resp.StatusCode)
 	}
 }

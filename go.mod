@@ -1,0 +1,3 @@
+module dpmg
+
+go 1.22

@@ -43,12 +43,23 @@ func (p Params) Validate() error {
 // Threshold returns the Algorithm 2 removal threshold 1 + 2·ln(3/δ)/ε.
 func (p Params) Threshold() float64 { return noise.PMGThreshold(p.Eps, p.Delta) }
 
+// Alg1Sketch is the view of a paper-variant (Algorithm 1) Misra-Gries
+// sketch that the release mechanisms consume. Both mg.Sketch (the flat
+// production implementation) and mg.Ref (the map-based executable
+// specification) satisfy it, which lets the differential test harness
+// assert that seeded releases of the two are byte-identical.
+type Alg1Sketch interface {
+	Counters() map[stream.Item]int64
+	SortedKeys() []stream.Item
+	IsDummy(stream.Item) bool
+}
+
 // Release runs Algorithm 2 (PMG) on a paper-variant Misra-Gries sketch and
 // returns the private frequency table. Only genuine universe elements
 // survive: dummy keys are removed as post-processing, which the paper notes
 // does not affect privacy. The iteration order is the sorted key order, one
 // of the Section 5.2 requirements for a safe release.
-func Release(sk *mg.Sketch, p Params, src noise.Source) (hist.Estimate, error) {
+func Release(sk Alg1Sketch, p Params, src noise.Source) (hist.Estimate, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -91,7 +102,7 @@ func ReleaseStandard(sk *mg.StandardSketch, p Params, src noise.Source) (hist.Es
 // mechanism for sensitivity 1), and the threshold is raised to
 // 1 + 2·⌈ln(6e^ε/((e^ε+1)δ))/ε⌉ so that Lemma 11 still holds. All released
 // values are integers, avoiding floating-point side channels.
-func ReleaseGeometric(sk *mg.Sketch, p Params, src noise.Source) (hist.Estimate, error) {
+func ReleaseGeometric(sk Alg1Sketch, p Params, src noise.Source) (hist.Estimate, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -286,3 +286,48 @@ func UnmarshalSketch(r io.Reader) (*SketchWire, error) {
 		Decrements: int64(h.Decrements), Counts: counts,
 	}, nil
 }
+
+// MarshalItems writes a raw batch of stream items as consecutive 8-byte
+// little-endian values with no framing: the batch length is implied by the
+// byte count. This is the body format of the dpmg-server POST /v1/batch
+// ingest endpoint, chosen so edge clients can stream items straight out of
+// a []uint64 without per-item encoding work.
+func MarshalItems(w io.Writer, items []stream.Item) error {
+	var buf [8]byte
+	for _, x := range items {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UnmarshalItems reads a raw item batch until EOF, rejecting bodies whose
+// length is not a multiple of 8 and batches larger than maxItems (DoS
+// guard; pass the caller's request-size budget). Items are not range
+// checked here — the ingesting sketch's universe bound is the caller's to
+// enforce before applying the batch.
+func UnmarshalItems(r io.Reader, maxItems int) ([]stream.Item, error) {
+	if maxItems <= 0 {
+		return nil, fmt.Errorf("encoding: maxItems must be positive")
+	}
+	out := make([]stream.Item, 0, 64)
+	var buf [8]byte
+	for {
+		n, err := io.ReadFull(r, buf[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("encoding: item batch truncated (%d trailing bytes)", n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(out) >= maxItems {
+			return nil, fmt.Errorf("encoding: item batch exceeds %d items", maxItems)
+		}
+		out = append(out, stream.Item(binary.LittleEndian.Uint64(buf[:])))
+	}
+}

@@ -189,6 +189,10 @@ func E10Throughput(c Config) *Table {
 	timeIt("mg-update-zipf", n, func() { sk.Process(zipf) })
 	sk2 := mg.New(k, uint64(d))
 	timeIt("mg-update-adversarial", n, func() { sk2.Process(adv) })
+	skb := mg.New(k, uint64(d))
+	timeIt("mg-batch-zipf", n, func() { skb.UpdateBatch(zipf) })
+	skb2 := mg.New(k, uint64(d))
+	timeIt("mg-batch-adversarial", n, func() { skb2.UpdateBatch(adv) })
 	std := mg.NewStandard(k)
 	timeIt("standard-mg-update-zipf", n, func() { std.Process(zipf) })
 	cm := cms.New(5, 4096, c.Seed)

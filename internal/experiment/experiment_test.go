@@ -200,7 +200,7 @@ func TestE9QuickShape(t *testing.T) {
 }
 
 func TestE10QuickShape(t *testing.T) {
-	tab := runQuick(t, "E10", 5)
+	tab := runQuick(t, "E10", 7) // includes the mg-batch-* ingest rows
 	for _, row := range tab.Rows {
 		if ns := parseF(t, row[1]); ns <= 0 || ns > 1e7 {
 			t.Errorf("implausible ns/op for %s: %v", row[0], ns)

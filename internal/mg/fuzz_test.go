@@ -61,6 +61,52 @@ func FuzzSketchInvariants(f *testing.F) {
 	})
 }
 
+// FuzzUpdateEquivalence is the differential-fuzzing half of the flat-core
+// harness: the fuzzer explores streams over tiny universes (dense branch
+// interleavings, constant eviction churn) and the flat Sketch must stay
+// byte-identical to the map-based Ref at every step — counters, estimates,
+// decrement count, and release key order. Divergence on any input is a
+// bug in the flat rewrite, found without knowing the expected output.
+func FuzzUpdateEquivalence(f *testing.F) {
+	f.Add([]byte{3, 5, 1, 2, 3, 4, 5, 1, 1, 2})
+	f.Add([]byte{1, 2, 0, 1, 0, 1, 0})
+	f.Add([]byte{4, 3, 0, 1, 2, 0, 1, 2, 0, 1, 2})
+	f.Add([]byte{7, 11, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, d, str := decodeStream(data)
+		flat := New(k, d)
+		ref := NewRef(k, d)
+		for i, x := range str {
+			flat.Update(x)
+			ref.Update(x)
+			if flat.Decrements() != ref.Decrements() {
+				t.Fatalf("step %d: decrements flat %d ref %d", i, flat.Decrements(), ref.Decrements())
+			}
+			for y := stream.Item(1); uint64(y) <= d; y++ {
+				if flat.Estimate(y) != ref.Estimate(y) {
+					t.Fatalf("step %d item %d: estimate flat %d ref %d",
+						i, y, flat.Estimate(y), ref.Estimate(y))
+				}
+			}
+		}
+		fc, rc := flat.Counters(), ref.Counters()
+		if len(fc) != len(rc) {
+			t.Fatalf("counter tables differ in size: %v vs %v", fc, rc)
+		}
+		for x, c := range rc {
+			if fc[x] != c {
+				t.Fatalf("counter[%d]: flat %d ref %d", x, fc[x], c)
+			}
+		}
+		fk, rk := flat.SortedKeys(), ref.SortedKeys()
+		for i := range rk {
+			if fk[i] != rk[i] {
+				t.Fatalf("sorted key %d: flat %d ref %d", i, fk[i], rk[i])
+			}
+		}
+	})
+}
+
 // FuzzLemma8 drives random neighbor pairs through Algorithm 1 and checks
 // the full Lemma 8 structure.
 func FuzzLemma8(f *testing.F) {

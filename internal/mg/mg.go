@@ -6,30 +6,89 @@
 // streams by two (Lemma 8), which in turn is what lets Algorithm 2 release
 // the sketch with noise independent of k.
 //
+// # Flat storage layout
+//
+// Sketch keeps its k counters in a contiguous []slot{key, stored} array.
+// Keys are located with a small open-addressing index (Fibonacci hashing,
+// linear probing, backward-shift deletion) mapping key → slot id, so the
+// hot increment path is one multiply, a short probe over an int32 table,
+// and one in-place add — no Go map, no pointer chasing, no allocation.
+// For k=256 the slots, index, and zero list together fit in L1 cache.
+//
+// # The lazy-offset decrement trick
+//
+// A slot does not store the counter itself but stored = count + off, where
+// off is a sketch-global offset. Algorithm 1's decrement-all branch then
+// becomes off++ — O(1) instead of an O(k) map sweep — and a counter is
+// zero exactly when stored == off. This is sound because Algorithm 1 only
+// decrements when no counter is zero (all stored > off, so nothing can go
+// negative), and every other mutation (increment, insert-at-count-1)
+// writes stored relative to the current off.
+//
+// After advancing off, the sketch scans the slot array once to collect the
+// counters that just hit zero. That scan is O(k), but Fact 7 bounds the
+// number of decrement steps by n/(k+1), so the total scan cost over any
+// stream of length n is under n slot reads — O(1) amortized per update,
+// with sequential access instead of the map iteration the reference
+// implementation pays. Decrement-heavy adversarial streams, the worst case
+// for the map-based implementation, run at increment speed.
+//
+// # Input-independent eviction order
+//
+// The paper requires the eviction order of zero-count keys to be
+// independent of the stream history ("the choice of removing the minimum
+// element is arbitrary but the order of removal must be independent of the
+// stream"): Lemma 8's neighbor coupling argues about which key the two
+// sketches evict, and a history-dependent order (e.g. the LRU-style
+// "oldest zero first" an off-the-shelf cache would use — see PolicySketch
+// and the E12 ablation) breaks the bound. Sketch therefore sorts each
+// epoch's zero list by key — lazily, on the first eviction that needs it —
+// and Branch 3 consumes it in ascending key order, skipping entries whose
+// counter has since been re-incremented. Because off cannot advance while
+// a zero-count key exists, the list is always a superset of the current
+// zeros and its sorted order equals the reference's "smallest zero first".
+//
 // The package also provides the standard Misra-Gries variant (zero counters
 // removed immediately) for the Section 5.1 release path and for the
 // estimate-equality property the paper relies on (both variants return
-// exactly the same frequency estimates, so Fact 7 applies to both).
+// exactly the same frequency estimates, so Fact 7 applies to both), and
+// Ref, the original map-based implementation retained as the executable
+// specification the differential/fuzz harness checks Sketch against.
 package mg
 
 import (
-	"container/heap"
+	"cmp"
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
 
 	"dpmg/internal/stream"
 )
 
-// Sketch is the paper-variant Misra-Gries sketch of Algorithm 1.
-// It is not safe for concurrent use.
+// slot is one counter: true count = stored - Sketch.off.
+type slot struct {
+	key    stream.Item
+	stored int64
+}
+
+// Sketch is the paper-variant Misra-Gries sketch of Algorithm 1, on flat
+// storage. It is not safe for concurrent use. Update never allocates.
 type Sketch struct {
 	k        int
-	universe uint64 // d; dummy keys are d+1 .. d+k
-	counts   map[stream.Item]int64
-	zeros    itemHeap // lazy min-heap of keys whose count may be zero
-	nzero    int      // exact number of stored keys with count zero
+	universe uint64   // d; dummy keys are d+1 .. d+k
+	off      int64    // global lazy-decrement offset
 	n        int64    // stream length processed
 	decs     int64    // number of decrement-all steps (branch 2 executions)
+	slots    []slot   // len k, contiguous counter storage
+	idx      []int32  // open-addressing table: slot id + 1, 0 = empty
+	mask     uint64   // len(idx) - 1
+	shift    uint     // 64 - log2(len(idx)), for Fibonacci hashing
+	nzero    int      // exact number of slots with stored == off
+	zeros    []int32  // slot ids that hit zero at the last off++ (this epoch)
+	zeroPos  int      // zeros[:zeroPos] already consumed by evictions
+	zSorted  bool     // zeros[zeroPos:] sorted by key
+	pack     []uint64 // scratch for key<<32|id sort; nil when keys exceed 32 bits
 }
 
 // New returns an empty sketch with k counters over the universe [1, d].
@@ -42,17 +101,31 @@ func New(k int, d uint64) *Sketch {
 	if d == 0 {
 		panic("mg: universe size must be positive")
 	}
+	// Index sized to a power of two ≥ 4k keeps the load factor ≤ 1/4, so
+	// probe sequences stay short even right before an eviction.
+	tbl := 4
+	for tbl < 4*k {
+		tbl <<= 1
+	}
 	s := &Sketch{
 		k:        k,
 		universe: d,
-		counts:   make(map[stream.Item]int64, k),
+		slots:    make([]slot, k),
+		idx:      make([]int32, tbl),
+		mask:     uint64(tbl - 1),
+		shift:    uint(64 - bits.TrailingZeros(uint(tbl))),
+		nzero:    k,
+		zeros:    make([]int32, k),
+		zSorted:  true, // dummy keys ascend with slot id
 	}
-	for i := 1; i <= k; i++ {
-		key := stream.Item(d + uint64(i))
-		s.counts[key] = 0
-		heap.Push(&s.zeros, key)
+	if d+uint64(k) < 1<<32 {
+		s.pack = make([]uint64, k)
 	}
-	s.nzero = k
+	for i := 0; i < k; i++ {
+		s.slots[i] = slot{key: stream.Item(d + uint64(i+1)), stored: 0}
+		s.zeros[i] = int32(i)
+		s.indexInsert(s.slots[i].key, int32(i))
+	}
 	return s
 }
 
@@ -70,6 +143,65 @@ func (s *Sketch) N() int64 { return s.n }
 // bounded by N/(k+1) (Fact 7).
 func (s *Sketch) Decrements() int64 { return s.decs }
 
+// home returns the preferred index-table position for x.
+func (s *Sketch) home(x stream.Item) uint64 {
+	return (uint64(x) * 0x9e3779b97f4a7c15) >> s.shift
+}
+
+// find returns the slot id holding x, or -1.
+func (s *Sketch) find(x stream.Item) int32 {
+	i := s.home(x)
+	for {
+		v := s.idx[i]
+		if v == 0 {
+			return -1
+		}
+		if s.slots[v-1].key == x {
+			return v - 1
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// indexInsert records key → id in the open-addressing table. The key must
+// not already be present; the table always has free space (load ≤ 1/4).
+func (s *Sketch) indexInsert(key stream.Item, id int32) {
+	i := s.home(key)
+	for s.idx[i] != 0 {
+		i = (i + 1) & s.mask
+	}
+	s.idx[i] = id + 1
+}
+
+// indexDelete removes key from the table with backward-shift deletion, so
+// lookups never cross tombstones. The key must be present.
+func (s *Sketch) indexDelete(key stream.Item) {
+	i := s.home(key)
+	for s.slots[s.idx[i]-1].key != key {
+		i = (i + 1) & s.mask
+	}
+	j := i
+	for {
+		s.idx[i] = 0
+		for {
+			j = (j + 1) & s.mask
+			v := s.idx[j]
+			if v == 0 {
+				return
+			}
+			// Shift v back into the hole unless its home lies in (i, j]
+			// cyclically, in which case the hole doesn't break its probe
+			// sequence.
+			h := s.home(s.slots[v-1].key)
+			if (j-h)&s.mask >= (j-i)&s.mask {
+				s.idx[i] = v
+				i = j
+				break
+			}
+		}
+	}
+}
+
 // Update processes one stream element (one iteration of Algorithm 1's loop).
 // It panics if x is outside [1, universe], since items above the universe
 // would collide with the dummy keys.
@@ -78,45 +210,85 @@ func (s *Sketch) Update(x stream.Item) {
 		panic(fmt.Sprintf("mg: item %d outside universe [1,%d]", x, s.universe))
 	}
 	s.n++
-	if c, ok := s.counts[x]; ok {
-		// Branch 1: increment.
-		if c == 0 {
+	if id := s.find(x); id >= 0 {
+		// Branch 1: increment in place. A zero-count key recovering here
+		// leaves the epoch's zero list lazily (Branch 3 skips it by its
+		// stored value), but the exact zero census is kept eagerly.
+		if s.slots[id].stored == s.off {
 			s.nzero--
 		}
-		s.counts[x] = c + 1
+		s.slots[id].stored++
 		return
 	}
 	if s.nzero == 0 {
-		// Branch 2: decrement all counters; keys reaching zero stay stored.
+		// Branch 2: decrement all counters by advancing the global offset,
+		// then census the counters that just hit zero. The scan is O(k),
+		// amortized O(1) per update by Fact 7 (at most n/(k+1) decrements).
 		s.decs++
-		for y, c := range s.counts {
-			c--
-			s.counts[y] = c
-			if c == 0 {
-				s.nzero++
-				heap.Push(&s.zeros, y)
+		s.off++
+		s.zeros = s.zeros[:0]
+		for i := range s.slots {
+			if s.slots[i].stored == s.off {
+				s.zeros = append(s.zeros, int32(i))
 			}
 		}
+		s.nzero = len(s.zeros)
+		s.zeroPos = 0
+		s.zSorted = false
 		return
 	}
 	// Branch 3: replace the smallest zero-count key with x.
-	y := s.popSmallestZero()
-	delete(s.counts, y)
-	s.counts[x] = 1
+	id := s.popSmallestZero()
+	s.indexDelete(s.slots[id].key)
+	s.slots[id] = slot{key: x, stored: s.off + 1}
+	s.indexInsert(x, id)
+	s.nzero--
 }
 
-// popSmallestZero removes and returns the smallest stored key whose count is
-// zero. The heap may hold stale entries (keys later incremented or already
-// replaced); they are skipped lazily.
-func (s *Sketch) popSmallestZero() stream.Item {
-	for s.zeros.Len() > 0 {
-		y := heap.Pop(&s.zeros).(stream.Item)
-		if c, ok := s.counts[y]; ok && c == 0 {
-			s.nzero--
-			return y
+// popSmallestZero returns the slot id of the smallest stored key whose
+// count is zero, consuming it from the epoch's zero list. Entries whose
+// counter was re-incremented since the list was built (stored != off) are
+// skipped lazily; they cannot become zero again within the epoch.
+func (s *Sketch) popSmallestZero() int32 {
+	if !s.zSorted {
+		s.sortZeros()
+		s.zSorted = true
+	}
+	for s.zeroPos < len(s.zeros) {
+		id := s.zeros[s.zeroPos]
+		s.zeroPos++
+		if s.slots[id].stored == s.off {
+			return id
 		}
 	}
 	panic("mg: internal error: nzero > 0 but no zero key found")
+}
+
+// sortZeros orders the unconsumed zero list ascending by key. When keys
+// fit in 32 bits (the common case) each (key, id) pair is packed into one
+// uint64 and sorted with the stdlib's branch-optimized integer sort, which
+// avoids per-comparison loads from the slot array; wider keys fall back to
+// sorting the ids directly (generic pdqsort, comparator stays on the
+// stack, so this path is allocation-free too).
+func (s *Sketch) sortZeros() {
+	z := s.zeros[s.zeroPos:]
+	if len(z) < 2 {
+		return
+	}
+	if s.pack != nil {
+		p := s.pack[:len(z)]
+		for i, id := range z {
+			p[i] = uint64(s.slots[id].key)<<32 | uint64(uint32(id))
+		}
+		slices.Sort(p)
+		for i, v := range p {
+			z[i] = int32(uint32(v))
+		}
+		return
+	}
+	slices.SortFunc(z, func(a, b int32) int {
+		return cmp.Compare(s.slots[a].key, s.slots[b].key)
+	})
 }
 
 // Process feeds every element of str through Update.
@@ -126,23 +298,36 @@ func (s *Sketch) Process(str stream.Stream) {
 	}
 }
 
+// UpdateBatch processes the elements of xs in order. It is semantically
+// identical to calling Update on each element and exists so callers that
+// already aggregate items (network ingest, sharded routing) keep the whole
+// batch on the sketch's hot path without per-item call overhead.
+func (s *Sketch) UpdateBatch(xs []stream.Item) {
+	for _, x := range xs {
+		s.Update(x)
+	}
+}
+
 // Estimate returns the frequency estimate for x: its counter if stored
 // (dummy keys included, always 0), otherwise 0. By Fact 7 the estimate lies
 // in [f(x) - n/(k+1), f(x)].
 func (s *Sketch) Estimate(x stream.Item) int64 {
-	return s.counts[x]
+	if id := s.find(x); id >= 0 {
+		return s.slots[id].stored - s.off
+	}
+	return 0
 }
 
 // Len returns the number of stored keys, always exactly k for this variant
 // (zero-count and dummy keys stay stored).
-func (s *Sketch) Len() int { return len(s.counts) }
+func (s *Sketch) Len() int { return s.k }
 
 // Counters returns a copy of the full counter table, including zero-count
 // and dummy keys. This is the raw sketch state that Algorithm 2 privatizes.
 func (s *Sketch) Counters() map[stream.Item]int64 {
-	out := make(map[stream.Item]int64, len(s.counts))
-	for x, c := range s.counts {
-		out[x] = c
+	out := make(map[stream.Item]int64, s.k)
+	for i := range s.slots {
+		out[s.slots[i].key] = s.slots[i].stored - s.off
 	}
 	return out
 }
@@ -151,10 +336,10 @@ func (s *Sketch) Counters() map[stream.Item]int64 {
 // universe elements with positive counts — the post-processed view an
 // application reads (dummy keys and zero counters removed).
 func (s *Sketch) RealCounters() map[stream.Item]int64 {
-	out := make(map[stream.Item]int64, len(s.counts))
-	for x, c := range s.counts {
-		if c > 0 && uint64(x) <= s.universe {
-			out[x] = c
+	out := make(map[stream.Item]int64, s.k)
+	for i := range s.slots {
+		if c := s.slots[i].stored - s.off; c > 0 && uint64(s.slots[i].key) <= s.universe {
+			out[s.slots[i].key] = c
 		}
 	}
 	return out
@@ -164,9 +349,9 @@ func (s *Sketch) RealCounters() map[stream.Item]int64 {
 // pairs in an input-independent order is one of the Section 5.2 requirements
 // (hash-table iteration order can leak the insertion history).
 func (s *Sketch) SortedKeys() []stream.Item {
-	keys := make([]stream.Item, 0, len(s.counts))
-	for x := range s.counts {
-		keys = append(keys, x)
+	keys := make([]stream.Item, 0, s.k)
+	for i := range s.slots {
+		keys = append(keys, s.slots[i].key)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	return keys
@@ -175,19 +360,4 @@ func (s *Sketch) SortedKeys() []stream.Item {
 // IsDummy reports whether x is one of the sketch's dummy keys.
 func (s *Sketch) IsDummy(x stream.Item) bool {
 	return uint64(x) > s.universe && uint64(x) <= s.universe+uint64(s.k)
-}
-
-// itemHeap is a min-heap of items ordered by numeric value.
-type itemHeap []stream.Item
-
-func (h itemHeap) Len() int            { return len(h) }
-func (h itemHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(stream.Item)) }
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

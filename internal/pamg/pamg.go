@@ -53,15 +53,29 @@ func (s *Sketch) Decrements() int64 { return s.decs }
 // elements; duplicates panic because they would silently break the
 // sensitivity analysis (a duplicate increments the same counter twice).
 func (s *Sketch) ProcessUser(set []stream.Item) {
-	seen := make(map[stream.Item]struct{}, len(set))
-	for _, x := range set {
+	// Typical user sets are small (m ≤ 32 in every workload here), where a
+	// quadratic scan beats allocating a set per user; large sets fall back
+	// to a map so pathological m stays O(m).
+	var seen map[stream.Item]struct{}
+	if len(set) > 32 {
+		seen = make(map[stream.Item]struct{}, len(set))
+	}
+	for i, x := range set {
 		if x == 0 {
 			panic("pamg: item 0 is reserved")
 		}
-		if _, dup := seen[x]; dup {
-			panic(fmt.Sprintf("pamg: duplicate element %d in user set", x))
+		if seen != nil {
+			if _, dup := seen[x]; dup {
+				panic(fmt.Sprintf("pamg: duplicate element %d in user set", x))
+			}
+			seen[x] = struct{}{}
+		} else {
+			for _, y := range set[:i] {
+				if y == x {
+					panic(fmt.Sprintf("pamg: duplicate element %d in user set", x))
+				}
+			}
 		}
-		seen[x] = struct{}{}
 		s.counts[x]++
 		s.total++
 	}
@@ -81,6 +95,15 @@ func (s *Sketch) ProcessUser(set []stream.Item) {
 // Process absorbs a whole user-set stream.
 func (s *Sketch) Process(ss stream.SetStream) {
 	for _, set := range ss {
+		s.ProcessUser(set)
+	}
+}
+
+// ProcessUsers absorbs a batch of user sets in order; it is the batch
+// entry point the dpmg.UserSketch.AddUsers API threads down, semantically
+// identical to calling ProcessUser on each set.
+func (s *Sketch) ProcessUsers(sets [][]stream.Item) {
+	for _, set := range sets {
 		s.ProcessUser(set)
 	}
 }

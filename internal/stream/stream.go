@@ -99,8 +99,11 @@ func (s SetStream) MaxSetSize() int {
 }
 
 // Validate checks that every user set is non-empty, contains distinct
-// elements, and has size at most maxM (ignored when maxM <= 0). These are
-// the standing assumptions of Section 8.
+// elements none of which is the reserved item 0, and has size at most maxM
+// (ignored when maxM <= 0). These are the standing assumptions of
+// Section 8; rejecting item 0 here (rather than panicking downstream)
+// keeps batch ingest atomic — a bad set is reported before any set in the
+// batch is applied.
 func (s SetStream) Validate(maxM int) error {
 	for i, set := range s {
 		if len(set) == 0 {
@@ -111,6 +114,9 @@ func (s SetStream) Validate(maxM int) error {
 		}
 		seen := make(map[Item]struct{}, len(set))
 		for _, x := range set {
+			if x == 0 {
+				return fmt.Errorf("stream: user %d contributes reserved item 0", i)
+			}
 			if _, dup := seen[x]; dup {
 				return fmt.Errorf("stream: user %d contributes duplicate element %d", i, x)
 			}

@@ -55,6 +55,55 @@ func (s *ShardedSketch) Update(x Item) {
 	sh.mu.Unlock()
 }
 
+// UpdateBatch processes the elements of xs; safe for concurrent use and
+// semantically identical to calling Update on each element (every shard
+// sees its items in stream order, and items in different shards commute —
+// they touch disjoint sketches). Items are first grouped by shard so each
+// shard's mutex is taken once per batch instead of once per item, which is
+// where the batch API pays off: under contention the lock traffic drops by
+// the batch size, and each shard then runs its whole group on the flat
+// sketch's hot path.
+func (s *ShardedSketch) UpdateBatch(xs []Item) {
+	if len(xs) == 0 {
+		return
+	}
+	nsh := len(s.shards)
+	if nsh == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		sh.sk.UpdateBatch(xs)
+		sh.mu.Unlock()
+		return
+	}
+	// Counting sort by shard: two passes, order-preserving within a shard.
+	counts := make([]int, nsh+1)
+	for _, x := range xs {
+		counts[s.shardOf(x)+1]++
+	}
+	for i := 1; i <= nsh; i++ {
+		counts[i] += counts[i-1]
+	}
+	grouped := make([]Item, len(xs))
+	next := counts[:nsh]
+	for _, x := range xs {
+		i := s.shardOf(x)
+		grouped[next[i]] = x
+		next[i]++
+	}
+	start := 0
+	for i := 0; i < nsh; i++ {
+		end := next[i]
+		if end == start {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.sk.UpdateBatch(grouped[start:end])
+		sh.mu.Unlock()
+		start = end
+	}
+}
+
 // shardOf routes items to shards with a fixed multiplicative hash, so the
 // routing is input-independent (the same requirement the eviction order has:
 // nothing about the stream history may influence structure placement).
