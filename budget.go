@@ -12,12 +12,19 @@ type Budget struct {
 
 // Accountant meters releases against a fixed total budget under basic
 // composition, so application code cannot accidentally over-release. It is
-// safe for concurrent use.
+// safe for concurrent use. Attach it to any release with WithAccountant —
+// every Releasable front-end (Sketch, ShardedSketch, MergeableSummary,
+// StringSketch, UserSketch, ContinualMonitor) is metered the same way:
 //
 //	acct, _ := dpmg.NewAccountant(dpmg.Budget{Eps: 2, Delta: 1e-5})
-//	h1, err := acct.Release(sk, dpmg.Params{Eps: 1, Delta: 1e-6}, seed1)
-//	h2, err := acct.Release(sk, dpmg.Params{Eps: 1, Delta: 1e-6}, seed2)
-//	_, err = acct.Release(sk, ...) // error: budget exhausted
+//	h1, err := dpmg.Release(sk, p, dpmg.WithAccountant(acct))
+//	h2, err := dpmg.Release(sharded, p, dpmg.WithAccountant(acct))
+//	_, err = dpmg.Release(sk, p, dpmg.WithAccountant(acct))
+//	// errors.Is(err, dpmg.ErrBudgetExhausted) once the budget runs out
+//
+// The charge happens after mechanism calibration succeeds and before any
+// noise is drawn: calibration errors never burn budget, and a charged
+// release always produces a histogram.
 type Accountant struct {
 	inner *accountant.Accountant
 }
@@ -31,28 +38,21 @@ func NewAccountant(b Budget) (*Accountant, error) {
 	return &Accountant{inner: inner}, nil
 }
 
-// Release runs sk.Release after atomically charging (p.Eps, p.Delta)
-// against the budget; nothing is released (or charged) if the budget cannot
-// cover it.
+// Release releases a single-stream sketch after atomically charging
+// (p.Eps, p.Delta) against the budget; nothing is released (or charged) if
+// calibration fails or the budget cannot cover it.
+//
+// Deprecated: use Release(sk, p, WithSeed(seed), WithAccountant(a)), which
+// meters any Releasable, not just *Sketch.
 func (a *Accountant) Release(sk *Sketch, p Params, seed uint64) (Histogram, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err // validate before charging so bad params never leak budget
-	}
-	if err := a.inner.Spend(p.Eps, p.Delta); err != nil {
-		return nil, err
-	}
-	return sk.Release(p, seed)
+	return Release(sk, p, WithMechanism(MechanismLaplace), WithSeed(seed), WithAccountant(a))
 }
 
 // ReleaseUser is Release for a UserSketch.
+//
+// Deprecated: use Release(sk, p, WithSeed(seed), WithAccountant(a)).
 func (a *Accountant) ReleaseUser(sk *UserSketch, p Params, seed uint64) (Histogram, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if err := a.inner.Spend(p.Eps, p.Delta); err != nil {
-		return nil, err
-	}
-	return sk.Release(p, seed)
+	return Release(sk, p, WithMechanism(MechanismGaussian), WithSeed(seed), WithAccountant(a))
 }
 
 // Remaining returns the unspent budget.

@@ -15,9 +15,13 @@
 //	POST /v1/batch             raw item batch (8-byte little-endian items,
 //	                           encoding.MarshalItems); sketched server-side
 //	                           with one lock acquisition per batch
-//	GET  /v1/release?eps=&delta=[&mech=gauss|laplace]
+//	GET  /v1/release?eps=&delta=[&mech=<registry name>]
 //	                           private histogram over summaries ∪ batches;
-//	                           spends budget
+//	                           spends budget. mech is any dpmg mechanism
+//	                           registered for merged sensitivity
+//	                           ("gaussian" default, "laplace", ...); the
+//	                           response carries per-mechanism calibration
+//	                           metadata
 //	GET  /v1/stats             JSON: merges, batches, counters, budget
 package main
 
@@ -27,7 +31,7 @@ import (
 	"net/http"
 	"time"
 
-	"dpmg/internal/accountant"
+	"dpmg"
 )
 
 func main() {
@@ -40,7 +44,7 @@ func main() {
 	)
 	flag.Parse()
 
-	s, err := newServer(*k, *d, accountant.Budget{Eps: *eps, Delta: *delta})
+	s, err := newServer(*k, *d, dpmg.Budget{Eps: *eps, Delta: *delta})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,21 +1,17 @@
 package main
 
 import (
-	"crypto/rand"
-	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
 
-	"dpmg/internal/accountant"
+	"dpmg"
 	"dpmg/internal/encoding"
-	"dpmg/internal/gshm"
-	"dpmg/internal/hist"
 	"dpmg/internal/merge"
 	"dpmg/internal/mg"
-	"dpmg/internal/noise"
 )
 
 // server is the trusted aggregator of the Section 7 distributed setting:
@@ -24,6 +20,12 @@ import (
 // (POST /v1/batch, for thin edges à la C-POD's edge-pod aggregation);
 // analysts request differentially private releases against a fixed total
 // privacy budget.
+//
+// Releases dispatch through the dpmg mechanism registry: every registered
+// mechanism name is a valid mech= value, calibration errors are rejected
+// before any budget is spent, and the response carries the mechanism's
+// calibration metadata (noise scale, threshold, ...) alongside the
+// histogram.
 type server struct {
 	mu       sync.Mutex
 	k        int
@@ -33,17 +35,17 @@ type server struct {
 	ingest   *mg.Sketch // raw-item ingest sketch, batch-updated
 	batches  int
 	ingested int64
-	acct     *accountant.Accountant
+	acct     *dpmg.Accountant
 }
 
-func newServer(k int, d uint64, budget accountant.Budget) (*server, error) {
+func newServer(k int, d uint64, budget dpmg.Budget) (*server, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("k must be positive")
 	}
 	if d == 0 {
 		return nil, fmt.Errorf("universe must be positive")
 	}
-	acct, err := accountant.New(budget)
+	acct, err := dpmg.NewAccountant(budget)
 	if err != nil {
 		return nil, err
 	}
@@ -141,13 +143,21 @@ type releaseResponse struct {
 	Mechanism string             `json:"mechanism"`
 	Eps       float64            `json:"eps"`
 	Delta     float64            `json:"delta"`
+	Meta      map[string]float64 `json:"meta"`
 	Items     map[string]float64 `json:"items"`
 }
 
 // handleRelease produces a private histogram of the aggregate. Query
-// parameters: eps, delta (spent against the server's budget), and
-// mech=gauss (default, sqrt(k) Gaussian sparse histogram per Corollary 18)
-// or mech=laplace (k/eps Laplace with k-scaled threshold).
+// parameters: eps, delta (spent against the server's budget), and mech=
+// any mechanism registered with the dpmg registry that is calibrated for
+// merged (Corollary 18) sensitivity — "gaussian" by default (sqrt(k)
+// Gaussian sparse histogram), "laplace" (k/eps Laplace with k-scaled
+// threshold), or anything added with dpmg.RegisterMechanism. "gauss" is
+// accepted as a legacy alias for "gaussian".
+//
+// Ordering is load-bearing: the mechanism is calibrated before the budget
+// is spent, so an unknown mechanism, invalid parameters, or an infeasible
+// calibration rejects the request with the budget untouched.
 func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	eps, err := strconv.ParseFloat(r.URL.Query().Get("eps"), 64)
 	if err != nil || eps <= 0 {
@@ -160,11 +170,13 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mech := r.URL.Query().Get("mech")
-	if mech == "" {
-		mech = "gauss"
+	switch mech {
+	case "", "gauss":
+		mech = dpmg.MechanismGaussian
 	}
-	if mech != "gauss" && mech != "laplace" {
-		http.Error(w, "mech must be gauss or laplace", http.StatusBadRequest)
+	if _, ok := dpmg.MechanismByName(mech); !ok {
+		http.Error(w, fmt.Sprintf("unknown mechanism %q (registered: %v)", mech, dpmg.Mechanisms()),
+			http.StatusBadRequest)
 		return
 	}
 
@@ -179,30 +191,29 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if err := s.acct.Spend(eps, delta); err != nil {
-		http.Error(w, "privacy budget exhausted: "+err.Error(), http.StatusTooManyRequests)
+	sum, err := dpmg.NewMergeableSummary(s.k, agg.Counts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	src := noise.NewSource(cryptoSeed())
-	var rel hist.Estimate
-	switch mech {
-	case "gauss":
-		cfg, err := gshm.Calibrate(eps, delta, s.k)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+	// No WithSeed: the release draws an unpredictable CSPRNG seed, the only
+	// safe choice for data leaving the trust boundary.
+	res, err := dpmg.ReleaseDetailed(sum, dpmg.Params{Eps: eps, Delta: delta},
+		dpmg.WithMechanism(mech), dpmg.WithAccountant(s.acct))
+	if err != nil {
+		if errors.Is(err, dpmg.ErrBudgetExhausted) {
+			http.Error(w, "privacy budget exhausted: "+err.Error(), http.StatusTooManyRequests)
 			return
 		}
-		rel = gshm.Release(agg.Counts, cfg, src)
-	case "laplace":
-		rel, err = merge.TrustedAggregateBounded([]*merge.Summary{agg}, eps, delta, src)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
+		// Calibration failures (mechanism not applicable to merged
+		// sensitivity, infeasible parameters) reject the request before any
+		// budget was spent.
+		http.Error(w, "release not calibrated: "+err.Error(), http.StatusBadRequest)
+		return
 	}
-	resp := releaseResponse{Mechanism: mech, Eps: eps, Delta: delta,
-		Items: make(map[string]float64, len(rel))}
-	for x, v := range rel {
+	resp := releaseResponse{Mechanism: res.Mechanism, Eps: eps, Delta: delta,
+		Meta: res.Meta, Items: make(map[string]float64, len(res.Histogram))}
+	for x, v := range res.Histogram {
 		resp.Items[strconv.FormatUint(uint64(x), 10)] = v
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -246,12 +257,4 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-}
-
-func cryptoSeed() uint64 {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic("dpmg-server: cannot draw a crypto-random seed: " + err.Error())
-	}
-	return binary.LittleEndian.Uint64(b[:])
 }

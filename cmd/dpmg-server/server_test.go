@@ -8,7 +8,7 @@ import (
 	"strconv"
 	"testing"
 
-	"dpmg/internal/accountant"
+	"dpmg"
 	"dpmg/internal/encoding"
 	"dpmg/internal/merge"
 	"dpmg/internal/mg"
@@ -33,7 +33,7 @@ func summaryBytes(t *testing.T, k int, seed uint64) []byte {
 
 func newTestServer(t *testing.T, k int, eps, delta float64) *httptest.Server {
 	t.Helper()
-	s, err := newServer(k, 1000, accountant.Budget{Eps: eps, Delta: delta})
+	s, err := newServer(k, 1000, dpmg.Budget{Eps: eps, Delta: delta})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,14 +78,70 @@ func TestIngestAndRelease(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&rel); err != nil {
 		t.Fatal(err)
 	}
-	if rel.Mechanism != "gauss" {
+	if rel.Mechanism != "gaussian" {
 		t.Errorf("default mechanism %q", rel.Mechanism)
+	}
+	if rel.Meta["sigma"] <= 0 || rel.Meta["tau"] <= 0 {
+		t.Errorf("gaussian calibration metadata missing: %v", rel.Meta)
 	}
 	// The three designated heavy items (1..3, 90% of 300k elements) must
 	// survive the release.
 	for x := 1; x <= 3; x++ {
 		if _, ok := rel.Items[strconv.Itoa(x)]; !ok {
 			t.Errorf("heavy item %d missing from release %v", x, rel.Items)
+		}
+	}
+}
+
+// TestCalibrationErrorDoesNotSpendBudget is the regression test for the
+// budget-leak bug: handleRelease used to call acct.Spend before calibrating
+// the mechanism, so a calibration failure burned (eps, delta) while
+// releasing nothing. The release path now calibrates first and spends last,
+// so a request whose mechanism cannot be calibrated for the server's merged
+// sensitivity (e.g. geometric or pure, both single-stream-only) must be
+// rejected with the budget fully intact.
+func TestCalibrationErrorDoesNotSpendBudget(t *testing.T) {
+	ts := newTestServer(t, 32, 2, 1e-4)
+	post(t, ts.URL+"/v1/summary", summaryBytes(t, 32, 7))
+	for _, mech := range []string{"geometric", "pure"} {
+		resp := get(t, ts.URL+"/v1/release?eps=1&delta=1e-5&mech="+mech)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("mech=%s status %d, want 400", mech, resp.StatusCode)
+		}
+	}
+	var st statsResponse
+	if err := json.NewDecoder(get(t, ts.URL+"/v1/stats").Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RemainingEps != 2 || st.RemainingDel != 1e-4 {
+		t.Errorf("calibration failure leaked budget: remaining (%v, %v), want (2, 1e-4)",
+			st.RemainingEps, st.RemainingDel)
+	}
+	if st.ReleasesSoFar != 0 {
+		t.Errorf("calibration failure counted as release: %d", st.ReleasesSoFar)
+	}
+}
+
+// TestRegistryMechanismsDispatch checks that /v1/release accepts exactly
+// the registered mechanism names (plus the legacy "gauss" alias) and
+// reports the canonical name and calibration metadata in the response.
+func TestRegistryMechanismsDispatch(t *testing.T) {
+	ts := newTestServer(t, 32, 10, 1e-3)
+	post(t, ts.URL+"/v1/summary", summaryBytes(t, 32, 8))
+	for alias, want := range map[string]string{"gauss": "gaussian", "gaussian": "gaussian", "laplace": "laplace"} {
+		resp := get(t, ts.URL+"/v1/release?eps=1&delta=1e-5&mech="+alias)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mech=%s status %d", alias, resp.StatusCode)
+		}
+		var rel releaseResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rel); err != nil {
+			t.Fatal(err)
+		}
+		if rel.Mechanism != want {
+			t.Errorf("mech=%s reported %q, want %q", alias, rel.Mechanism, want)
+		}
+		if len(rel.Meta) == 0 || rel.Meta["noise_scale"] <= 0 {
+			t.Errorf("mech=%s missing calibration metadata: %v", alias, rel.Meta)
 		}
 	}
 }
@@ -173,13 +229,13 @@ func TestBoundedMemory(t *testing.T) {
 }
 
 func TestNewServerValidation(t *testing.T) {
-	if _, err := newServer(0, 1000, accountant.Budget{Eps: 1, Delta: 0.1}); err == nil {
+	if _, err := newServer(0, 1000, dpmg.Budget{Eps: 1, Delta: 0.1}); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := newServer(4, 0, accountant.Budget{Eps: 1, Delta: 0.1}); err == nil {
+	if _, err := newServer(4, 0, dpmg.Budget{Eps: 1, Delta: 0.1}); err == nil {
 		t.Error("d=0 accepted")
 	}
-	if _, err := newServer(4, 1000, accountant.Budget{Eps: 0, Delta: 0.1}); err == nil {
+	if _, err := newServer(4, 1000, dpmg.Budget{Eps: 0, Delta: 0.1}); err == nil {
 		t.Error("bad budget accepted")
 	}
 }

@@ -75,7 +75,7 @@ func run(input string, k int, d uint64, eps, delta float64, seed uint64, asJSON 
 	if seed == 0 {
 		seed = cryptoSeed()
 	}
-	rel, err := sk.Release(dpmg.Params{Eps: eps, Delta: delta}, seed)
+	rel, err := sk.ReleaseTop(dpmg.Params{Eps: eps, Delta: delta}, dpmg.WithSeed(seed))
 	if err != nil {
 		return err
 	}

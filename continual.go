@@ -58,6 +58,21 @@ func (m *ContinualMonitor) EndEpoch() (Histogram, error) {
 // Epoch returns the number of snapshots published so far.
 func (m *ContinualMonitor) Epoch() int { return m.inner.Epoch() }
 
+// ReleaseView snapshots the monitor's whole-prefix sketch (a genuine
+// single-stream Algorithm 1 sketch, so Lemma 8 applies) for the unified
+// release path. This enables ad-hoc releases outside the epoch schedule —
+// e.g. an on-demand dashboard query between epoch boundaries:
+//
+//	h, err := dpmg.Release(mon, pAdHoc, dpmg.WithAccountant(acct))
+//
+// Such a release is NOT covered by the monitor's own epoch budget: it is an
+// additional privacy spend on the same stream, which is why it should
+// always be metered with WithAccountant against a separately provisioned
+// budget.
+func (m *ContinualMonitor) ReleaseView() (*ReleaseView, error) {
+	return (&Sketch{inner: m.inner.PrefixSketch()}).ReleaseView()
+}
+
 // PerEpochEps returns the per-release epsilon the strategy arrived at,
 // useful for predicting per-snapshot noise.
 func (m *ContinualMonitor) PerEpochEps() float64 { return m.inner.PerEpochEps() }

@@ -11,15 +11,49 @@
 //
 //	sk := dpmg.NewSketch(256, 1_000_000)         // k counters, universe [1, d]
 //	for _, x := range stream { sk.Update(x) }
-//	hh, err := sk.Release(dpmg.Params{Eps: 1, Delta: 1e-6}, seed)
+//	hh, err := dpmg.Release(sk, dpmg.Params{Eps: 1, Delta: 1e-6})
 //
 // Releases satisfy (eps, delta)-differential privacy under add/remove
-// neighbors. Variants: pure eps-DP (ReleasePure), discrete geometric noise
-// (ReleaseGeometric), standard Misra-Gries implementations
-// (StandardSketch), distributed merging (MergeReleased, aggregation
-// pipelines in the examples), and user-level privacy for users contributing
-// sets of items (UserSketch, backed by the paper's Privacy-Aware
-// Misra-Gries sketch and the Gaussian Sparse Histogram Mechanism).
+// neighbors.
+//
+// # The unified release API
+//
+// Every sketch front-end (Sketch, StandardSketch, MergeableSummary,
+// ShardedSketch, UserSketch, StringSketch, ContinualMonitor) implements
+// Releasable: it exposes its counters plus its sensitivity class —
+// single-stream (Lemma 8), merged (Corollary 18), or user-level
+// (Theorem 30). One entry point releases them all:
+//
+//	h, err := dpmg.Release(sk, p,
+//		dpmg.WithMechanism("geometric"), // registry name; default per class
+//		dpmg.WithSeed(seed),             // omit for a CSPRNG-drawn seed
+//		dpmg.WithAccountant(acct),       // meter against a shared budget
+//		dpmg.WithTopK(10),               // free post-processing cut
+//	)
+//
+// Mechanisms live in a by-name registry (RegisterMechanism) and split
+// calibration from noising: every failure mode — bad parameters, a
+// mechanism that does not apply to the sketch's sensitivity class, an
+// infeasible noise search — surfaces in Calibrate, before any budget is
+// spent. The built-in mechanisms:
+//
+//	name       noise                    applies to                 prefer when
+//	laplace    two-layer Laplace        single-stream (1/eps),     default for one sketch: tightest
+//	                                    merged (k/eps)             error, O(1/eps) noise (Thm 14)
+//	geometric  two-sided geometric      single-stream              integer outputs; floating-point
+//	                                                               side channels matter (Sec 5.2)
+//	pure       Laplace(2/eps) over      single-stream              pure eps-DP required; pays
+//	           the whole universe                                  Theta(d) release time (Sec 6)
+//	gaussian   N(0, sigma^2) with       single-stream, merged,     merged/sharded/user sketches:
+//	           sigma ~ sqrt(k)/eps      user-level                 sqrt(k) beats k/eps at large k
+//
+// The per-type Release* methods predate this API and survive as thin
+// deprecated wrappers; a release through either path is byte-identical
+// under the same seed.
+//
+// Live sketches serialize with Sketch.Snapshot and resume with
+// RestoreSketch, so long-running ingest survives restarts; a restored
+// sketch releases byte-identically to the original under the same seed.
 //
 // # Performance
 //
@@ -48,13 +82,10 @@ import (
 	"sort"
 
 	"dpmg/internal/core"
-	"dpmg/internal/gshm"
 	"dpmg/internal/hist"
 	"dpmg/internal/merge"
 	"dpmg/internal/mg"
-	"dpmg/internal/noise"
 	"dpmg/internal/pamg"
-	"dpmg/internal/puredp"
 	"dpmg/internal/stream"
 )
 
@@ -122,32 +153,53 @@ func (s *Sketch) K() int { return s.inner.K() }
 // N returns the number of processed elements.
 func (s *Sketch) N() int64 { return s.inner.N() }
 
+// ReleaseView snapshots the sketch for the unified release path: the full
+// Algorithm 1 counter table (dummy and zero keys included) under
+// single-stream (Lemma 8) sensitivity.
+func (s *Sketch) ReleaseView() (*ReleaseView, error) {
+	return &ReleaseView{
+		Counts:  s.inner.Counters(),
+		Keys:    s.inner.SortedKeys(),
+		IsDummy: s.inner.IsDummy,
+		Sens: Sensitivity{
+			Class:    SensitivitySingleStream,
+			K:        s.inner.K(),
+			Universe: s.inner.Universe(),
+		},
+	}, nil
+}
+
 // Release releases the sketch under (eps, delta)-differential privacy using
 // the paper's Algorithm 2. With probability 1-beta every estimate is within
 // 2·ln((k+1)/beta)/eps above the sketch value and within that plus
 // 1 + 2·ln(3/delta)/eps below it; elements never seen are never released.
 // The same seed yields the same release; never release twice with
 // different seeds unless you account for composition.
+//
+// Deprecated: use Release(s, p, WithSeed(seed)), which this wraps
+// byte-identically and which also supports WithAccountant metering.
 func (s *Sketch) Release(p Params, seed uint64) (Histogram, error) {
-	rel, err := core.Release(s.inner, p, noise.NewSource(seed))
-	return Histogram(rel), err
+	return Release(s, p, WithMechanism(MechanismLaplace), WithSeed(seed))
 }
 
 // ReleaseGeometric is Release with two-sided geometric (discrete) noise, the
 // Section 5.2 variant recommended for deployments worried about
 // floating-point attacks. Released values are integers.
+//
+// Deprecated: use Release(s, p, WithMechanism("geometric"), WithSeed(seed)).
 func (s *Sketch) ReleaseGeometric(p Params, seed uint64) (Histogram, error) {
-	rel, err := core.ReleaseGeometric(s.inner, p, noise.NewSource(seed))
-	return Histogram(rel), err
+	return Release(s, p, WithMechanism(MechanismGeometric), WithSeed(seed))
 }
 
 // ReleasePure releases the sketch under pure eps-differential privacy via
 // the Section 6 pipeline: the sensitivity-reduction post-processing
 // (Algorithm 3) followed by Laplace(2/eps) noise on every universe element
 // and a top-k cut. Error n/(k+1) + O(log(d)/eps); runtime Theta(d).
+//
+// Deprecated: use Release(s, Params{Eps: eps}, WithMechanism("pure"),
+// WithSeed(seed)).
 func (s *Sketch) ReleasePure(eps float64, seed uint64) (Histogram, error) {
-	rel, err := puredp.ReleasePure(puredp.Reduce(s.inner), eps, s.inner.Universe(), noise.NewSource(seed))
-	return Histogram(rel), err
+	return Release(s, Params{Eps: eps}, WithMechanism(MechanismPure), WithSeed(seed))
 }
 
 // Summary extracts the mergeable non-private summary (positive real-item
@@ -182,11 +234,27 @@ func (s *StandardSketch) Estimate(x Item) int64 { return s.inner.Estimate(x) }
 // K returns the sketch size parameter.
 func (s *StandardSketch) K() int { return s.inner.K() }
 
+// ReleaseView snapshots the sketch for the unified release path:
+// single-stream sensitivity with the Standard flag set, which routes the
+// laplace mechanism onto the raised Section 5.1 threshold.
+func (s *StandardSketch) ReleaseView() (*ReleaseView, error) {
+	return &ReleaseView{
+		Counts: s.inner.Counters(),
+		Keys:   s.inner.SortedKeys(),
+		Sens: Sensitivity{
+			Class:    SensitivitySingleStream,
+			K:        s.inner.K(),
+			Standard: true,
+		},
+	}, nil
+}
+
 // Release releases under (eps, delta)-DP with the Section 5.1 threshold
 // 1 + 2·ln((k+1)/(2·delta))/eps.
+//
+// Deprecated: use Release(s, p, WithSeed(seed)).
 func (s *StandardSketch) Release(p Params, seed uint64) (Histogram, error) {
-	rel, err := core.ReleaseStandard(s.inner, p, noise.NewSource(seed))
-	return Histogram(rel), err
+	return Release(s, p, WithMechanism(MechanismLaplace), WithSeed(seed))
 }
 
 // MergeableSummary is a non-private mergeable Misra-Gries summary
@@ -194,6 +262,37 @@ func (s *StandardSketch) Release(p Params, seed uint64) (Histogram, error) {
 // more than 2k counters.
 type MergeableSummary struct {
 	inner *merge.Summary
+}
+
+// NewMergeableSummary builds a summary directly from a counter table
+// (at most k strictly positive counters survive; non-positive counters are
+// dropped, and it errors if more than k remain). This is how deserialized
+// or externally-aggregated counter tables enter the unified release path —
+// the dpmg-server wraps its merged aggregate this way before dispatching to
+// a registry mechanism.
+func NewMergeableSummary(k int, counts map[Item]int64) (*MergeableSummary, error) {
+	inner, err := merge.FromCounters(k, 0, counts)
+	if err != nil {
+		return nil, err
+	}
+	return &MergeableSummary{inner: inner}, nil
+}
+
+// K returns the summary size parameter.
+func (s *MergeableSummary) K() int { return s.inner.K }
+
+// ReleaseView snapshots the summary for the unified release path: positive
+// counters only, under merged (Corollary 18) sensitivity.
+func (s *MergeableSummary) ReleaseView() (*ReleaseView, error) {
+	counts := make(map[Item]int64, len(s.inner.Counts))
+	for x, c := range s.inner.Counts {
+		counts[x] = c
+	}
+	return &ReleaseView{
+		Counts: counts,
+		Keys:   sortedViewKeys(counts),
+		Sens:   Sensitivity{Class: SensitivityMerged, K: s.inner.K},
+	}, nil
 }
 
 // MergeSummaries folds the summaries with the Agarwal et al. algorithm; the
@@ -217,21 +316,22 @@ func MergeSummaries(summaries ...*MergeableSummary) (*MergeableSummary, error) {
 // the merged sensitivity of Corollary 18 (up to k counters differ by one):
 // Laplace(k/eps) per counter plus a k-scaled threshold. The noise is
 // independent of how many summaries were merged. For a single unmerged
-// sketch prefer Sketch.Release, whose noise is O(1/eps).
+// sketch prefer the single-stream laplace release, whose noise is O(1/eps).
+//
+// Deprecated: use Release(s, p, WithMechanism("laplace"), WithSeed(seed)).
 func (s *MergeableSummary) Release(p Params, seed uint64) (Histogram, error) {
-	rel, err := merge.TrustedAggregateBounded([]*merge.Summary{s.inner}, p.Eps, p.Delta, noise.NewSource(seed))
-	return Histogram(rel), err
+	return Release(s, p, WithMechanism(MechanismLaplace), WithSeed(seed))
 }
 
 // ReleaseGaussian privatizes the summary with the Gaussian Sparse Histogram
 // Mechanism calibrated by the exact Theorem 23 analysis with l = k, which
-// scales with sqrt(k) instead of k. Prefer this over Release for large k.
+// scales with sqrt(k) instead of k. Prefer this over the laplace release
+// for large k.
+//
+// Deprecated: use Release(s, p, WithSeed(seed)) — gaussian is the default
+// mechanism for merged summaries.
 func (s *MergeableSummary) ReleaseGaussian(p Params, seed uint64) (Histogram, error) {
-	cfg, err := gshm.Calibrate(p.Eps, p.Delta, s.inner.K)
-	if err != nil {
-		return nil, err
-	}
-	return Histogram(gshm.Release(s.inner.Counts, cfg, noise.NewSource(seed))), nil
+	return Release(s, p, WithMechanism(MechanismGaussian), WithSeed(seed))
 }
 
 // MergeReleased merges two already-private releases (the untrusted
@@ -290,16 +390,38 @@ func (s *UserSketch) Estimate(x Item) int64 { return s.inner.Estimate(x) }
 // K returns the sketch size parameter.
 func (s *UserSketch) K() int { return s.inner.K() }
 
+// ReleaseView snapshots the sketch for the unified release path: the PAMG
+// counter table under user-level (Theorem 30) sensitivity, for which only
+// the gaussian mechanism is calibrated.
+func (s *UserSketch) ReleaseView() (*ReleaseView, error) {
+	counts := s.inner.Counters()
+	return &ReleaseView{
+		Counts: counts,
+		Keys:   sortedViewKeys(counts),
+		Sens:   Sensitivity{Class: SensitivityUserLevel, K: s.inner.K()},
+	}, nil
+}
+
 // Release privatizes the sketch with the Gaussian Sparse Histogram
 // Mechanism under user-level (eps, delta)-DP (Theorem 30). Noise scales
 // with sqrt(k), independent of m.
+//
+// Deprecated: use Release(s, p, WithSeed(seed)) — gaussian is the default
+// (and only) mechanism for user-level sketches.
 func (s *UserSketch) Release(p Params, seed uint64) (Histogram, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	cfg, err := gshm.Calibrate(p.Eps, p.Delta, s.inner.K())
-	if err != nil {
-		return nil, err
+	return Release(s, p, WithMechanism(MechanismGaussian), WithSeed(seed))
+}
+
+// sortedViewKeys returns the keys of counts in ascending order, the
+// input-independent release order every view carries.
+func sortedViewKeys(counts map[Item]int64) []Item {
+	keys := make([]Item, 0, len(counts))
+	for x := range counts {
+		keys = append(keys, x)
 	}
-	return Histogram(gshm.Release(s.inner.Counters(), cfg, noise.NewSource(seed))), nil
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }

@@ -12,7 +12,7 @@ func Example() {
 	for i := 0; i < 3000; i++ {
 		sk.Update(dpmg.Item(i%3 + 1)) // items 1..3, 1000 times each
 	}
-	hh, err := sk.Release(dpmg.Params{Eps: 1, Delta: 1e-6}, 42)
+	hh, err := dpmg.Release(sk, dpmg.Params{Eps: 1, Delta: 1e-6}, dpmg.WithSeed(42))
 	if err != nil {
 		panic(err)
 	}
@@ -34,7 +34,7 @@ func ExampleStringSketch() {
 			sk.Update("/health")
 		}
 	}
-	rel, err := sk.Release(dpmg.Params{Eps: 1, Delta: 1e-6}, 7)
+	rel, err := sk.ReleaseTop(dpmg.Params{Eps: 1, Delta: 1e-6}, dpmg.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}
@@ -61,7 +61,8 @@ func ExampleMergeSummaries() {
 	if err != nil {
 		panic(err)
 	}
-	h, err := merged.ReleaseGaussian(dpmg.Params{Eps: 1, Delta: 1e-6}, 3)
+	// gaussian (sqrt(k) noise) is the default mechanism for merged summaries.
+	h, err := dpmg.Release(merged, dpmg.Params{Eps: 1, Delta: 1e-6}, dpmg.WithSeed(3))
 	if err != nil {
 		panic(err)
 	}
@@ -78,7 +79,7 @@ func ExampleUserSketch() {
 			panic(err)
 		}
 	}
-	h, err := us.Release(dpmg.Params{Eps: 1, Delta: 1e-6}, 9)
+	h, err := dpmg.Release(us, dpmg.Params{Eps: 1, Delta: 1e-6}, dpmg.WithSeed(9))
 	if err != nil {
 		panic(err)
 	}
@@ -121,10 +122,10 @@ func ExampleAccountant() {
 		sk.Update(5)
 	}
 	p := dpmg.Params{Eps: 0.7, Delta: 1e-6}
-	if _, err := acct.Release(sk, p, 1); err != nil {
+	if _, err := dpmg.Release(sk, p, dpmg.WithSeed(1), dpmg.WithAccountant(acct)); err != nil {
 		panic(err)
 	}
-	_, err = acct.Release(sk, p, 2)
+	_, err = dpmg.Release(sk, p, dpmg.WithSeed(2), dpmg.WithAccountant(acct))
 	fmt.Println("second release allowed:", err == nil)
 	// Output:
 	// second release allowed: false

@@ -49,6 +49,24 @@ func main() {
 		fmt.Printf("%-28s per-release eps=%.3f  final snapshot: top item ~%.0f (true %d), max error %.0f\n",
 			s.name, m.PerEpochEps(), final.Get(1), truth[1],
 			hist.MaxError(hist.Estimate(final), truth))
+
+		// A monitor is also Releasable: an ad-hoc query between epoch
+		// boundaries goes through the unified API against its own,
+		// separately provisioned budget (it is NOT covered by the epoch
+		// schedule above), metered so it cannot silently repeat.
+		acct, err := dpmg.NewAccountant(dpmg.Budget{Eps: 0.5, Delta: 1e-7})
+		if err != nil {
+			panic(err)
+		}
+		adhoc, err := dpmg.Release(m, dpmg.Params{Eps: 0.5, Delta: 1e-8},
+			dpmg.WithAccountant(acct), dpmg.WithTopK(1))
+		if err != nil {
+			panic(err)
+		}
+		if top := adhoc.TopK(1); len(top) > 0 { // unseeded: could release nothing
+			fmt.Printf("%-28s ad-hoc metered query: top item ~%.0f (eps remaining %.2f)\n",
+				"", adhoc.Get(top[0]), acct.Remaining().Eps)
+		}
 	}
 	fmt.Println("\nthe dyadic strategy's error stays polylog in the epoch count;")
 	fmt.Println("the uniform split pays sqrt(T) more noise per snapshot.")

@@ -62,8 +62,9 @@ func trusted(local []stream.Stream, truth map[stream.Item]int64) {
 		panic(err)
 	}
 	// Gaussian release scales with sqrt(k) instead of k — preferred at this
-	// size (Corollary 18 qualifies merged summaries for the GSHM).
-	rel, err := merged.ReleaseGaussian(p, 11)
+	// size (Corollary 18 qualifies merged summaries for the GSHM), and the
+	// default mechanism for merged sensitivity, so no WithMechanism needed.
+	rel, err := dpmg.Release(merged, p, dpmg.WithSeed(11))
 	if err != nil {
 		panic(err)
 	}
@@ -77,7 +78,9 @@ func untrusted(local []stream.Stream, truth map[stream.Item]int64) {
 		for _, x := range str {
 			sk.Update(x)
 		}
-		rel, err := sk.Release(p, uint64(200+i)) // privatized before leaving the server
+		// Privatized before leaving the server (Algorithm 2 via the
+		// unified path).
+		rel, err := dpmg.Release(sk, p, dpmg.WithSeed(uint64(200+i)))
 		if err != nil {
 			panic(err)
 		}

@@ -30,8 +30,12 @@ func main() {
 		sk.Update(trace.Next())
 	}
 
+	// Unified release: the geometric mechanism returns integral counts with
+	// no floating-point side channel — the right choice for data that
+	// leaves the monitoring box — and WithTopK trims the board for free.
 	p := dpmg.Params{Eps: 0.5, Delta: 1e-8} // conservative per-release budget
-	hh, err := sk.Release(p, 2024)
+	hh, err := dpmg.Release(sk, p,
+		dpmg.WithMechanism("geometric"), dpmg.WithSeed(2024), dpmg.WithTopK(2*elephants))
 	if err != nil {
 		panic(err)
 	}

@@ -32,7 +32,7 @@ func main() {
 	}
 
 	p := dpmg.Params{Eps: 1.0, Delta: 1e-7}
-	released, err := sk.Release(p, 7)
+	released, err := sk.ReleaseTop(p, dpmg.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}

@@ -32,8 +32,11 @@ func main() {
 		sk.Update(x)
 	}
 
-	// One private release. Same seed => same output; fresh releases compose.
-	hh, err := sk.Release(dpmg.Params{Eps: 1.0, Delta: 1e-6}, 42)
+	// One private release through the unified API. WithSeed makes it
+	// reproducible (same seed => same output); omit it in production for a
+	// CSPRNG-drawn seed. Fresh releases compose — meter them with
+	// dpmg.WithAccountant when releasing repeatedly.
+	hh, err := dpmg.Release(sk, dpmg.Params{Eps: 1.0, Delta: 1e-6}, dpmg.WithSeed(42))
 	if err != nil {
 		panic(err)
 	}

@@ -41,7 +41,9 @@ func main() {
 			panic(err)
 		}
 	}
-	relPAMG, err := us.Release(p, 5)
+	// gaussian is the default (and only) mechanism for user-level
+	// sensitivity, so the unified call needs no WithMechanism.
+	relPAMG, err := dpmg.Release(us, p, dpmg.WithSeed(5))
 	if err != nil {
 		panic(err)
 	}

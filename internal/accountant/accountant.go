@@ -15,10 +15,17 @@
 package accountant
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 )
+
+// ErrExhausted is wrapped by every Spend error that rejects a release
+// because the remaining budget cannot cover it, so callers (the release
+// front-end, the dpmg-server) can distinguish "out of budget" from
+// calibration or input errors with errors.Is.
+var ErrExhausted = errors.New("privacy budget exhausted")
 
 // Budget is a total (eps, delta) allowance.
 type Budget struct {
@@ -65,12 +72,12 @@ func (a *Accountant) Spend(eps, delta float64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.spentEps+eps > a.budget.Eps+1e-12 {
-		return fmt.Errorf("accountant: eps budget exceeded: spent %v + %v > %v",
-			a.spentEps, eps, a.budget.Eps)
+		return fmt.Errorf("accountant: eps budget exceeded: spent %v + %v > %v: %w",
+			a.spentEps, eps, a.budget.Eps, ErrExhausted)
 	}
 	if a.spentDel+delta > a.budget.Delta+1e-18 {
-		return fmt.Errorf("accountant: delta budget exceeded: spent %v + %v > %v",
-			a.spentDel, delta, a.budget.Delta)
+		return fmt.Errorf("accountant: delta budget exceeded: spent %v + %v > %v: %w",
+			a.spentDel, delta, a.budget.Delta, ErrExhausted)
 	}
 	a.spentEps += eps
 	a.spentDel += delta

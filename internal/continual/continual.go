@@ -61,7 +61,11 @@ type Monitor struct {
 
 	epoch int // completed epochs
 
-	// Uniform state.
+	// whole sketches the entire stream prefix under both strategies: it is
+	// the Uniform strategy's release object, and under Dyadic it is kept
+	// (never released by EndEpoch) so PrefixSketch can expose the prefix
+	// for ad-hoc out-of-schedule releases metered by an external
+	// accountant.
 	whole *mg.Sketch
 
 	// Dyadic state: one active sketch per level plus the released tables of
@@ -104,6 +108,7 @@ func NewMonitor(o Options) (*Monitor, error) {
 		d:        o.Universe,
 		epochs:   o.Epochs,
 		src:      noise.NewSource(o.Seed),
+		whole:    mg.New(o.K, o.Universe),
 	}
 	var err error
 	switch o.Strategy {
@@ -115,7 +120,6 @@ func NewMonitor(o Options) (*Monitor, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.whole = mg.New(o.K, o.Universe)
 	case Dyadic:
 		levels := bits.Len(uint(o.Epochs)) // log2(T)+1 levels
 		m.perEps = total.Eps / float64(levels)
@@ -153,15 +157,20 @@ func (m *Monitor) PerEpochEps() float64 { return m.perEps }
 
 // Update feeds one stream element into the current epoch.
 func (m *Monitor) Update(x stream.Item) {
-	switch m.strategy {
-	case Uniform:
-		m.whole.Update(x)
-	case Dyadic:
+	m.whole.Update(x)
+	if m.strategy == Dyadic {
 		for _, sk := range m.levels {
 			sk.Update(x)
 		}
 	}
 }
+
+// PrefixSketch returns the live Misra-Gries sketch of the entire stream
+// prefix. It is a genuine single-stream Algorithm 1 sketch (Lemma 8
+// applies), so any mechanism calibrated for single-stream sensitivity may
+// release it — but such a release is OUTSIDE the monitor's epoch budget and
+// must be accounted separately by the caller.
+func (m *Monitor) PrefixSketch() *mg.Sketch { return m.whole }
 
 // EndEpoch closes the current epoch and returns the private snapshot of the
 // whole prefix. It errors once Epochs epochs have been published (the

@@ -76,11 +76,21 @@ func Release(sk Alg1Sketch, p Params, src noise.Source) (hist.Estimate, error) {
 	return out, nil
 }
 
+// StdSketch is the view of a standard Misra-Gries sketch (zero counters
+// removed immediately) that the Section 5.1 release consumes. *mg.
+// StandardSketch satisfies it, as does any front-end exposing the same
+// counter snapshot.
+type StdSketch interface {
+	Counters() map[stream.Item]int64
+	SortedKeys() []stream.Item
+	K() int
+}
+
 // ReleaseStandard privatizes a standard Misra-Gries sketch (zero counters
 // removed immediately) using the Section 5.1 variant: the same two noise
 // layers but the raised threshold 1 + 2·ln((k+1)/(2δ))/ε, which also hides
 // the up-to-k keys that can differ between neighboring standard sketches.
-func ReleaseStandard(sk *mg.StandardSketch, p Params, src noise.Source) (hist.Estimate, error) {
+func ReleaseStandard(sk StdSketch, p Params, src noise.Source) (hist.Estimate, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -139,6 +139,14 @@ func Release(counts map[stream.Item]int64, c Config, src noise.Source) hist.Esti
 		keys = append(keys, x)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return ReleaseSorted(counts, keys, c, src)
+}
+
+// ReleaseSorted is Release visiting the counters in the caller-supplied key
+// order, for callers (the unified release front-end) that already hold the
+// ascending key set — keys must cover every key of counts and be
+// input-independent, or the Section 5.2 release-order requirement breaks.
+func ReleaseSorted(counts map[stream.Item]int64, keys []stream.Item, c Config, src noise.Source) hist.Estimate {
 	out := make(hist.Estimate)
 	for _, x := range keys {
 		v := counts[x]

@@ -130,21 +130,49 @@ func TrustedAggregateBounded(summaries []*Summary, eps, delta float64, src noise
 	if err != nil {
 		return nil, err
 	}
-	k := merged.K
-	scale := float64(k) / eps
-	// Up to k keys can differ between neighboring merged summaries
-	// (Corollary 18), each by one; the threshold hides them.
-	thresh := 1 + 2*scale*math.Log(float64(k+1)/(2*delta))
-	keys := make([]stream.Item, 0, len(merged.Counts))
-	for x := range merged.Counts {
+	return ReleaseBounded(merged.Counts, merged.K, eps, delta, src), nil
+}
+
+// BoundedScale returns the per-counter Laplace scale of the Corollary 18
+// release: k/eps, since up to k counters can differ between neighboring
+// merged summaries.
+func BoundedScale(eps float64, k int) float64 { return float64(k) / eps }
+
+// BoundedThreshold returns the removal threshold of the Corollary 18
+// release: 1 + 2·(k/ε)·ln((k+1)/(2δ)), which hides the up-to-k keys (each
+// off by one) that can differ between neighboring merged summaries.
+func BoundedThreshold(eps, delta float64, k int) float64 {
+	return 1 + 2*BoundedScale(eps, k)*math.Log(float64(k+1)/(2*delta))
+}
+
+// ReleaseBounded privatizes one already-merged counter table with the
+// Corollary 18 Laplace release: Laplace(k/eps) per counter, threshold
+// BoundedThreshold, keys visited in ascending order (input-independent, the
+// Section 5.2 requirement). Inputs must be pre-validated; both
+// TrustedAggregateBounded and the unified release front-end funnel through
+// this loop so their noise draws are identical.
+func ReleaseBounded(counts map[stream.Item]int64, k int, eps, delta float64, src noise.Source) hist.Estimate {
+	keys := make([]stream.Item, 0, len(counts))
+	for x := range counts {
 		keys = append(keys, x)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return ReleaseBoundedSorted(counts, keys, k, eps, delta, src)
+}
+
+// ReleaseBoundedSorted is ReleaseBounded visiting the counters in the
+// caller-supplied key order, for callers that already hold the ascending
+// key set — keys must cover every key of counts and be input-independent.
+func ReleaseBoundedSorted(counts map[stream.Item]int64, keys []stream.Item, k int, eps, delta float64, src noise.Source) hist.Estimate {
+	scale := BoundedScale(eps, k)
+	thresh := BoundedThreshold(eps, delta, k)
 	out := make(hist.Estimate)
 	for _, x := range keys {
-		if v := float64(merged.Counts[x]) + noise.Laplace(src, scale); v >= thresh {
-			out[x] = v
+		if c := counts[x]; c > 0 {
+			if v := float64(c) + noise.Laplace(src, scale); v >= thresh {
+				out[x] = v
+			}
 		}
 	}
-	return out, nil
+	return out
 }

@@ -1,0 +1,82 @@
+package mg
+
+import (
+	"fmt"
+	"sort"
+
+	"dpmg/internal/stream"
+)
+
+// Restore rebuilds a paper-variant sketch from serialized Algorithm 1 state
+// (the encoding.KindCounters wire form): the full k-entry counter table plus
+// the n/decrements bookkeeping. The restored sketch is behaviorally
+// identical to the one that was snapshotted — same estimates, same release
+// (the release reads only the counter table and the ascending key order),
+// and the same response to any continuation of the stream. The last point
+// holds because every future step of Algorithm 1 depends only on the current
+// counter state: the eviction order is "smallest zero-count key first",
+// which Restore re-derives by seeding the zero list with the current
+// zero-count keys in ascending key order.
+func Restore(k int, d uint64, n, decs int64, counts map[stream.Item]int64) (*Sketch, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mg: restore: k must be positive, got %d", k)
+	}
+	if d == 0 {
+		return nil, fmt.Errorf("mg: restore: universe size must be positive")
+	}
+	if len(counts) != k {
+		return nil, fmt.Errorf("mg: restore: Algorithm 1 state must hold exactly k=%d counters, got %d", k, len(counts))
+	}
+	if n < 0 || decs < 0 {
+		return nil, fmt.Errorf("mg: restore: negative bookkeeping (n=%d, decrements=%d)", n, decs)
+	}
+	if decs > n/int64(k+1) {
+		// Fact 7: at most n/(k+1) decrement steps can have happened.
+		// (Division, not multiplication: decs*(k+1) could wrap int64 on
+		// crafted snapshots and slip past the check.)
+		return nil, fmt.Errorf("mg: restore: %d decrements impossible for n=%d, k=%d (Fact 7)", decs, n, k)
+	}
+	keys := make([]stream.Item, 0, k)
+	var sum int64
+	for x, c := range counts {
+		if x == 0 || uint64(x) > d+uint64(k) {
+			return nil, fmt.Errorf("mg: restore: key %d outside universe-plus-dummy range [1,%d]", x, d+uint64(k))
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("mg: restore: negative counter %d for key %d", c, x)
+		}
+		if uint64(x) > d && c != 0 {
+			return nil, fmt.Errorf("mg: restore: dummy key %d has counter %d, dummies are never incremented", x, c)
+		}
+		// sum+c > n, written overflow-proof (c ≥ 0 and sum ≤ n hold here,
+		// so n-sum never underflows and sum can never wrap).
+		if c > n-sum {
+			return nil, fmt.Errorf("mg: restore: counter sum exceeds stream length %d", n)
+		}
+		sum += c
+		keys = append(keys, x)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Lay the counters out canonically: ascending key order in the slot
+	// array, off reset to zero. The layout is not observable (estimates,
+	// releases, and evictions all key off the counter values), but a
+	// canonical layout makes snapshot → restore → snapshot idempotent.
+	s := New(k, d)
+	for i := range s.idx {
+		s.idx[i] = 0
+	}
+	s.n, s.decs, s.off = n, decs, 0
+	s.zeros = s.zeros[:0]
+	s.zeroPos = 0
+	for i, x := range keys {
+		s.slots[i] = slot{key: x, stored: counts[x]}
+		s.indexInsert(x, int32(i))
+		if counts[x] == 0 {
+			s.zeros = append(s.zeros, int32(i))
+		}
+	}
+	s.nzero = len(s.zeros)
+	s.zSorted = true // slots ascend by key, so the zero list does too
+	return s, nil
+}

@@ -1,0 +1,106 @@
+package mg
+
+import (
+	"testing"
+
+	"dpmg/internal/stream"
+)
+
+func TestRestoreRoundTripBehavior(t *testing.T) {
+	sk := New(4, 50)
+	// Drive through all three branches: increments, decrement-all, evictions.
+	for i := 0; i < 2000; i++ {
+		sk.Update(stream.Item(uint64(i*i)%50 + 1))
+	}
+	restored, err := Restore(sk.K(), sk.Universe(), sk.N(), sk.Decrements(), sk.Counters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continue both with an adversarial suffix (max decrement rate) and
+	// compare every observable after each step.
+	for i := 0; i < 3000; i++ {
+		x := stream.Item(uint64(i)%5 + 1)
+		sk.Update(x)
+		restored.Update(x)
+	}
+	if sk.N() != restored.N() || sk.Decrements() != restored.Decrements() {
+		t.Fatalf("bookkeeping drift: n %d vs %d, decs %d vs %d",
+			sk.N(), restored.N(), sk.Decrements(), restored.Decrements())
+	}
+	for x := stream.Item(1); uint64(x) <= 50; x++ {
+		if sk.Estimate(x) != restored.Estimate(x) {
+			t.Fatalf("estimate drift at %d: %d vs %d", x, sk.Estimate(x), restored.Estimate(x))
+		}
+	}
+	a, b := sk.Counters(), restored.Counters()
+	if len(a) != len(b) {
+		t.Fatalf("counter table size drift: %d vs %d", len(a), len(b))
+	}
+	for x, c := range a {
+		if b[x] != c {
+			t.Fatalf("counter drift at %d: %d vs %d", x, b[x], c)
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	good := New(3, 10)
+	good.Update(1)
+	counts := good.Counters()
+
+	cases := []struct {
+		label string
+		run   func() error
+	}{
+		{"zero k", func() error { _, err := Restore(0, 10, 1, 0, counts); return err }},
+		{"zero universe", func() error { _, err := Restore(3, 0, 1, 0, counts); return err }},
+		{"wrong entry count", func() error {
+			_, err := Restore(4, 10, 1, 0, counts)
+			return err
+		}},
+		{"negative n", func() error { _, err := Restore(3, 10, -1, 0, counts); return err }},
+		{"impossible decrements", func() error { _, err := Restore(3, 10, 1, 1, counts); return err }},
+		{"key out of range", func() error {
+			bad := map[stream.Item]int64{1: 1, 2: 0, 99: 0}
+			_, err := Restore(3, 10, 1, 0, bad)
+			return err
+		}},
+		{"negative counter", func() error {
+			bad := map[stream.Item]int64{1: -1, 11: 0, 12: 0}
+			_, err := Restore(3, 10, 1, 0, bad)
+			return err
+		}},
+		{"incremented dummy", func() error {
+			bad := map[stream.Item]int64{1: 1, 11: 3, 12: 0}
+			_, err := Restore(3, 10, 4, 0, bad)
+			return err
+		}},
+		{"counter sum exceeds n", func() error {
+			bad := map[stream.Item]int64{1: 5, 11: 0, 12: 0}
+			_, err := Restore(3, 10, 2, 0, bad)
+			return err
+		}},
+		{"decrements overflow int64", func() error {
+			// decs*(k+1) wraps to 0 mod 2^64; the check must not multiply.
+			bad := map[stream.Item]int64{}
+			for i := 0; i < 255; i++ {
+				bad[stream.Item(i+1)] = 0
+			}
+			_, err := Restore(255, 1000, 0, 1<<60, bad)
+			return err
+		}},
+		{"counter sum overflow int64", func() error {
+			bad := map[stream.Item]int64{1: 1 << 62, 2: 1 << 62, 3: 1 << 62}
+			_, err := Restore(3, 10, 100, 0, bad)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.run() == nil {
+			t.Errorf("%s: accepted", c.label)
+		}
+	}
+	if _, err := Restore(good.K(), good.Universe(), good.N(), good.Decrements(), counts); err != nil {
+		t.Errorf("genuine state rejected: %v", err)
+	}
+}

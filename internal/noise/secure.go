@@ -19,6 +19,19 @@ type SecureSource struct{ buf [8]byte }
 // crashing.
 func NewSecureSource() *SecureSource { return &SecureSource{} }
 
+// CryptoSeed draws one unpredictable 64-bit seed from the operating
+// system's CSPRNG, for callers that want a deterministic PCG stream (so a
+// single release is reproducible from its logged seed) whose seed an
+// adversary cannot guess. It panics if the CSPRNG is unavailable, for the
+// same reason NewSecureSource does.
+func CryptoSeed() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic("noise: CSPRNG unavailable: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
 // Uint64 returns a uniformly distributed 64-bit value.
 func (s *SecureSource) Uint64() uint64 {
 	if _, err := cryptorand.Read(s.buf[:]); err != nil {

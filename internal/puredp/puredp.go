@@ -30,19 +30,26 @@ type Reduced struct {
 // counters are zero). By Lemma 15 the reduced estimates still satisfy
 // f̂(x) in [f(x) - n/(k+1), f(x)].
 func Reduce(sk *mg.Sketch) *Reduced {
-	counts := sk.Counters()
+	return ReduceCounters(sk.Counters(), sk.K())
+}
+
+// ReduceCounters is Reduce on a raw Algorithm 1 counter snapshot (all k
+// counters, dummy and zero keys included) — the form the unified release
+// front-end hands mechanisms. Both entry points share this implementation
+// so the gamma offset and the surviving key set are identical.
+func ReduceCounters(counts map[stream.Item]int64, k int) *Reduced {
 	var sum int64
 	for _, c := range counts {
 		sum += c
 	}
-	gamma := float64(sum) / float64(sk.K()+1)
+	gamma := float64(sum) / float64(k+1)
 	out := make(map[stream.Item]float64)
 	for x, c := range counts {
 		if v := float64(c) - gamma; v > 0 {
 			out[x] = v
 		}
 	}
-	return &Reduced{K: sk.K(), Gamma: gamma, Counts: out}
+	return &Reduced{K: k, Gamma: gamma, Counts: out}
 }
 
 // Estimate returns the reduced frequency estimate of x (0 if absent).

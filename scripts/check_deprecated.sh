@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Deprecation allowlist gate: the per-type Release* methods (Sketch.Release,
+# ReleaseGeometric, ReleasePure, MergeableSummary.Release, ReleaseGaussian,
+# UserSketch.Release, StringSketch.Release, Accountant.Release/ReleaseUser)
+# are deprecated wrappers around the unified dpmg.Release API. Only test
+# files may call them (they pin wrapper/unified byte-equality); all other
+# code — the library itself, cmd/, examples/ — must go through the registry
+# path. Lines matching an entry of .github/deprecation-allowlist (fixed
+# strings) are permitted, e.g. the registry front-end invoking a Mechanism's
+# own Release method.
+#
+# internal/ is skipped: internal packages cannot import the root package, so
+# its many foo.Release(...) helpers are a different, non-deprecated API.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Method-style calls of the deprecated names. Negative lookbehinds exclude
+# `dpmg.Release(` (the NEW package-level entry point) and the internal
+# release primitives (core.Release, gshm.Release, ...) the root package's
+# mechanism implementations are built from.
+pattern='(?<!dpmg)(?<!core)(?<!gshm)(?<!merge)(?<!puredp)\.Release\(|(?<!core)\.ReleaseGeometric\(|(?<!puredp)\.ReleasePure\(|\.ReleaseGaussian\(|\.ReleaseUser\('
+
+hits=$(grep -rnP --include='*.go' --exclude='*_test.go' --exclude-dir=internal "$pattern" . \
+	| grep -vFf .github/deprecation-allowlist || true)
+
+if [ -n "$hits" ]; then
+	echo "deprecated Release* wrappers called outside tests:" >&2
+	echo "$hits" >&2
+	echo "route these through dpmg.Release(...) / ReleaseTop(...), or extend .github/deprecation-allowlist" >&2
+	exit 1
+fi
+echo "deprecation allowlist clean"

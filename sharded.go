@@ -5,10 +5,8 @@ import (
 	"sync"
 
 	"dpmg/internal/core"
-	"dpmg/internal/gshm"
 	"dpmg/internal/merge"
 	"dpmg/internal/mg"
-	"dpmg/internal/noise"
 )
 
 // ShardedSketch ingests a stream from many goroutines: items are hashed to
@@ -148,21 +146,31 @@ func (s *ShardedSketch) merged() (*merge.Summary, error) {
 	return merge.MergeAll(summaries)
 }
 
-// Release privatizes the merged shards under (eps, delta)-DP with the
-// Gaussian Sparse Histogram Mechanism (noise ~ sqrt(k)·log(k/delta)/eps).
-func (s *ShardedSketch) Release(p Params, seed uint64) (Histogram, error) {
-	if err := core.Params(p).Validate(); err != nil {
-		return nil, err
-	}
+// ReleaseView snapshots the sketch for the unified release path: the shard
+// summaries are folded with the Agarwal et al. merge, so the view carries
+// merged (Corollary 18) sensitivity and defaults to the gaussian mechanism.
+func (s *ShardedSketch) ReleaseView() (*ReleaseView, error) {
 	m, err := s.merged()
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := gshm.Calibrate(p.Eps, p.Delta, s.k)
-	if err != nil {
+	return &ReleaseView{
+		Counts: m.Counts,
+		Keys:   sortedViewKeys(m.Counts),
+		Sens:   Sensitivity{Class: SensitivityMerged, K: s.k, Universe: s.d},
+	}, nil
+}
+
+// Release privatizes the merged shards under (eps, delta)-DP with the
+// Gaussian Sparse Histogram Mechanism (noise ~ sqrt(k)·log(k/delta)/eps).
+//
+// Deprecated: use Release(s, p, WithSeed(seed)) — gaussian is the default
+// mechanism for merged summaries.
+func (s *ShardedSketch) Release(p Params, seed uint64) (Histogram, error) {
+	if err := core.Params(p).Validate(); err != nil {
 		return nil, err
 	}
-	return Histogram(gshm.Release(m.Counts, cfg, noise.NewSource(seed))), nil
+	return Release(s, p, WithMechanism(MechanismGaussian), WithSeed(seed))
 }
 
 // Summary extracts the merged non-private summary for further aggregation.

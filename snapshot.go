@@ -1,0 +1,45 @@
+package dpmg
+
+import (
+	"io"
+
+	"dpmg/internal/encoding"
+	"dpmg/internal/mg"
+)
+
+// Snapshot writes the sketch's full Algorithm 1 state — every counter
+// (dummy and zero keys included) plus the stream-length and decrement
+// bookkeeping — in the versioned binary wire format of internal/encoding,
+// so long-running ingest survives process restarts:
+//
+//	var buf bytes.Buffer
+//	if err := sk.Snapshot(&buf); err != nil { ... }
+//	// persist buf, restart, then:
+//	sk2, err := dpmg.RestoreSketch(&buf)
+//
+// The restored sketch is behaviorally identical: same estimates, same
+// releases under the same seed, and the same response to any continuation
+// of the stream. Snapshots are canonical (equal states serialize to equal
+// bytes) and carry no insertion-history side channel, but they contain the
+// raw, un-noised counters — a snapshot is as sensitive as the stream itself
+// and must stay inside the trust boundary.
+func (s *Sketch) Snapshot(w io.Writer) error {
+	return encoding.MarshalSketch(w, s.inner)
+}
+
+// RestoreSketch reads a Snapshot back into a live sketch, validating the
+// header (magic, version, kind) and the structural invariants of Algorithm 1
+// state (exactly k counters, keys within the universe-plus-dummy range,
+// non-negative counts, dummies un-incremented, Fact 7 bookkeeping) so
+// corrupted or foreign bytes fail loudly instead of resuming garbage.
+func RestoreSketch(r io.Reader) (*Sketch, error) {
+	wire, err := encoding.UnmarshalSketch(r)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := mg.Restore(wire.K, wire.Universe, wire.N, wire.Decrements, wire.Counts)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{inner: inner}, nil
+}
