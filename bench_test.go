@@ -143,7 +143,8 @@ func BenchmarkUserSketchAddUser(b *testing.B) {
 	}
 }
 
-func BenchmarkMergeSummaries(b *testing.B) {
+func mergeBenchSummaries(b *testing.B) []*MergeableSummary {
+	b.Helper()
 	const d = 1 << 14
 	var sums []*MergeableSummary
 	for i := 0; i < 8; i++ {
@@ -157,9 +158,48 @@ func BenchmarkMergeSummaries(b *testing.B) {
 		}
 		sums = append(sums, s)
 	}
+	return sums
+}
+
+// BenchmarkMergeSummaries is the steady-state trusted-aggregator merge: 8
+// summaries of k=256 folded per iteration through a reused SummaryMerger —
+// the multi-way flat merge with zero allocations per merge.
+func BenchmarkMergeSummaries(b *testing.B) {
+	sums := mergeBenchSummaries(b)
+	merger := NewSummaryMerger()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merger.MergeAll(sums); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeSummariesOneShot is the allocating convenience path
+// (MergeSummaries), for comparison against the steady-state merger above.
+func BenchmarkMergeSummariesOneShot(b *testing.B) {
+	sums := mergeBenchSummaries(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := MergeSummaries(sums...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedRelease is the sharded merge+release pipeline end to end:
+// snapshot 8 shards, k-way merge, Gaussian release.
+func BenchmarkShardedRelease(b *testing.B) {
+	const d = 1 << 16
+	sk := NewShardedSketch(8, 256, d)
+	sk.UpdateBatch(workload.Zipf(1<<20, d, 1.05, 9))
+	p := Params{Eps: 1, Delta: 1e-6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Release(sk, p, WithSeed(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}

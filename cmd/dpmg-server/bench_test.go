@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dpmg"
+	"dpmg/internal/encoding"
+	"dpmg/internal/workload"
+)
+
+// BenchmarkServerBatchIngest drives the /v1/batch hot path end to end
+// (HTTP routing, chunked validating decode into the pooled buffer, one
+// locked UpdateBatch): the per-iteration allocations are the fixed
+// net/http/httptest plumbing, not per-item work, so ns/op tracks the
+// decode+ingest cost of a 4096-item batch.
+func BenchmarkServerBatchIngest(b *testing.B) {
+	const d = 1 << 16
+	s, err := newServer(256, d, dpmg.Budget{Eps: 1, Delta: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mux := s.routes()
+	var body bytes.Buffer
+	if err := encoding.MarshalItems(&body, workload.Zipf(4096, d, 1.05, 1)); err != nil {
+		b.Fatal(err)
+	}
+	raw := body.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(raw))
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusAccepted {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerRelease measures the /v1/release path: flat combined
+// aggregate, registry dispatch, and the streamed JSON response. The laplace
+// mechanism is used because its calibration is closed-form — the benchmark
+// then tracks the merge+release+encode cost rather than the gaussian
+// calibrator's numerical search.
+func BenchmarkServerRelease(b *testing.B) {
+	const d = 1 << 14
+	s, err := newServer(256, d, dpmg.Budget{Eps: float64(1 << 30), Delta: 0.999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mux := s.routes()
+	var body bytes.Buffer
+	if err := encoding.MarshalItems(&body, workload.Zipf(1<<18, d, 1.05, 2)); err != nil {
+		b.Fatal(err)
+	}
+	ingest := httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body.Bytes()))
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, ingest)
+	if w.Code != http.StatusAccepted {
+		b.Fatalf("ingest status %d", w.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/release?eps=0.1&delta=1e-12&mech=laplace", nil)
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -12,6 +14,7 @@ import (
 	"dpmg/internal/encoding"
 	"dpmg/internal/merge"
 	"dpmg/internal/mg"
+	"dpmg/internal/stream"
 )
 
 // server is the trusted aggregator of the Section 7 distributed setting:
@@ -26,6 +29,12 @@ import (
 // before any budget is spent, and the response carries the mechanism's
 // calibration metadata (noise scale, threshold, ...) alongside the
 // histogram.
+//
+// The request hot paths are allocation-conscious: /v1/batch decodes into a
+// pooled item buffer, validating each item against the universe during the
+// decode (one pass, not decode-then-scan), and /v1/release streams its JSON
+// response from a pooled buffer without materializing an intermediate
+// string-keyed map.
 type server struct {
 	mu       sync.Mutex
 	k        int
@@ -36,7 +45,18 @@ type server struct {
 	batches  int
 	ingested int64
 	acct     *dpmg.Accountant
+
+	// combineKeys/combineVals are the flat extraction scratch combined()
+	// reuses between releases; guarded by mu like everything above.
+	combineKeys []stream.Item
+	combineVals []int64
 }
+
+// batchBufPool recycles /v1/batch decode buffers across requests.
+var batchBufPool = sync.Pool{New: func() any { return new([]stream.Item) }}
+
+// respBufPool recycles /v1/release response buffers across requests.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 func newServer(k int, d uint64, budget dpmg.Budget) (*server, error) {
 	if k <= 0 {
@@ -94,22 +114,18 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 
 // handleBatch ingests a raw item batch (consecutive 8-byte little-endian
 // items, see encoding.MarshalItems) into the server-side Misra-Gries
-// sketch. The whole batch is validated against the universe bound before
-// any item is applied, then applied under one lock acquisition — the
-// batch API exists precisely so ingest cost is one round trip and one
-// lock per batch, not per item.
+// sketch. Decoding validates every item against the universe bound as it is
+// read — a violation aborts before any item is applied — and the whole
+// batch is then applied under one lock acquisition: ingest cost is one
+// round trip, one (pooled) buffer, and one lock per batch, not per item.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	items, err := encoding.UnmarshalItems(http.MaxBytesReader(w, r.Body, 1<<24), 1<<21)
+	bufp := batchBufPool.Get().(*[]stream.Item)
+	defer batchBufPool.Put(bufp)
+	items, err := encoding.AppendItems((*bufp)[:0], http.MaxBytesReader(w, r.Body, 1<<24), 1<<21, s.d)
+	*bufp = items // keep the grown buffer even when the decode failed
 	if err != nil {
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
-	}
-	for _, x := range items {
-		if x == 0 || uint64(x) > s.d {
-			http.Error(w, fmt.Sprintf("item %d outside universe [1,%d]", x, s.d),
-				http.StatusBadRequest)
-			return
-		}
 	}
 	s.mu.Lock()
 	s.ingest.UpdateBatch(items)
@@ -123,13 +139,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // combined folds the raw-ingest sketch (if it has seen data) into the
 // merged node summaries without mutating server state, so repeated
-// releases see a consistent view. Callers must hold s.mu.
+// releases see a consistent view. The ingest sketch is extracted flat
+// (ascending keys, reused scratch) — no intermediate map. Callers must
+// hold s.mu; the result may borrow server scratch and is only valid while
+// the lock is held.
 func (s *server) combined() (*merge.Summary, error) {
 	base := s.merged
 	if s.ingested == 0 {
 		return base, nil
 	}
-	sum, err := merge.FromCounters(s.k, s.d, s.ingest.Counters())
+	keys, vals := s.ingest.AppendReal(s.combineKeys[:0], s.combineVals[:0])
+	s.combineKeys, s.combineVals = keys, vals
+	sum, err := merge.FromSorted(s.k, keys, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +160,9 @@ func (s *server) combined() (*merge.Summary, error) {
 	return merge.Merge(base, sum)
 }
 
+// releaseResponse mirrors the /v1/release JSON document. The handler
+// streams the document manually (see writeReleaseJSON); this struct is the
+// schema clients — and the server's own tests — decode into.
 type releaseResponse struct {
 	Mechanism string             `json:"mechanism"`
 	Eps       float64            `json:"eps"`
@@ -191,7 +215,9 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	sum, err := dpmg.NewMergeableSummary(s.k, agg.Counts)
+	// Zero-copy: the release view borrows the aggregate's sorted columns,
+	// which stay valid for the duration of the request (s.mu is held).
+	sum, err := dpmg.NewMergeableSummarySorted(s.k, agg.Keys(), agg.Counts())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -211,15 +237,56 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "release not calibrated: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := releaseResponse{Mechanism: res.Mechanism, Eps: eps, Delta: delta,
-		Meta: res.Meta, Items: make(map[string]float64, len(res.Histogram))}
-	for x, v := range res.Histogram {
-		resp.Items[strconv.FormatUint(uint64(x), 10)] = v
-	}
+	buf := respBufPool.Get().(*bytes.Buffer)
+	defer respBufPool.Put(buf)
+	buf.Reset()
+	writeReleaseJSON(buf, res, eps, delta)
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// Response already partially written; nothing sensible to send.
+		return
 	}
+}
+
+// writeReleaseJSON streams the releaseResponse document into buf without
+// building the intermediate map[string]float64 the json package would need:
+// histogram entries are appended directly as `"item":value` pairs in
+// ascending item order (deterministic output; the released values are
+// noisy, so the order leaks nothing it should not).
+func writeReleaseJSON(buf *bytes.Buffer, res *dpmg.ReleaseResult, eps, delta float64) {
+	b := buf.AvailableBuffer()
+	b = append(b, `{"mechanism":`...)
+	b = strconv.AppendQuote(b, res.Mechanism)
+	b = append(b, `,"eps":`...)
+	b = strconv.AppendFloat(b, eps, 'g', -1, 64)
+	b = append(b, `,"delta":`...)
+	b = strconv.AppendFloat(b, delta, 'g', -1, 64)
+	b = append(b, `,"meta":{`...)
+	metaKeys := make([]string, 0, len(res.Meta))
+	for k := range res.Meta {
+		metaKeys = append(metaKeys, k)
+	}
+	sort.Strings(metaKeys)
+	for i, k := range metaKeys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, k)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, res.Meta[k], 'g', -1, 64)
+	}
+	b = append(b, `},"items":{`...)
+	for i, x := range res.Histogram.Items() {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = strconv.AppendUint(b, uint64(x), 10)
+		b = append(b, '"', ':')
+		b = strconv.AppendFloat(b, res.Histogram[x], 'g', -1, 64)
+	}
+	b = append(b, '}', '}', '\n')
+	buf.Write(b)
 }
 
 type statsResponse struct {
@@ -239,7 +306,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	counters := 0
 	if s.merged != nil {
-		counters = len(s.merged.Counts)
+		counters = s.merged.Len()
 	}
 	rem := s.acct.Remaining()
 	ingestLive := 0

@@ -75,6 +75,13 @@
 // decrement steps by n/(k+1)). The map-based implementation survives as
 // the test-only reference (internal/mg.Ref) that differential and fuzz
 // harnesses check the flat core against, observable for observable.
+//
+// The merge and release tier is flat too: mergeable summaries are sorted
+// parallel key/count columns, MergeAll is one multi-way pass, and a
+// SummaryMerger merges with zero steady-state allocations (8 summaries of
+// k=256: 170.0 µs → 24.6 µs, 72 → 0 allocs per merge). See PERFORMANCE.md
+// for the design, the measured numbers, and the input-independent-order
+// invariant every release path maintains.
 package dpmg
 
 import (
@@ -158,7 +165,7 @@ func (s *Sketch) N() int64 { return s.inner.N() }
 // single-stream (Lemma 8) sensitivity.
 func (s *Sketch) ReleaseView() (*ReleaseView, error) {
 	return &ReleaseView{
-		Counts:  s.inner.Counters(),
+		counts:  s.inner.Counters(),
 		Keys:    s.inner.SortedKeys(),
 		IsDummy: s.inner.IsDummy,
 		Sens: Sensitivity{
@@ -205,7 +212,8 @@ func (s *Sketch) ReleasePure(eps float64, seed uint64) (Histogram, error) {
 // Summary extracts the mergeable non-private summary (positive real-item
 // counters only) for distributed aggregation; see MergeSummaries.
 func (s *Sketch) Summary() (*MergeableSummary, error) {
-	sum, err := merge.FromCounters(s.inner.K(), s.inner.Universe(), s.inner.Counters())
+	keys, vals := s.inner.AppendReal(nil, nil)
+	sum, err := merge.FromSorted(s.inner.K(), keys, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +247,7 @@ func (s *StandardSketch) K() int { return s.inner.K() }
 // laplace mechanism onto the raised Section 5.1 threshold.
 func (s *StandardSketch) ReleaseView() (*ReleaseView, error) {
 	return &ReleaseView{
-		Counts: s.inner.Counters(),
+		counts: s.inner.Counters(),
 		Keys:   s.inner.SortedKeys(),
 		Sens: Sensitivity{
 			Class:    SensitivitySingleStream,
@@ -258,8 +266,9 @@ func (s *StandardSketch) Release(p Params, seed uint64) (Histogram, error) {
 }
 
 // MergeableSummary is a non-private mergeable Misra-Gries summary
-// (Section 7). Merging is exact-memory-bounded: the aggregator never holds
-// more than 2k counters.
+// (Section 7), stored flat: keys ascending with parallel positive counts.
+// Merging is exact-memory-bounded: the aggregator never holds more than 2k
+// counters.
 type MergeableSummary struct {
 	inner *merge.Summary
 }
@@ -267,11 +276,24 @@ type MergeableSummary struct {
 // NewMergeableSummary builds a summary directly from a counter table
 // (at most k strictly positive counters survive; non-positive counters are
 // dropped, and it errors if more than k remain). This is how deserialized
-// or externally-aggregated counter tables enter the unified release path —
-// the dpmg-server wraps its merged aggregate this way before dispatching to
-// a registry mechanism.
+// or externally-aggregated counter tables enter the unified release path.
 func NewMergeableSummary(k int, counts map[Item]int64) (*MergeableSummary, error) {
 	inner, err := merge.FromCounters(k, 0, counts)
+	if err != nil {
+		return nil, err
+	}
+	return &MergeableSummary{inner: inner}, nil
+}
+
+// NewMergeableSummarySorted builds a summary from flat parallel columns —
+// keys strictly ascending, counts strictly positive, at most k entries —
+// without copying or building any map. This is the zero-copy entry point
+// for aggregators that already hold sorted counters (the dpmg-server wraps
+// its merged aggregate this way before dispatching to a registry
+// mechanism). The summary borrows the slices; callers must not mutate them
+// afterwards.
+func NewMergeableSummarySorted(k int, keys []Item, counts []int64) (*MergeableSummary, error) {
+	inner, err := merge.FromSorted(k, keys, counts)
 	if err != nil {
 		return nil, err
 	}
@@ -281,22 +303,28 @@ func NewMergeableSummary(k int, counts map[Item]int64) (*MergeableSummary, error
 // K returns the summary size parameter.
 func (s *MergeableSummary) K() int { return s.inner.K }
 
+// Len returns the number of stored counters (at most k).
+func (s *MergeableSummary) Len() int { return s.inner.Len() }
+
+// Estimate returns the summarized frequency of x (0 if absent).
+func (s *MergeableSummary) Estimate(x Item) int64 { return s.inner.Estimate(x) }
+
 // ReleaseView snapshots the summary for the unified release path: positive
-// counters only, under merged (Corollary 18) sensitivity.
+// counters only, under merged (Corollary 18) sensitivity. The view is flat
+// — it borrows the summary's already-sorted columns, so no map is rebuilt
+// and no keys are re-sorted per release.
 func (s *MergeableSummary) ReleaseView() (*ReleaseView, error) {
-	counts := make(map[Item]int64, len(s.inner.Counts))
-	for x, c := range s.inner.Counts {
-		counts[x] = c
-	}
 	return &ReleaseView{
-		Counts: counts,
-		Keys:   sortedViewKeys(counts),
-		Sens:   Sensitivity{Class: SensitivityMerged, K: s.inner.K},
+		Keys: s.inner.Keys(),
+		Vals: s.inner.Counts(),
+		Sens: Sensitivity{Class: SensitivityMerged, K: s.inner.K},
 	}, nil
 }
 
-// MergeSummaries folds the summaries with the Agarwal et al. algorithm; the
-// result summarizes the concatenation of all inputs with error N/(k+1).
+// MergeSummaries folds the summaries in one multi-way pass with the
+// Agarwal et al. rule; the result summarizes the concatenation of all
+// inputs with error N/(k+1). It allocates a fresh result; steady-state
+// aggregation loops should hold a SummaryMerger.
 func MergeSummaries(summaries ...*MergeableSummary) (*MergeableSummary, error) {
 	if len(summaries) == 0 {
 		return nil, fmt.Errorf("dpmg: no summaries")
@@ -310,6 +338,41 @@ func MergeSummaries(summaries ...*MergeableSummary) (*MergeableSummary, error) {
 		return nil, err
 	}
 	return &MergeableSummary{inner: m}, nil
+}
+
+// SummaryMerger merges summaries into reusable scratch: after the first
+// call, MergeAll performs zero allocations. It is the steady-state variant
+// of MergeSummaries for aggregation loops (merge a wave of edge summaries,
+// release, repeat). Not safe for concurrent use.
+type SummaryMerger struct {
+	merger  merge.Merger
+	scratch []*merge.Summary
+	out     MergeableSummary
+}
+
+// NewSummaryMerger returns an empty merger; scratch grows on first use.
+func NewSummaryMerger() *SummaryMerger { return &SummaryMerger{} }
+
+// MergeAll merges the summaries in one multi-way pass. The returned summary
+// borrows the merger's scratch: it is valid until the next MergeAll call,
+// and callers that retain it longer must merge into a fresh merger or use
+// MergeSummaries instead. Passing a previous result of this merger back in
+// as an input is safe — the merger detects the aliasing and moves to fresh
+// scratch rather than overwrite an input mid-merge.
+func (m *SummaryMerger) MergeAll(summaries []*MergeableSummary) (*MergeableSummary, error) {
+	if len(summaries) == 0 {
+		return nil, fmt.Errorf("dpmg: no summaries")
+	}
+	m.scratch = m.scratch[:0]
+	for _, s := range summaries {
+		m.scratch = append(m.scratch, s.inner)
+	}
+	res, err := m.merger.MergeAll(m.scratch)
+	if err != nil {
+		return nil, err
+	}
+	m.out = MergeableSummary{inner: res}
+	return &m.out, nil
 }
 
 // Release privatizes a (possibly merged) summary with noise calibrated to
@@ -392,12 +455,15 @@ func (s *UserSketch) K() int { return s.inner.K() }
 
 // ReleaseView snapshots the sketch for the unified release path: the PAMG
 // counter table under user-level (Theorem 30) sensitivity, for which only
-// the gaussian mechanism is calibrated.
+// the gaussian mechanism is calibrated. The view is flattened once at
+// snapshot time so the release loop runs on sorted parallel columns.
 func (s *UserSketch) ReleaseView() (*ReleaseView, error) {
 	counts := s.inner.Counters()
+	keys, vals := flattenCounts(counts)
 	return &ReleaseView{
-		Counts: counts,
-		Keys:   sortedViewKeys(counts),
+		counts: counts,
+		Keys:   keys,
+		Vals:   vals,
 		Sens:   Sensitivity{Class: SensitivityUserLevel, K: s.inner.K()},
 	}, nil
 }
@@ -415,13 +481,19 @@ func (s *UserSketch) Release(p Params, seed uint64) (Histogram, error) {
 	return Release(s, p, WithMechanism(MechanismGaussian), WithSeed(seed))
 }
 
-// sortedViewKeys returns the keys of counts in ascending order, the
-// input-independent release order every view carries.
-func sortedViewKeys(counts map[Item]int64) []Item {
+// flattenCounts converts a counter table to flat parallel columns with the
+// keys in ascending order, the input-independent release order every view
+// carries. Every key is kept — release loops skip non-positive counters
+// themselves, so flat and map draws stay identical.
+func flattenCounts(counts map[Item]int64) ([]Item, []int64) {
 	keys := make([]Item, 0, len(counts))
 	for x := range counts {
 		keys = append(keys, x)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
+	vals := make([]int64, len(keys))
+	for i, x := range keys {
+		vals[i] = counts[x]
+	}
+	return keys, vals
 }

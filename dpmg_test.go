@@ -242,3 +242,112 @@ func TestStandardSketchFacade(t *testing.T) {
 		t.Error("heavy item missing from standard release")
 	}
 }
+
+// TestSummaryMergerMatchesMergeSummaries pins the steady-state merger to
+// the one-shot path (same multi-way rule, reused scratch) and checks that
+// the steady state really is allocation-free.
+func TestSummaryMergerMatchesMergeSummaries(t *testing.T) {
+	var sums []*MergeableSummary
+	for i := 0; i < 6; i++ {
+		sk := NewSketch(32, 500)
+		sk.UpdateBatch(workload.Zipf(40000, 500, 1.1, uint64(50+i)))
+		s, err := sk.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, s)
+	}
+	want, err := MergeSummaries(sums...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merger := NewSummaryMerger()
+	got, err := merger.MergeAll(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("merger support %d, one-shot %d", got.Len(), want.Len())
+	}
+	for x := Item(1); x <= 500; x++ {
+		if got.Estimate(x) != want.Estimate(x) {
+			t.Fatalf("item %d: merger %d, one-shot %d", x, got.Estimate(x), want.Estimate(x))
+		}
+	}
+	// Releases through the borrowed view and the detached summary agree.
+	a, err := Release(got, pp, WithMechanism(MechanismLaplace), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Release(want, pp, WithMechanism(MechanismLaplace), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("release support drift: %d vs %d", len(a), len(b))
+	}
+	for x, v := range b {
+		if a[x] != v {
+			t.Fatalf("release drift at %d: %v vs %v", x, a[x], v)
+		}
+	}
+	// Steady state allocates nothing (first call grew the scratch above).
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := merger.MergeAll(sums); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state MergeAll allocates %v times per run", allocs)
+	}
+	if _, err := merger.MergeAll(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+}
+
+func TestNewMergeableSummarySorted(t *testing.T) {
+	s, err := NewMergeableSummarySorted(4, []Item{2, 5, 9}, []int64{3, 1, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Estimate(5) != 1 || s.Estimate(9) != 7 || s.Estimate(3) != 0 {
+		t.Fatalf("sorted summary contents wrong")
+	}
+	// Must agree with the map constructor observable-for-observable,
+	// including release draws.
+	viaMap, err := NewMergeableSummary(4, map[Item]int64{2: 3, 5: 1, 9: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Release(s, pp, WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Release(viaMap, pp, WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("release support drift: %d vs %d", len(a), len(b))
+	}
+	for x, v := range b {
+		if a[x] != v {
+			t.Fatalf("release drift at %d", x)
+		}
+	}
+	for _, bad := range []struct {
+		keys []Item
+		vals []int64
+	}{
+		{[]Item{5, 2}, []int64{1, 1}},    // descending
+		{[]Item{2, 2}, []int64{1, 1}},    // duplicate
+		{[]Item{2, 5}, []int64{1, 0}},    // non-positive
+		{[]Item{1, 2, 3}, []int64{1, 1}}, // ragged
+	} {
+		if _, err := NewMergeableSummarySorted(4, bad.keys, bad.vals); err == nil {
+			t.Errorf("invalid columns %v/%v accepted", bad.keys, bad.vals)
+		}
+	}
+	if _, err := NewMergeableSummarySorted(2, []Item{1, 2, 3}, []int64{1, 1, 1}); err == nil {
+		t.Error("overfull summary accepted")
+	}
+}

@@ -147,18 +147,31 @@ func readEntries(r io.Reader, n uint64, maxEntries uint64) (map[stream.Item]int6
 	return out, nil
 }
 
-// MarshalSummary serializes a mergeable summary.
+// MarshalSummary serializes a mergeable summary. The summary's flat columns
+// are already in ascending key order — the canonical wire order — so the
+// entries are streamed straight from the backing slices with no sort.
 func MarshalSummary(w io.Writer, s *merge.Summary) error {
 	if err := writeHeader(w, header{
-		Kind: KindSummary, K: uint64(s.K), Entries: uint64(len(s.Counts)),
+		Kind: KindSummary, K: uint64(s.K), Entries: uint64(s.Len()),
 	}); err != nil {
 		return err
 	}
-	return writeEntries(w, s.Counts)
+	keys, counts := s.Keys(), s.Counts()
+	var buf [16]byte
+	for i, x := range keys {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(x))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(counts[i]))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// UnmarshalSummary reads a summary, validating structure (k bound, positive
-// counters).
+// UnmarshalSummary reads a summary, validating structure (k bound, strictly
+// ascending keys, positive counters). The wire order is already the flat
+// summary's storage order, so the decoder fills the parallel columns
+// directly — no intermediate map.
 func UnmarshalSummary(r io.Reader) (*merge.Summary, error) {
 	h, err := readHeader(r)
 	if err != nil {
@@ -170,16 +183,24 @@ func UnmarshalSummary(r io.Reader) (*merge.Summary, error) {
 	if h.K == 0 || h.K > 1<<30 {
 		return nil, fmt.Errorf("encoding: implausible k %d", h.K)
 	}
-	counts, err := readEntries(r, h.Entries, h.K)
-	if err != nil {
-		return nil, err
+	if h.Entries > h.K {
+		return nil, fmt.Errorf("encoding: %d entries exceed limit %d", h.Entries, h.K)
 	}
-	for x, c := range counts {
-		if c <= 0 {
-			return nil, fmt.Errorf("encoding: non-positive counter %d for item %d", c, x)
+	keys := make([]stream.Item, 0, h.Entries)
+	counts := make([]int64, 0, h.Entries)
+	var buf [16]byte
+	for i := uint64(0); i < h.Entries; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("encoding: entry %d: %w", i, err)
 		}
+		keys = append(keys, stream.Item(binary.LittleEndian.Uint64(buf[:8])))
+		counts = append(counts, int64(binary.LittleEndian.Uint64(buf[8:])))
 	}
-	return &merge.Summary{K: int(h.K), Counts: counts}, nil
+	s, err := merge.FromSorted(int(h.K), keys, counts)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: %w", err)
+	}
+	return s, nil
 }
 
 // MarshalPAMG serializes a PAMG counter table together with its
@@ -307,27 +328,63 @@ func MarshalItems(w io.Writer, items []stream.Item) error {
 // length is not a multiple of 8 and batches larger than maxItems (DoS
 // guard; pass the caller's request-size budget). Items are not range
 // checked here — the ingesting sketch's universe bound is the caller's to
-// enforce before applying the batch.
+// enforce before applying the batch (or pass it to AppendItems to validate
+// during the decode).
 func UnmarshalItems(r io.Reader, maxItems int) ([]stream.Item, error) {
-	if maxItems <= 0 {
-		return nil, fmt.Errorf("encoding: maxItems must be positive")
+	out, err := AppendItems(make([]stream.Item, 0, 64), r, maxItems, 0)
+	if err != nil {
+		return nil, err
 	}
-	out := make([]stream.Item, 0, 64)
-	var buf [8]byte
+	return out, nil
+}
+
+// AppendItems decodes a raw item batch from r, appending to dst and
+// returning the extended slice; passing a reused buffer (dst[:0]) makes the
+// steady-state decode allocation-free once the buffer has grown to the
+// batch size. The reader is consumed in chunks rather than one 8-byte read
+// per item. When universe > 0 every decoded item is validated against
+// [1, universe] as it is decoded — one pass, instead of decode-then-scan —
+// and the first violation aborts the decode, so no caller ever sees a
+// partially validated batch. maxItems counts only the items appended by
+// this call.
+//
+// On error the partially filled slice is returned alongside it: its
+// contents are meaningless, but callers that pool the buffer should retain
+// it (reslicing to [:0]) so capacity grown during a failed decode is not
+// thrown away.
+func AppendItems(dst []stream.Item, r io.Reader, maxItems int, universe uint64) ([]stream.Item, error) {
+	if maxItems <= 0 {
+		return dst, fmt.Errorf("encoding: maxItems must be positive")
+	}
+	start := len(dst)
+	var chunk [8192]byte
+	carry := 0 // bytes of an incomplete item left from the previous read
 	for {
-		n, err := io.ReadFull(r, buf[:])
-		if err == io.EOF {
-			return out, nil
+		n, err := r.Read(chunk[carry:])
+		total := carry + n
+		whole := total &^ 7
+		for i := 0; i < whole; i += 8 {
+			if len(dst)-start >= maxItems {
+				return dst, fmt.Errorf("encoding: item batch exceeds %d items", maxItems)
+			}
+			x := binary.LittleEndian.Uint64(chunk[i : i+8])
+			if universe > 0 && (x == 0 || x > universe) {
+				return dst, fmt.Errorf("encoding: item %d outside universe [1,%d]", x, universe)
+			}
+			dst = append(dst, stream.Item(x))
 		}
-		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("encoding: item batch truncated (%d trailing bytes)", n)
+		carry = total - whole
+		if carry > 0 {
+			copy(chunk[:carry], chunk[whole:total])
+		}
+		if err == io.EOF {
+			if carry != 0 {
+				return dst, fmt.Errorf("encoding: item batch truncated (%d trailing bytes)", carry)
+			}
+			return dst, nil
 		}
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		if len(out) >= maxItems {
-			return nil, fmt.Errorf("encoding: item batch exceeds %d items", maxItems)
-		}
-		out = append(out, stream.Item(binary.LittleEndian.Uint64(buf[:])))
 	}
 }

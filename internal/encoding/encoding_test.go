@@ -29,9 +29,20 @@ func TestSummaryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.K != s.K || !reflect.DeepEqual(got.Counts, s.Counts) {
-		t.Fatalf("round trip mismatch: %+v vs %+v", got, s)
+	if got.K != s.K || !reflect.DeepEqual(got.CountsMap(), s.CountsMap()) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got.CountsMap(), s.CountsMap())
 	}
+}
+
+// mustSummary builds a summary from a counter table, failing on invalid
+// input.
+func mustSummary(t *testing.T, k int, counts map[stream.Item]int64) *merge.Summary {
+	t.Helper()
+	s, err := merge.FromCounters(k, 0, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func TestSummaryRoundTripProperty(t *testing.T) {
@@ -44,7 +55,10 @@ func TestSummaryRoundTripProperty(t *testing.T) {
 			}
 			counts[stream.Item(it)+1] = int64(vals[i%len(vals)]%100) + 1
 		}
-		s := &merge.Summary{K: k, Counts: counts}
+		s, err := merge.FromCounters(k, 0, counts)
+		if err != nil {
+			return false
+		}
 		var buf bytes.Buffer
 		if err := MarshalSummary(&buf, s); err != nil {
 			return false
@@ -53,7 +67,7 @@ func TestSummaryRoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got.K == k && reflect.DeepEqual(got.Counts, counts)
+		return got.K == k && reflect.DeepEqual(got.CountsMap(), counts)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -63,11 +77,12 @@ func TestSummaryRoundTripProperty(t *testing.T) {
 func TestCanonicalBytes(t *testing.T) {
 	// Two equal tables built in different insertion orders must serialize
 	// identically (no history side channel).
-	a := &merge.Summary{K: 4, Counts: map[stream.Item]int64{1: 5, 2: 3, 9: 1}}
-	b := &merge.Summary{K: 4, Counts: map[stream.Item]int64{}}
+	a := mustSummary(t, 4, map[stream.Item]int64{1: 5, 2: 3, 9: 1})
+	bMap := map[stream.Item]int64{}
 	for _, x := range []stream.Item{9, 1, 2} {
-		b.Counts[x] = a.Counts[x]
+		bMap[x] = a.Estimate(x)
 	}
+	b := mustSummary(t, 4, bMap)
 	var ba, bb bytes.Buffer
 	if err := MarshalSummary(&ba, a); err != nil {
 		t.Fatal(err)
@@ -145,7 +160,7 @@ func TestRejectsKindMismatch(t *testing.T) {
 }
 
 func TestRejectsCorruptEntries(t *testing.T) {
-	s := &merge.Summary{K: 4, Counts: map[stream.Item]int64{1: 5, 2: 3}}
+	s := mustSummary(t, 4, map[stream.Item]int64{1: 5, 2: 3})
 	var buf bytes.Buffer
 	if err := MarshalSummary(&buf, s); err != nil {
 		t.Fatal(err)
@@ -166,14 +181,38 @@ func TestRejectsCorruptEntries(t *testing.T) {
 }
 
 func TestRejectsOverfullSummary(t *testing.T) {
-	// Entries beyond k must be refused (resource exhaustion guard).
-	s := &merge.Summary{K: 2, Counts: map[stream.Item]int64{1: 1, 2: 1, 3: 1}}
+	// Entries beyond k must be refused (resource exhaustion guard). The
+	// constructors cannot build such a summary, so hand-craft the bytes.
 	var buf bytes.Buffer
-	if err := MarshalSummary(&buf, s); err != nil {
+	if err := writeHeader(&buf, header{Kind: KindSummary, K: 2, Entries: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeEntries(&buf, map[stream.Item]int64{1: 1, 2: 1, 3: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := UnmarshalSummary(&buf); err == nil {
 		t.Error("summary with more than k entries accepted")
+	}
+}
+
+func TestRejectsUnsortedEntries(t *testing.T) {
+	// Keys out of ascending order must be refused (the wire order is the
+	// canonical storage order of the flat summary).
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, header{Kind: KindSummary, K: 4, Entries: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]uint64{{9, 1}, {3, 1}} {
+		var b [16]byte
+		for i, v := range e {
+			for j := 0; j < 8; j++ {
+				b[i*8+j] = byte(v >> (8 * j))
+			}
+		}
+		buf.Write(b[:])
+	}
+	if _, err := UnmarshalSummary(&buf); err == nil {
+		t.Error("descending entries accepted")
 	}
 }
 
@@ -227,7 +266,7 @@ func TestMergeAfterWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got.Counts, want.Counts) {
+	if !reflect.DeepEqual(got.CountsMap(), want.CountsMap()) {
 		t.Error("merge after wire differs from direct merge")
 	}
 }
@@ -248,7 +287,7 @@ func (w *failingWriter) Write(p []byte) (int, error) {
 var errShort = fmt.Errorf("short write")
 
 func TestMarshalWriteErrors(t *testing.T) {
-	sum := &merge.Summary{K: 4, Counts: map[stream.Item]int64{1: 2, 3: 4}}
+	sum := mustSummary(t, 4, map[stream.Item]int64{1: 2, 3: 4})
 	sk := mg.New(2, 10)
 	sk.Update(1)
 	pa := pamg.New(2)
@@ -268,7 +307,7 @@ func TestMarshalWriteErrors(t *testing.T) {
 }
 
 func TestUnmarshalWrongKindEverywhere(t *testing.T) {
-	sum := &merge.Summary{K: 2, Counts: map[stream.Item]int64{1: 1}}
+	sum := mustSummary(t, 2, map[stream.Item]int64{1: 1})
 	var buf bytes.Buffer
 	if err := MarshalSummary(&buf, sum); err != nil {
 		t.Fatal(err)

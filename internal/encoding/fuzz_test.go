@@ -22,10 +22,10 @@ func FuzzUnmarshalSummary(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if s.K <= 0 || len(s.Counts) > s.K {
-			t.Fatalf("decoder returned invalid summary: k=%d entries=%d", s.K, len(s.Counts))
+		if s.K <= 0 || s.Len() > s.K {
+			t.Fatalf("decoder returned invalid summary: k=%d entries=%d", s.K, s.Len())
 		}
-		for _, c := range s.Counts {
+		for _, c := range s.Counts() {
 			if c <= 0 {
 				t.Fatal("decoder returned non-positive counter")
 			}
@@ -39,7 +39,7 @@ func FuzzUnmarshalSummary(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if s2.K != s.K || len(s2.Counts) != len(s.Counts) {
+		if s2.K != s.K || s2.Len() != s.Len() {
 			t.Fatal("re-encode not stable")
 		}
 	})
@@ -99,8 +99,8 @@ func FuzzRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("summary round trip failed: %v", err)
 		}
-		if sum2.K != sum.K || !reflect.DeepEqual(sum2.Counts, sum.Counts) {
-			t.Fatalf("summary mutated: %+v vs %+v", sum2, sum)
+		if sum2.K != sum.K || !reflect.DeepEqual(sum2.CountsMap(), sum.CountsMap()) {
+			t.Fatalf("summary mutated: %+v vs %+v", sum2.CountsMap(), sum.CountsMap())
 		}
 
 		// Raw item batch (the /v1/batch body format).

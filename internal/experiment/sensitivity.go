@@ -67,8 +67,8 @@ func E5Sensitivity(c Config) *Table {
 		bSum, _ := merge.FromCounters(k, d, b.Counters())
 		ma, _ := merge.Merge(aSum, oSum)
 		mb, _ := merge.Merge(bSum, oSum)
-		mergedLinf = math.Max(mergedLinf, hist.LInfDistance(ma.Counts, mb.Counts))
-		mergedL1 = math.Max(mergedL1, hist.L1Distance(ma.Counts, mb.Counts))
+		mergedLinf = math.Max(mergedLinf, hist.LInfDistance(ma.CountsMap(), mb.CountsMap()))
+		mergedL1 = math.Max(mergedL1, hist.L1Distance(ma.CountsMap(), mb.CountsMap()))
 
 		// PAMG pair on user sets.
 		ss := randomSets(rng, 1+rng.IntN(40), int(d), 3)

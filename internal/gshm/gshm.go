@@ -160,6 +160,25 @@ func ReleaseSorted(counts map[stream.Item]int64, keys []stream.Item, c Config, s
 	return out
 }
 
+// ReleaseFlat applies the mechanism to flat parallel counter columns: keys
+// must be ascending (the input-independent Section 5.2 order) and one
+// Gaussian sample is drawn per strictly positive counter, so the draw
+// sequence is identical to ReleaseSorted over the same table. No map is
+// consulted; this is the path the flat merge tier releases through.
+func ReleaseFlat(keys []stream.Item, counts []int64, c Config, src noise.Source) hist.Estimate {
+	out := make(hist.Estimate)
+	for i, x := range keys {
+		v := counts[i]
+		if v <= 0 {
+			continue
+		}
+		if noisy := float64(v) + noise.Gaussian(src, c.Sigma); noisy >= 1+c.Tau {
+			out[x] = noisy
+		}
+	}
+	return out
+}
+
 // ErrorBound returns the Theorem 30 style error decomposition: with
 // probability at least 1-2·delta all noise samples have magnitude at most
 // tau, and thresholding adds at most 1 + tau, so released estimates are

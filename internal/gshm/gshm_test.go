@@ -217,3 +217,28 @@ func TestEmpiricalPrivacySingleCounter(t *testing.T) {
 		}
 	}
 }
+
+func TestReleaseFlatMatchesSorted(t *testing.T) {
+	// Same counters, same seed: the flat column release and the map release
+	// must be byte-identical — both visit ascending keys and draw one
+	// Gaussian per strictly positive counter.
+	counts := map[stream.Item]int64{3: 40, 7: 0, 11: 55, 19: -2, 23: 61, 40: 1}
+	keys := []stream.Item{3, 7, 11, 19, 23, 40}
+	vals := []int64{40, 0, 55, -2, 61, 1}
+	cfg, err := Calibrate(1, 1e-6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		viaMap := ReleaseSorted(counts, keys, cfg, noise.NewSource(seed))
+		flat := ReleaseFlat(keys, vals, cfg, noise.NewSource(seed))
+		if len(flat) != len(viaMap) {
+			t.Fatalf("seed %d: support drift: flat %d, map %d", seed, len(flat), len(viaMap))
+		}
+		for x, v := range viaMap {
+			if flat[x] != v {
+				t.Fatalf("seed %d: value drift at %d: flat %v, map %v", seed, x, flat[x], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package merge
+
+// Differential tests pinning the flat merge/release tier to its map-based
+// counterparts: the flat multi-way MergeAll must reproduce the map
+// reference's counter table exactly (ref.go is the executable spec, like
+// mg.Ref for the sketch core), and the flat release loop must draw noise in
+// exactly the order the map loop draws it, so a release through either
+// representation is byte-identical under the same seed.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dpmg/internal/mg"
+	"dpmg/internal/noise"
+	"dpmg/internal/stream"
+)
+
+func randomSummaries(t *testing.T, rng *rand.Rand, parts, k int, d uint64) []*Summary {
+	t.Helper()
+	sums := make([]*Summary, parts)
+	for p := range sums {
+		sk := mg.New(k, d)
+		n := rng.IntN(200)
+		for i := 0; i < n; i++ {
+			sk.Update(stream.Item(rng.IntN(int(d)) + 1))
+		}
+		s, err := FromCounters(k, d, sk.Counters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[p] = s
+	}
+	return sums
+}
+
+func TestMergeAllMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	var m Merger // reused across trials: scratch reuse must not leak state
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.IntN(8)
+		d := uint64(2 + rng.IntN(20))
+		sums := randomSummaries(t, rng, 1+rng.IntN(6), k, d)
+		want := mergeAllRef(sums)
+		got, err := m.MergeAll(sums)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := equalToRef(got, want); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestMergeMatchesRefPairwise(t *testing.T) {
+	// The binary Merge is the m=2 case of the multi-way rule; pin it to the
+	// reference separately since the server's incremental fold uses it.
+	rng := rand.New(rand.NewPCG(13, 14))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.IntN(6)
+		d := uint64(2 + rng.IntN(12))
+		sums := randomSummaries(t, rng, 2, k, d)
+		got, err := Merge(sums[0], sums[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := equalToRef(got, mergeAllRef(sums)); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestReleaseBoundedFlatMatchesMap(t *testing.T) {
+	// Same summary, same seed: the flat release and the map release must
+	// produce identical histograms, because they must consume the noise
+	// stream in the same (ascending-key) order.
+	rng := rand.New(rand.NewPCG(15, 16))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.IntN(8)
+		d := uint64(2 + rng.IntN(30))
+		merged, err := MergeAll(randomSummaries(t, rng, 1+rng.IntN(5), k, d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := rng.Uint64()
+		eps := 0.5 + rng.Float64()
+		flat := ReleaseBoundedFlat(merged, eps, 1e-6, noise.NewSource(seed))
+		viaMap := ReleaseBounded(merged.CountsMap(), merged.K, eps, 1e-6, noise.NewSource(seed))
+		if len(flat) != len(viaMap) {
+			t.Fatalf("trial %d: support drift: flat %d, map %d", trial, len(flat), len(viaMap))
+		}
+		for x, v := range viaMap {
+			if flat[x] != v {
+				t.Fatalf("trial %d: value drift at %d: flat %v, map %v", trial, x, flat[x], v)
+			}
+		}
+	}
+}
+
+func TestMergerSelfMergeSafe(t *testing.T) {
+	// Feeding a Merger's own borrowed result back as an input must not
+	// corrupt the merge: the Merger detects the aliasing and moves to fresh
+	// scratch. Construct the hazardous shape deliberately — the second
+	// merge's other input sorts before the borrowed result's keys, so
+	// without the guard the output cursor would overtake the read cursor.
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.IntN(6)
+		d := uint64(30)
+		var m Merger
+		first, err := m.MergeAll(randomSummaries(t, rng, 3, k, d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Low keys (1..10) so they merge ahead of most of first's keys.
+		low := mg.New(k, d)
+		for i := 0; i < 50; i++ {
+			low.Update(stream.Item(rng.IntN(10) + 1))
+		}
+		other, err := FromCounters(k, d, low.Counters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mergeAllRef([]*Summary{other, first.Clone()})
+		got, err := m.MergeAll([]*Summary{other, first})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := equalToRef(got, want); err != nil {
+			t.Fatalf("trial %d: self-merge corrupted: %v", trial, err)
+		}
+	}
+}

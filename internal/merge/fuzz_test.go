@@ -40,8 +40,8 @@ func FuzzMergeErrorBound(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(merged.Counts) > k {
-			t.Fatalf("merged holds %d > k counters", len(merged.Counts))
+		if merged.Len() > k {
+			t.Fatalf("merged holds %d > k counters", merged.Len())
 		}
 		all := append(append(stream.Stream{}, s1...), s2...)
 		f := hist.Exact(all)
@@ -52,9 +52,75 @@ func FuzzMergeErrorBound(f *testing.F) {
 				t.Fatalf("Lemma 29 violated at %d: est %d true %d slack %d", x, est, fx, slack)
 			}
 		}
-		for _, c := range merged.Counts {
+		for _, c := range merged.Counts() {
 			if c <= 0 {
 				t.Fatal("non-positive merged counter")
+			}
+		}
+	})
+}
+
+// FuzzMergeEquivalence is the merge-tier analogue of mg's
+// FuzzUpdateEquivalence: it builds a random set of summaries from arbitrary
+// bytes and checks that the flat multi-way MergeAll produces exactly the
+// counter table of the map-based reference implementation (ref.go), and
+// that a reused Merger agrees with the package function.
+func FuzzMergeEquivalence(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 0, 9, 9, 9, 1, 2})
+	f.Add([]byte{1, 7, 0, 7, 0, 7})
+	f.Add([]byte{6, 1, 1, 2, 2, 3, 3, 0, 4, 4, 0, 5, 5, 6})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		k := int(raw[0]%6) + 1
+		d := uint64(8)
+		// Split the remaining bytes into parts at zero bytes; each part is
+		// one stream, each stream one summary.
+		var summaries []*Summary
+		sk := mg.New(k, d)
+		n := 0
+		flush := func() {
+			if n == 0 {
+				return
+			}
+			out, err := FromCounters(k, d, sk.Counters())
+			if err != nil {
+				t.Fatal(err)
+			}
+			summaries = append(summaries, out)
+			sk = mg.New(k, d)
+			n = 0
+		}
+		for _, b := range raw[1:] {
+			if b == 0 {
+				flush()
+				continue
+			}
+			sk.Update(stream.Item(uint64(b)%d + 1))
+			n++
+		}
+		flush()
+		if len(summaries) == 0 {
+			return
+		}
+		want := mergeAllRef(summaries)
+		got, err := MergeAll(summaries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := equalToRef(got, want); err != nil {
+			t.Fatalf("flat MergeAll diverges from map reference: %v", err)
+		}
+		// A reused Merger must agree with the one-shot path call after call.
+		var m Merger
+		for rep := 0; rep < 2; rep++ {
+			res, err := m.MergeAll(summaries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := equalToRef(res, want); err != nil {
+				t.Fatalf("rep %d: Merger diverges from reference: %v", rep, err)
 			}
 		}
 	})

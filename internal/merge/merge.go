@@ -5,21 +5,38 @@
 // one" structure of neighboring sketches (Lemma 17, Corollary 18), so a
 // merged sketch can be released with noise calibrated to l1-sensitivity k
 // or l2-sensitivity sqrt(k) regardless of how many merges happened.
+//
+// # Flat storage
+//
+// A Summary stores its counters as two parallel slices — keys in strictly
+// ascending order and their positive counts — instead of a Go map. The
+// ascending order is exactly the input-independent release order Section 5.2
+// requires, so the release loops consume a summary without rebuilding or
+// re-sorting anything, and merging becomes a multi-way sorted-slice merge:
+// no hashing, no map iteration, sequential memory access. A Merger reuses
+// its scratch across calls, so the steady-state aggregation loop of a
+// trusted aggregator (merge, release, repeat) performs zero allocations in
+// the merge step. The retired map-based implementation survives as the
+// executable specification in ref.go that differential and fuzz tests check
+// the flat code against.
 package merge
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"dpmg/internal/stream"
 )
 
 // Summary is a mergeable Misra-Gries summary: at most k strictly positive
-// counters. It is the Section 7 object of study — zero-count keys are not
-// stored (unlike the Algorithm 1 sketch).
+// counters, stored flat as ascending keys with parallel counts. It is the
+// Section 7 object of study — zero-count keys are not stored (unlike the
+// Algorithm 1 sketch). Construct one with FromCounters or FromSorted; the
+// zero value is not usable.
 type Summary struct {
-	K      int
-	Counts map[stream.Item]int64
+	K    int
+	keys []stream.Item // strictly ascending
+	vals []int64       // parallel to keys, strictly positive
 }
 
 // FromCounters builds a Summary from a counter table, dropping non-positive
@@ -29,7 +46,7 @@ func FromCounters(k int, universe uint64, counts map[stream.Item]int64) (*Summar
 	if k <= 0 {
 		return nil, fmt.Errorf("merge: k must be positive")
 	}
-	out := make(map[stream.Item]int64)
+	keys := make([]stream.Item, 0, len(counts))
 	for x, c := range counts {
 		if c <= 0 {
 			continue
@@ -37,82 +54,230 @@ func FromCounters(k int, universe uint64, counts map[stream.Item]int64) (*Summar
 		if universe > 0 && uint64(x) > universe {
 			continue
 		}
-		out[x] = c
+		keys = append(keys, x)
 	}
-	if len(out) > k {
-		return nil, fmt.Errorf("merge: %d positive counters exceed k=%d", len(out), k)
+	if len(keys) > k {
+		return nil, fmt.Errorf("merge: %d positive counters exceed k=%d", len(keys), k)
 	}
-	return &Summary{K: k, Counts: out}, nil
+	slices.Sort(keys)
+	vals := make([]int64, len(keys))
+	for i, x := range keys {
+		vals[i] = counts[x]
+	}
+	return &Summary{K: k, keys: keys, vals: vals}, nil
 }
 
-// Clone returns a deep copy.
+// FromSorted wraps pre-sorted parallel counter columns as a Summary without
+// copying: keys must be strictly ascending, counts strictly positive, and at
+// most k entries. The summary borrows the slices; callers must not mutate
+// them afterwards. This is the zero-copy entry point for flat extraction
+// paths (sharded shard summaries, the wire decoder).
+func FromSorted(k int, keys []stream.Item, counts []int64) (*Summary, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("merge: k must be positive")
+	}
+	if len(keys) != len(counts) {
+		return nil, fmt.Errorf("merge: %d keys vs %d counts", len(keys), len(counts))
+	}
+	if len(keys) > k {
+		return nil, fmt.Errorf("merge: %d positive counters exceed k=%d", len(keys), k)
+	}
+	for i, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("merge: non-positive counter %d for key %d", c, keys[i])
+		}
+		if i > 0 && keys[i] <= keys[i-1] {
+			return nil, fmt.Errorf("merge: keys not strictly ascending at %d", i)
+		}
+	}
+	return &Summary{K: k, keys: keys, vals: counts}, nil
+}
+
+// Len returns the number of stored counters (at most k).
+func (s *Summary) Len() int { return len(s.keys) }
+
+// Keys returns the stored keys in strictly ascending order. The slice is
+// the summary's backing storage: treat it as read-only.
+func (s *Summary) Keys() []stream.Item { return s.keys }
+
+// Counts returns the counts parallel to Keys. The slice is the summary's
+// backing storage: treat it as read-only.
+func (s *Summary) Counts() []int64 { return s.vals }
+
+// At returns the i-th (key, count) pair in ascending key order.
+func (s *Summary) At(i int) (stream.Item, int64) { return s.keys[i], s.vals[i] }
+
+// CountsMap materializes the counter table as a map, for callers that need
+// associative lookups (structure checks, tests). It allocates; the release
+// and merge hot paths never call it.
+func (s *Summary) CountsMap() map[stream.Item]int64 {
+	out := make(map[stream.Item]int64, len(s.keys))
+	for i, x := range s.keys {
+		out[x] = s.vals[i]
+	}
+	return out
+}
+
+// Clone returns a deep copy with its own backing storage.
 func (s *Summary) Clone() *Summary {
-	out := make(map[stream.Item]int64, len(s.Counts))
-	for x, c := range s.Counts {
-		out[x] = c
+	return &Summary{
+		K:    s.K,
+		keys: slices.Clone(s.keys),
+		vals: slices.Clone(s.vals),
 	}
-	return &Summary{K: s.K, Counts: out}
 }
 
-// Estimate returns the summarized frequency of x (0 if absent).
-func (s *Summary) Estimate(x stream.Item) int64 { return s.Counts[x] }
+// Estimate returns the summarized frequency of x (0 if absent) by binary
+// search over the sorted keys.
+func (s *Summary) Estimate(x stream.Item) int64 {
+	if i, ok := slices.BinarySearch(s.keys, x); ok {
+		return s.vals[i]
+	}
+	return 0
+}
 
 // Merge combines two size-k summaries into one size-k summary using the
 // Agarwal et al. algorithm: add the counter vectors, subtract the (k+1)-th
 // largest value from every counter, and drop non-positive counters. The
 // result summarizes the concatenated input with error at most N/(k+1) for N
-// the combined stream length (Lemma 29 via [1]).
+// the combined stream length (Lemma 29 via [1]). It allocates a fresh
+// result; aggregation loops that merge repeatedly should hold a Merger.
 func Merge(a, b *Summary) (*Summary, error) {
-	if a.K != b.K {
-		return nil, fmt.Errorf("merge: size mismatch k=%d vs k=%d", a.K, b.K)
+	var m Merger
+	out, err := m.MergeAll([]*Summary{a, b})
+	if err != nil {
+		return nil, err
 	}
-	k := a.K
-	combined := make(map[stream.Item]int64, len(a.Counts)+len(b.Counts))
-	for x, c := range a.Counts {
-		combined[x] = c
-	}
-	for x, c := range b.Counts {
-		combined[x] += c
-	}
-	sub := kPlusFirstLargest(combined, k)
-	out := make(map[stream.Item]int64, k)
-	for x, c := range combined {
-		if c > sub {
-			out[x] = c - sub
-		}
-	}
-	return &Summary{K: k, Counts: out}, nil
+	return out.Clone(), nil
 }
 
-// MergeAll left-folds Merge over the summaries in order. It errors on an
-// empty input or mismatched sizes.
+// MergeAll merges the summaries in one multi-way pass: all counter vectors
+// are added with a k-way sorted merge and the (k+1)-th largest combined
+// value is subtracted once. Like the pairwise fold it replaces, the result
+// summarizes the concatenation of all inputs with error at most N/(k+1)
+// (the Agarwal et al. bound holds for any merge tree, the single multi-way
+// node included), never overestimates, and preserves the Corollary 18
+// neighbor structure; individual counters may differ from the fold's in
+// either direction within those bounds. It errors on an empty input or
+// mismatched sizes. It allocates a fresh result; steady-state aggregation
+// loops should hold a Merger.
 func MergeAll(summaries []*Summary) (*Summary, error) {
+	var m Merger
+	out, err := m.MergeAll(summaries)
+	if err != nil {
+		return nil, err
+	}
+	return out.Clone(), nil
+}
+
+// Merger performs multi-way merges into reusable scratch. After the first
+// call its MergeAll performs zero allocations, which makes it the right
+// tool for the trusted-aggregator steady state (merge shard or node
+// summaries, release, repeat). A Merger is not safe for concurrent use.
+type Merger struct {
+	heads []int         // per-input cursor
+	keys  []stream.Item // merged key accumulation, then compacted result
+	vals  []int64       // parallel counts
+	sel   []int64       // scratch for the (k+1)-th largest selection
+	out   Summary       // result header returned by MergeAll
+}
+
+// MergeAll merges the summaries in one multi-way pass (see the package
+// function of the same name for semantics). The returned summary borrows
+// the Merger's scratch: it is valid until the next MergeAll call, and
+// callers that retain it longer must Clone it. Feeding a previous result
+// of this Merger back in as an input is safe — the Merger detects the
+// aliasing and moves to fresh scratch (one reallocation) rather than
+// overwrite an input it is still reading.
+func (m *Merger) MergeAll(summaries []*Summary) (*Summary, error) {
 	if len(summaries) == 0 {
 		return nil, fmt.Errorf("merge: no summaries")
 	}
-	acc := summaries[0].Clone()
-	for _, s := range summaries[1:] {
-		next, err := Merge(acc, s)
-		if err != nil {
-			return nil, err
+	k := summaries[0].K
+	total := 0
+	for _, s := range summaries {
+		if s.K != k {
+			return nil, fmt.Errorf("merge: size mismatch k=%d vs k=%d", k, s.K)
 		}
-		acc = next
+		total += s.Len()
 	}
-	return acc, nil
+	for _, s := range summaries {
+		if len(s.keys) > 0 && cap(m.keys) > 0 && &s.keys[0] == &m.keys[:1][0] {
+			// The input borrows our scratch (it is a previous result of this
+			// Merger): hand the arrays over to it and start fresh, so the
+			// multi-way pass below never writes into a slice it reads.
+			m.keys, m.vals = nil, nil
+			break
+		}
+	}
+	if cap(m.keys) < total {
+		m.keys = make([]stream.Item, total)
+		m.vals = make([]int64, total)
+	}
+	if cap(m.heads) < len(summaries) {
+		m.heads = make([]int, len(summaries))
+	}
+	heads := m.heads[:len(summaries)]
+	for i := range heads {
+		heads[i] = 0
+	}
+	// Multi-way merge: repeatedly take the smallest head key across inputs,
+	// summing equal keys. Inputs are few (shards, edge nodes), so a linear
+	// scan of the heads beats a heap's branch misses.
+	keys, vals := m.keys[:0], m.vals[:0]
+	for {
+		best := -1
+		var bk stream.Item
+		for i, s := range summaries {
+			if heads[i] < len(s.keys) {
+				if x := s.keys[heads[i]]; best < 0 || x < bk {
+					best, bk = i, x
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		var sum int64
+		for i, s := range summaries {
+			if h := heads[i]; h < len(s.keys) && s.keys[h] == bk {
+				sum += s.vals[h]
+				heads[i] = h + 1
+			}
+		}
+		keys = append(keys, bk)
+		vals = append(vals, sum)
+	}
+	// Subtract the (k+1)-th largest combined value and compact in place.
+	if sub := m.kPlusFirstLargest(vals, k); sub > 0 {
+		j := 0
+		for i, c := range vals {
+			if c > sub {
+				keys[j], vals[j] = keys[i], c-sub
+				j++
+			}
+		}
+		keys, vals = keys[:j], vals[:j]
+	}
+	m.keys, m.vals = keys, vals // prefixes of the backing arrays; caps retained
+	m.out = Summary{K: k, keys: m.keys, vals: m.vals}
+	return &m.out, nil
 }
 
-// kPlusFirstLargest returns the (k+1)-th largest counter value, or 0 when
-// fewer than k+1 counters exist (then nothing needs subtracting).
-func kPlusFirstLargest(counts map[stream.Item]int64, k int) int64 {
-	if len(counts) <= k {
+// kPlusFirstLargest returns the (k+1)-th largest of vals, or 0 when fewer
+// than k+1 values exist (then nothing needs subtracting). It sorts a copy
+// in the Merger's scratch; vals is left untouched.
+func (m *Merger) kPlusFirstLargest(vals []int64, k int) int64 {
+	if len(vals) <= k {
 		return 0
 	}
-	vals := make([]int64, 0, len(counts))
-	for _, c := range counts {
-		vals = append(vals, c)
+	if cap(m.sel) < len(vals) {
+		m.sel = make([]int64, len(vals))
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
-	return vals[k]
+	sel := m.sel[:len(vals)]
+	copy(sel, vals)
+	slices.Sort(sel)
+	return sel[len(sel)-1-k]
 }
 
 // CheckNeighborStructure verifies the Lemma 17 / Corollary 18 invariant on

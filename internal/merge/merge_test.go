@@ -48,8 +48,8 @@ func TestMergeErrorBound(t *testing.T) {
 			t.Fatalf("item %d: estimate %d < %d - %d", x, est, fx, slack)
 		}
 	}
-	if len(merged.Counts) > k {
-		t.Fatalf("merged summary has %d > k counters", len(merged.Counts))
+	if merged.Len() > k {
+		t.Fatalf("merged summary has %d > k counters", merged.Len())
 	}
 }
 
@@ -103,7 +103,7 @@ func TestLemma17SingleMerge(t *testing.T) {
 		}
 		a := summarize(t, k, d, str)
 		aPrime := summarize(t, k, d, str.RemoveAt(rng.IntN(n)))
-		if CheckNeighborStructure(a.Counts, aPrime.Counts) != nil {
+		if CheckNeighborStructure(a.CountsMap(), aPrime.CountsMap()) != nil {
 			// Lemma 8 guarantees this structure only after dropping zero
 			// counters, which FromCounters does; it must always hold.
 			t.Fatalf("trial %d: input pair lacks 0/1 structure", trial)
@@ -123,7 +123,7 @@ func TestLemma17SingleMerge(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := CheckNeighborStructure(ma.Counts, maPrime.Counts); err != nil {
+		if err := CheckNeighborStructure(ma.CountsMap(), maPrime.CountsMap()); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 	}
@@ -164,18 +164,29 @@ func TestCorollary18ManyMerges(t *testing.T) {
 			return merged
 		}
 		a, b := build(false), build(true)
-		if err := CheckNeighborStructure(a.Counts, b.Counts); err != nil {
+		if err := CheckNeighborStructure(a.CountsMap(), b.CountsMap()); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if l1 := hist.L1Distance(a.Counts, b.Counts); l1 > float64(k) {
+		if l1 := hist.L1Distance(a.CountsMap(), b.CountsMap()); l1 > float64(k) {
 			t.Fatalf("trial %d: merged l1 sensitivity %v > k", trial, l1)
 		}
 	}
 }
 
+// mustSummary builds a summary from a counter table, failing the test on
+// invalid input.
+func mustSummary(t *testing.T, k int, counts map[stream.Item]int64) *Summary {
+	t.Helper()
+	s, err := FromCounters(k, 0, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestMergeSizeMismatch(t *testing.T) {
-	a := &Summary{K: 4, Counts: map[stream.Item]int64{}}
-	b := &Summary{K: 5, Counts: map[stream.Item]int64{}}
+	a := mustSummary(t, 4, nil)
+	b := mustSummary(t, 5, nil)
 	if _, err := Merge(a, b); err == nil {
 		t.Error("size mismatch accepted")
 	}
@@ -202,46 +213,74 @@ func TestFromCountersValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Counts) != 1 || s.Counts[1] != 2 {
-		t.Fatalf("Counts = %v", s.Counts)
+	if s.Len() != 1 || s.Estimate(1) != 2 {
+		t.Fatalf("Counts = %v", s.CountsMap())
+	}
+}
+
+func TestFromSortedValidation(t *testing.T) {
+	if _, err := FromSorted(0, nil, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FromSorted(4, []stream.Item{1, 2}, []int64{1}); err == nil {
+		t.Error("ragged columns accepted")
+	}
+	if _, err := FromSorted(2, []stream.Item{1, 2, 3}, []int64{1, 1, 1}); err == nil {
+		t.Error("overfull summary accepted")
+	}
+	if _, err := FromSorted(4, []stream.Item{2, 1}, []int64{1, 1}); err == nil {
+		t.Error("descending keys accepted")
+	}
+	if _, err := FromSorted(4, []stream.Item{1, 1}, []int64{1, 1}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+	if _, err := FromSorted(4, []stream.Item{1, 2}, []int64{1, 0}); err == nil {
+		t.Error("non-positive counter accepted")
+	}
+	s, err := FromSorted(4, []stream.Item{3, 9}, []int64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Estimate(3) != 2 || s.Estimate(9) != 5 || s.Estimate(4) != 0 {
+		t.Fatalf("FromSorted contents wrong: %v", s.CountsMap())
 	}
 }
 
 func TestMergeSmallInputsNoSubtraction(t *testing.T) {
 	// Union fits within k: merge must be exact addition.
-	a := &Summary{K: 4, Counts: map[stream.Item]int64{1: 3, 2: 1}}
-	b := &Summary{K: 4, Counts: map[stream.Item]int64{1: 2, 3: 5}}
+	a := mustSummary(t, 4, map[stream.Item]int64{1: 3, 2: 1})
+	b := mustSummary(t, 4, map[stream.Item]int64{1: 2, 3: 5})
 	m, err := Merge(a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := map[stream.Item]int64{1: 5, 2: 1, 3: 5}
 	for x, w := range want {
-		if m.Counts[x] != w {
-			t.Fatalf("Counts = %v", m.Counts)
+		if m.Estimate(x) != w {
+			t.Fatalf("Counts = %v", m.CountsMap())
 		}
 	}
 }
 
 func TestMergeSubtractsKPlusFirst(t *testing.T) {
 	// 3 counters, k=2: subtract the 3rd largest from all.
-	a := &Summary{K: 2, Counts: map[stream.Item]int64{1: 10, 2: 4}}
-	b := &Summary{K: 2, Counts: map[stream.Item]int64{3: 7}}
+	a := mustSummary(t, 2, map[stream.Item]int64{1: 10, 2: 4})
+	b := mustSummary(t, 2, map[stream.Item]int64{3: 7})
 	m, err := Merge(a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// values 10,7,4 -> subtract 4 -> {1:6, 3:3}
-	if len(m.Counts) != 2 || m.Counts[1] != 6 || m.Counts[3] != 3 {
-		t.Fatalf("Counts = %v", m.Counts)
+	if m.Len() != 2 || m.Estimate(1) != 6 || m.Estimate(3) != 3 {
+		t.Fatalf("Counts = %v", m.CountsMap())
 	}
 }
 
 func TestCloneIndependent(t *testing.T) {
-	a := &Summary{K: 2, Counts: map[stream.Item]int64{1: 1}}
+	a := mustSummary(t, 2, map[stream.Item]int64{1: 1})
 	c := a.Clone()
-	c.Counts[1] = 99
-	if a.Counts[1] != 1 {
-		t.Error("Clone shares map")
+	c.Counts()[0] = 99 // mutate the clone's backing storage
+	if a.Estimate(1) != 1 {
+		t.Error("Clone shares storage")
 	}
 }

@@ -130,7 +130,7 @@ func TrustedAggregateBounded(summaries []*Summary, eps, delta float64, src noise
 	if err != nil {
 		return nil, err
 	}
-	return ReleaseBounded(merged.Counts, merged.K, eps, delta, src), nil
+	return ReleaseBoundedFlat(merged, eps, delta, src), nil
 }
 
 // BoundedScale returns the per-counter Laplace scale of the Corollary 18
@@ -150,7 +150,7 @@ func BoundedThreshold(eps, delta float64, k int) float64 {
 // BoundedThreshold, keys visited in ascending order (input-independent, the
 // Section 5.2 requirement). Inputs must be pre-validated; both
 // TrustedAggregateBounded and the unified release front-end funnel through
-// this loop so their noise draws are identical.
+// the same flat loop so their noise draws are identical.
 func ReleaseBounded(counts map[stream.Item]int64, k int, eps, delta float64, src noise.Source) hist.Estimate {
 	keys := make([]stream.Item, 0, len(counts))
 	for x := range counts {
@@ -175,4 +175,29 @@ func ReleaseBoundedSorted(counts map[stream.Item]int64, keys []stream.Item, k in
 		}
 	}
 	return out
+}
+
+// ReleaseBoundedColumns is the Corollary 18 release over flat parallel
+// counter columns: keys must be ascending (the Section 5.2 order) and the
+// loop draws one Laplace(k/eps) sample per strictly positive counter, so
+// its draw sequence is identical to ReleaseBoundedSorted over the same
+// table. No map is built or consulted.
+func ReleaseBoundedColumns(keys []stream.Item, counts []int64, k int, eps, delta float64, src noise.Source) hist.Estimate {
+	scale := BoundedScale(eps, k)
+	thresh := BoundedThreshold(eps, delta, k)
+	out := make(hist.Estimate)
+	for i, x := range keys {
+		if c := counts[i]; c > 0 {
+			if v := float64(c) + noise.Laplace(src, scale); v >= thresh {
+				out[x] = v
+			}
+		}
+	}
+	return out
+}
+
+// ReleaseBoundedFlat privatizes a flat summary with the Corollary 18
+// release, consuming the summary's already-sorted columns directly.
+func ReleaseBoundedFlat(s *Summary, eps, delta float64, src noise.Source) hist.Estimate {
+	return ReleaseBoundedColumns(s.keys, s.vals, s.K, eps, delta, src)
 }

@@ -163,7 +163,7 @@ func TestPipelineValidation(t *testing.T) {
 	if _, err := TrustedAggregateBounded(nil, 1, 1e-6, noise.NewSource(1)); err == nil {
 		t.Error("empty summaries accepted")
 	}
-	if _, err := TrustedAggregateBounded([]*Summary{{K: 2, Counts: map[stream.Item]int64{}}}, 1, 2, noise.NewSource(1)); err == nil {
+	if _, err := TrustedAggregateBounded([]*Summary{{K: 2}}, 1, 2, noise.NewSource(1)); err == nil {
 		t.Error("delta=2 accepted")
 	}
 }

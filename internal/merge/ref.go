@@ -1,0 +1,67 @@
+package merge
+
+import (
+	"fmt"
+	"sort"
+
+	"dpmg/internal/stream"
+)
+
+// This file is the map-based executable specification of the flat merge
+// tier, in the same spirit as mg.Ref for the flat sketch core: the original
+// map-and-sort implementation, kept compilable and exercised by the
+// differential tests and FuzzMergeEquivalence so any behavioral drift in
+// the flat slices shows up as a test failure, not a silent change. It is
+// never called from production paths.
+
+// mergeAllRef is the specification of MergeAll: add all counter tables into
+// one map, subtract the (k+1)-th largest combined value, drop non-positive
+// counters. Inputs must be non-empty with matching K (callers check).
+func mergeAllRef(summaries []*Summary) map[stream.Item]int64 {
+	k := summaries[0].K
+	combined := make(map[stream.Item]int64)
+	for _, s := range summaries {
+		for i, x := range s.keys {
+			combined[x] += s.vals[i]
+		}
+	}
+	sub := kPlusFirstLargestRef(combined, k)
+	out := make(map[stream.Item]int64, k)
+	for x, c := range combined {
+		if c > sub {
+			out[x] = c - sub
+		}
+	}
+	return out
+}
+
+// kPlusFirstLargestRef returns the (k+1)-th largest counter value, or 0
+// when fewer than k+1 counters exist (then nothing needs subtracting).
+func kPlusFirstLargestRef(counts map[stream.Item]int64, k int) int64 {
+	if len(counts) <= k {
+		return 0
+	}
+	vals := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	return vals[k]
+}
+
+// equalToRef reports whether the flat summary holds exactly the reference
+// counter table, with a descriptive error when it does not.
+func equalToRef(flat *Summary, ref map[stream.Item]int64) error {
+	if flat.Len() != len(ref) {
+		return fmt.Errorf("flat has %d counters, ref %d", flat.Len(), len(ref))
+	}
+	for i, x := range flat.keys {
+		if i > 0 && flat.keys[i-1] >= x {
+			return fmt.Errorf("flat keys not strictly ascending at %d", i)
+		}
+		if ref[x] != flat.vals[i] {
+			return fmt.Errorf("key %d: flat %d, ref %d", x, flat.vals[i], ref[x])
+		}
+	}
+	return nil
+}

@@ -345,6 +345,37 @@ func (s *Sketch) RealCounters() map[stream.Item]int64 {
 	return out
 }
 
+// AppendReal appends the sketch's positive real-item counters (dummy keys
+// and zero counters excluded, the same filter RealCounters applies) to the
+// given parallel columns in ascending key order and returns the extended
+// slices. Callers that reuse the destination slices across calls get a
+// map-free flat extraction — this is how the sharded merge tier snapshots
+// its shards.
+func (s *Sketch) AppendReal(keys []stream.Item, vals []int64) ([]stream.Item, []int64) {
+	base := len(keys)
+	for i := range s.slots {
+		if c := s.slots[i].stored - s.off; c > 0 && uint64(s.slots[i].key) <= s.universe {
+			keys = append(keys, s.slots[i].key)
+			vals = append(vals, c)
+		}
+	}
+	sort.Sort(&pairSorter{keys: keys[base:], vals: vals[base:]})
+	return keys, vals
+}
+
+// pairSorter co-sorts parallel key/count columns by ascending key.
+type pairSorter struct {
+	keys []stream.Item
+	vals []int64
+}
+
+func (p *pairSorter) Len() int           { return len(p.keys) }
+func (p *pairSorter) Less(i, j int) bool { return p.keys[i] < p.keys[j] }
+func (p *pairSorter) Swap(i, j int) {
+	p.keys[i], p.keys[j] = p.keys[j], p.keys[i]
+	p.vals[i], p.vals[j] = p.vals[j], p.vals[i]
+}
+
 // SortedKeys returns all stored keys in ascending order. Releasing key-value
 // pairs in an input-independent order is one of the Section 5.2 requirements
 // (hash-table iteration order can leak the insertion history).

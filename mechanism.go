@@ -63,13 +63,49 @@ type Sensitivity struct {
 }
 
 // ReleaseView is the snapshot of sketch state that a Mechanism privatizes:
-// the full counter table, the keys in ascending (input-independent) order,
-// and the dummy-key predicate. Mechanisms treat it as read-only.
+// the counters, the keys in ascending (input-independent) order, and the
+// dummy-key predicate. Mechanisms treat it as read-only.
+//
+// Counters come in one of two layouts. Flat views carry Vals, the counts
+// parallel to Keys — this is what the merged-tier front-ends
+// (MergeableSummary, ShardedSketch, UserSketch) produce, so mechanisms
+// release them with zero map traffic. Map views (the single-stream
+// front-ends, whose mechanisms share the internal/core release loops)
+// leave Vals nil. Mechanisms index layout-agnostically with Count(i), or
+// call Counters() for an associative table; the counter storage itself is
+// unexported so a mechanism can never silently read a layout that is not
+// populated.
 type ReleaseView struct {
-	Counts  map[Item]int64
+	counts  map[Item]int64  // nil for flat views until Counters materializes it
 	Keys    []Item          // ascending; the Section 5.2 release order
+	Vals    []int64         // parallel to Keys; nil for map views
 	IsDummy func(Item) bool // nil when the sketch stores no dummy keys
 	Sens    Sensitivity
+}
+
+// Count returns the counter paired with Keys[i], regardless of the view's
+// layout.
+func (v *ReleaseView) Count(i int) int64 {
+	if v.Vals != nil {
+		return v.Vals[i]
+	}
+	return v.counts[v.Keys[i]]
+}
+
+// Counters returns the view's counter table as a map. Map views return
+// their table directly; flat views materialize it on first call (an O(k)
+// allocation — release loops that only need sequential access should
+// iterate Keys with Count instead). The result is part of the read-only
+// view: mechanisms must not mutate it.
+func (v *ReleaseView) Counters() map[Item]int64 {
+	if v.counts == nil && v.Keys != nil {
+		m := make(map[Item]int64, len(v.Keys))
+		for i, x := range v.Keys {
+			m[x] = v.Vals[i]
+		}
+		v.counts = m
+	}
+	return v.counts
 }
 
 // Releasable is implemented by every sketch front-end in this package:
@@ -204,14 +240,14 @@ func init() {
 // draw for draw — that the deprecated per-type methods ran.
 type viewAlg1 struct{ v *ReleaseView }
 
-func (a viewAlg1) Counters() map[stream.Item]int64 { return a.v.Counts }
+func (a viewAlg1) Counters() map[stream.Item]int64 { return a.v.counts }
 func (a viewAlg1) SortedKeys() []stream.Item       { return a.v.Keys }
 func (a viewAlg1) IsDummy(x stream.Item) bool      { return a.v.IsDummy != nil && a.v.IsDummy(x) }
 
 // viewStd adapts a ReleaseView to core.StdSketch for the Section 5.1 path.
 type viewStd struct{ v *ReleaseView }
 
-func (a viewStd) Counters() map[stream.Item]int64 { return a.v.Counts }
+func (a viewStd) Counters() map[stream.Item]int64 { return a.v.counts }
 func (a viewStd) SortedKeys() []stream.Item       { return a.v.Keys }
 func (a viewStd) K() int                          { return a.v.Sens.K }
 
@@ -266,7 +302,10 @@ func (laplaceMechanism) Release(view *ReleaseView, cal *Calibration, seed uint64
 	src := noise.NewSource(seed)
 	switch {
 	case view.Sens.Class == SensitivityMerged:
-		return Histogram(merge.ReleaseBoundedSorted(view.Counts, view.Keys, view.Sens.K, p.Eps, p.Delta, src))
+		if view.Vals != nil {
+			return Histogram(merge.ReleaseBoundedColumns(view.Keys, view.Vals, view.Sens.K, p.Eps, p.Delta, src))
+		}
+		return Histogram(merge.ReleaseBoundedSorted(view.counts, view.Keys, view.Sens.K, p.Eps, p.Delta, src))
 	case view.Sens.Standard:
 		return mustEstimate(core.ReleaseStandard(viewStd{view}, p, src))
 	default:
@@ -329,7 +368,7 @@ func (pureMechanism) Calibrate(p Params, s Sensitivity) (*Calibration, error) {
 
 func (pureMechanism) Release(view *ReleaseView, cal *Calibration, seed uint64) Histogram {
 	eps := cal.Impl().(float64)
-	reduced := puredp.ReduceCounters(view.Counts, view.Sens.K)
+	reduced := puredp.ReduceCounters(view.counts, view.Sens.K)
 	return mustEstimate(puredp.ReleasePure(reduced, eps, view.Sens.Universe, noise.NewSource(seed)))
 }
 
@@ -367,7 +406,11 @@ func (gaussianMechanism) Calibrate(p Params, s Sensitivity) (*Calibration, error
 
 func (gaussianMechanism) Release(view *ReleaseView, cal *Calibration, seed uint64) Histogram {
 	cfg := cal.Impl().(gshm.Config)
-	return Histogram(gshm.ReleaseSorted(view.Counts, view.Keys, cfg, noise.NewSource(seed)))
+	src := noise.NewSource(seed)
+	if view.Vals != nil {
+		return Histogram(gshm.ReleaseFlat(view.Keys, view.Vals, cfg, src))
+	}
+	return Histogram(gshm.ReleaseSorted(view.counts, view.Keys, cfg, src))
 }
 
 // describeSens renders a sensitivity for error messages, flagging the

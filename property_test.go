@@ -66,7 +66,7 @@ func TestMergedSummaryProperties(t *testing.T) {
 	f := hist.Exact(str)
 	slack := int64(n) / int64(k+1)
 	for x := Item(1); int(x) <= d; x++ {
-		est := sum.inner.Counts[x]
+		est := sum.inner.Estimate(x)
 		if est > f[x] {
 			t.Fatalf("merged summary overestimates item %d: %d > %d", x, est, f[x])
 		}

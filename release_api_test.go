@@ -439,6 +439,9 @@ func TestContinualMonitorAdHocRelease(t *testing.T) {
 
 // registeredTestMechanism exercises the extensibility path: a custom
 // mechanism registered by name is reachable from Release like a built-in.
+// It reads counters through the layout-agnostic accessors (Count, Counters),
+// so it works identically on map views (single-stream sketches) and flat
+// views (merged/sharded summaries).
 type registeredTestMechanism struct{}
 
 func (registeredTestMechanism) Name() string { return "test-constant" }
@@ -449,9 +452,13 @@ func (registeredTestMechanism) Calibrate(p Params, s Sensitivity) (*Calibration,
 	return NewCalibration(map[string]float64{"constant": 1}, nil), nil
 }
 func (registeredTestMechanism) Release(view *ReleaseView, cal *Calibration, seed uint64) Histogram {
+	counters := view.Counters() // associative access must agree with Count(i)
 	out := make(Histogram)
-	for _, x := range view.Keys {
-		if view.Counts[x] > 0 && (view.IsDummy == nil || !view.IsDummy(x)) {
+	for i, x := range view.Keys {
+		if view.Count(i) != counters[x] {
+			panic("Count(i) disagrees with Counters()")
+		}
+		if view.Count(i) > 0 && (view.IsDummy == nil || !view.IsDummy(x)) {
 			out[x] = 1
 		}
 	}
@@ -462,17 +469,28 @@ func TestRegisterCustomMechanism(t *testing.T) {
 	if err := RegisterMechanism(registeredTestMechanism{}); err != nil {
 		t.Fatal(err)
 	}
-	h, err := Release(loadedSketch(7), Params{Eps: 1, Delta: 1e-6}, WithMechanism("test-constant"))
+	sk := loadedSketch(7)
+	sum, err := sk.Summary()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for x, v := range h {
-		if v != 1 {
-			t.Fatalf("custom mechanism output %v at %d", v, x)
+	sh := NewShardedSketch(4, 32, 500)
+	sh.UpdateBatch(workload.HeavyTail(40000, 500, 3, 0.9, 7))
+	// One map view (sketch) and two flat views (merged summary, sharded):
+	// the custom mechanism must see real counters on all of them.
+	for _, target := range []Releasable{sk, sum, sh} {
+		h, err := Release(target, Params{Eps: 1, Delta: 1e-6}, WithMechanism("test-constant"))
+		if err != nil {
+			t.Fatalf("%T: %v", target, err)
 		}
-	}
-	if len(h) == 0 {
-		t.Fatal("custom mechanism released nothing")
+		for x, v := range h {
+			if v != 1 {
+				t.Fatalf("%T: custom mechanism output %v at %d", target, v, x)
+			}
+		}
+		if len(h) == 0 {
+			t.Fatalf("%T: custom mechanism released nothing", target)
+		}
 	}
 }
 

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench_json.sh — run the ingest/merge/release micro-benchmarks and emit a
+# machine-readable BENCH_core.json (benchmark name, ns/op, B/op, allocs/op,
+# and MB/s where the benchmark reports throughput), seeding the repo's perf
+# trajectory: CI uploads the file as an artifact so regressions are
+# diffable run over run.
+#
+# Usage: scripts/bench_json.sh [output.json]
+#   DPMG_BENCHTIME=2s scripts/bench_json.sh   # override go test -benchtime
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_core.json}"
+BENCHTIME="${DPMG_BENCHTIME:-1s}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+run() { # run <package> <bench regex>
+  go test -run='^$' -bench="$2" -benchmem -benchtime="$BENCHTIME" "$1" | tee -a "$TMP"
+}
+
+# Ingest tier: flat sketch hot paths and the sharded router.
+run . 'BenchmarkSketchUpdate$|BenchmarkSketchUpdateAdversarial$|BenchmarkSketchUpdateBatch$|BenchmarkShardedUpdate$|BenchmarkShardedUpdateBatch$'
+# Merge/release tier: steady-state multi-way merge and the release loops.
+run . 'BenchmarkMergeSummaries$|BenchmarkMergeSummariesOneShot$|BenchmarkShardedRelease$|BenchmarkRelease$'
+run ./internal/merge 'BenchmarkMergeAllWide$|BenchmarkReleaseBounded$'
+# Server tier: HTTP batch ingest and streamed release.
+run ./cmd/dpmg-server 'BenchmarkServerBatchIngest$|BenchmarkServerRelease$'
+
+awk '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  ns = ""; bytes = ""; allocs = ""; mbs = ""
+  for (i = 2; i < NF; i++) {
+    if ($(i + 1) == "ns/op") ns = $i
+    if ($(i + 1) == "B/op") bytes = $i
+    if ($(i + 1) == "allocs/op") allocs = $i
+    if ($(i + 1) == "MB/s") mbs = $i
+  }
+  if (ns == "") next
+  if (n++) printf ",\n"
+  printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+  if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  if (mbs != "") printf ", \"mb_per_s\": %s", mbs
+  printf "}"
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' "$TMP" > "$OUT"
+
+echo "wrote $(grep -c '"name"' "$OUT") benchmark entries to $OUT" >&2

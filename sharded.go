@@ -2,7 +2,9 @@ package dpmg
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dpmg/internal/core"
 	"dpmg/internal/merge"
@@ -21,16 +23,50 @@ import (
 // (Corollary 18 justifies it for merged summaries), paying sqrt(k)-scaled
 // noise. If the O(1/eps) noise of Sketch.Release matters more than ingest
 // parallelism, feed a single Sketch from one goroutine instead.
+//
+// # Consistency model
+//
+// Every method is safe for concurrent use. Mutations are linearizable per
+// shard — two updates to the same item are always ordered — but there is no
+// global ordering across shards: a snapshot taken while writers are running
+// (N, ReleaseView, Summary) locks the shards one at a time in ascending
+// shard order, so it observes each shard at a slightly different instant.
+// Concurrent updates may or may not be included, exactly as if the snapshot
+// had raced them on a single sketch; updates completed before the snapshot
+// began are always included, and per-shard prefix integrity (shard i's
+// state is a prefix of its update stream) always holds.
 type ShardedSketch struct {
 	k      int
 	d      uint64
 	shards []shard
+
+	// The release tier merges shard summaries through reusable scratch,
+	// guarded by relMu so concurrent releases do not race on it.
+	relMu   sync.Mutex
+	merger  merge.Merger
+	sums    []*merge.Summary
+	sumKeys [][]Item
+	sumVals [][]int64
 }
 
+// shard is one mutex-guarded sketch, padded so that neighboring shards'
+// mutexes never share a cache line: under concurrent ingest the mutex word
+// is bounced between cores on every acquisition, and without padding one
+// shard's traffic would evict its neighbors' lines too (false sharing).
 type shard struct {
 	mu sync.Mutex
 	sk *mg.Sketch
+	_  [64 - 16]byte
 }
+
+// batchScratch holds the counting-sort state UpdateBatch needs; pooled so
+// steady-state batch ingest performs zero allocations.
+type batchScratch struct {
+	counts  []int
+	grouped []Item
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
 // NewShardedSketch returns a sketch with `shards` shards of k counters each
 // over the universe [1, d].
@@ -38,7 +74,14 @@ func NewShardedSketch(shards, k int, d uint64) *ShardedSketch {
 	if shards <= 0 {
 		panic("dpmg: shards must be positive")
 	}
-	s := &ShardedSketch{k: k, d: d, shards: make([]shard, shards)}
+	s := &ShardedSketch{
+		k:       k,
+		d:       d,
+		shards:  make([]shard, shards),
+		sums:    make([]*merge.Summary, shards),
+		sumKeys: make([][]Item, shards),
+		sumVals: make([][]int64, shards),
+	}
 	for i := range s.shards {
 		s.shards[i].sk = mg.New(k, d)
 	}
@@ -60,7 +103,8 @@ func (s *ShardedSketch) Update(x Item) {
 // shard's mutex is taken once per batch instead of once per item, which is
 // where the batch API pays off: under contention the lock traffic drops by
 // the batch size, and each shard then runs its whole group on the flat
-// sketch's hot path.
+// sketch's hot path. The grouping scratch is pooled, so steady-state batch
+// ingest allocates nothing.
 func (s *ShardedSketch) UpdateBatch(xs []Item) {
 	if len(xs) == 0 {
 		return
@@ -73,15 +117,25 @@ func (s *ShardedSketch) UpdateBatch(xs []Item) {
 		sh.mu.Unlock()
 		return
 	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	if cap(sc.counts) < nsh+1 {
+		sc.counts = make([]int, nsh+1)
+	}
+	counts := sc.counts[:nsh+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	if cap(sc.grouped) < len(xs) {
+		sc.grouped = make([]Item, len(xs))
+	}
+	grouped := sc.grouped[:len(xs)]
 	// Counting sort by shard: two passes, order-preserving within a shard.
-	counts := make([]int, nsh+1)
 	for _, x := range xs {
 		counts[s.shardOf(x)+1]++
 	}
 	for i := 1; i <= nsh; i++ {
 		counts[i] += counts[i-1]
 	}
-	grouped := make([]Item, len(xs))
 	next := counts[:nsh]
 	for _, x := range xs {
 		i := s.shardOf(x)
@@ -100,6 +154,7 @@ func (s *ShardedSketch) UpdateBatch(xs []Item) {
 		sh.mu.Unlock()
 		start = end
 	}
+	batchScratchPool.Put(sc)
 }
 
 // shardOf routes items to shards with a fixed multiplicative hash, so the
@@ -111,7 +166,10 @@ func (s *ShardedSketch) shardOf(x Item) int {
 	return int(h % uint64(len(s.shards)))
 }
 
-// N returns the total number of processed elements across shards.
+// N returns the total number of processed elements across shards. The
+// shards are read one at a time in ascending shard order (see the
+// consistency model above): the total is exact once writers have quiesced,
+// and otherwise includes every update that completed before the call began.
 func (s *ShardedSketch) N() int64 {
 	var n int64
 	for i := range s.shards {
@@ -126,38 +184,92 @@ func (s *ShardedSketch) N() int64 {
 func (s *ShardedSketch) Estimate(x Item) int64 {
 	sh := &s.shards[s.shardOf(x)]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.sk.Estimate(x)
+	est := sh.sk.Estimate(x)
+	sh.mu.Unlock()
+	return est
 }
 
-// merged folds the shard summaries; each shard contributes at most k
-// counters and items are disjoint across shards.
+// merged folds the shard summaries with one multi-way pass; each shard
+// contributes at most k counters and items are disjoint across shards. The
+// shards are summarized concurrently (flat extraction under each shard's
+// lock, ascending key order) and the k-way merge runs on reusable scratch.
+// The returned summary borrows that scratch: callers must finish with it —
+// or Clone it — before relMu is released.
 func (s *ShardedSketch) merged() (*merge.Summary, error) {
-	summaries := make([]*merge.Summary, len(s.shards))
-	for i := range s.shards {
-		s.shards[i].mu.Lock()
-		sum, err := merge.FromCounters(s.k, s.d, s.shards[i].sk.Counters())
-		s.shards[i].mu.Unlock()
+	summarize := func(i int) error {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		keys, vals := sh.sk.AppendReal(s.sumKeys[i][:0], s.sumVals[i][:0])
+		sh.mu.Unlock()
+		s.sumKeys[i], s.sumVals[i] = keys, vals
+		sum, err := merge.FromSorted(s.k, keys, vals)
 		if err != nil {
-			return nil, fmt.Errorf("dpmg: shard %d: %w", i, err)
+			return fmt.Errorf("dpmg: shard %d: %w", i, err)
 		}
-		summaries[i] = sum
+		s.sums[i] = sum
+		return nil
 	}
-	return merge.MergeAll(summaries)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	if workers <= 1 || len(s.shards) < 4 {
+		for i := range s.shards {
+			if err := summarize(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var (
+			wg    sync.WaitGroup
+			next  atomic.Int64
+			errMu sync.Mutex
+			first error
+		)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(s.shards) {
+						return
+					}
+					if err := summarize(i); err != nil {
+						errMu.Lock()
+						if first == nil {
+							first = err
+						}
+						errMu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if first != nil {
+			return nil, first
+		}
+	}
+	return s.merger.MergeAll(s.sums)
 }
 
 // ReleaseView snapshots the sketch for the unified release path: the shard
 // summaries are folded with the Agarwal et al. merge, so the view carries
 // merged (Corollary 18) sensitivity and defaults to the gaussian mechanism.
+// The view is flat (sorted parallel columns) and owns its storage, so it
+// stays valid while other releases run.
 func (s *ShardedSketch) ReleaseView() (*ReleaseView, error) {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
 	m, err := s.merged()
 	if err != nil {
 		return nil, err
 	}
+	m = m.Clone() // detach from merge scratch before relMu is released
 	return &ReleaseView{
-		Counts: m.Counts,
-		Keys:   sortedViewKeys(m.Counts),
-		Sens:   Sensitivity{Class: SensitivityMerged, K: s.k, Universe: s.d},
+		Keys: m.Keys(),
+		Vals: m.Counts(),
+		Sens: Sensitivity{Class: SensitivityMerged, K: s.k, Universe: s.d},
 	}, nil
 }
 
@@ -175,9 +287,11 @@ func (s *ShardedSketch) Release(p Params, seed uint64) (Histogram, error) {
 
 // Summary extracts the merged non-private summary for further aggregation.
 func (s *ShardedSketch) Summary() (*MergeableSummary, error) {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
 	m, err := s.merged()
 	if err != nil {
 		return nil, err
 	}
-	return &MergeableSummary{inner: m}, nil
+	return &MergeableSummary{inner: m.Clone()}, nil
 }

@@ -105,3 +105,97 @@ func TestShardedReleaseRejectsBadParams(t *testing.T) {
 		t.Error("eps=0 accepted")
 	}
 }
+
+// TestShardedConcurrentStress interleaves every public operation —
+// single-item updates, batch updates, estimates, N, ReleaseView-based
+// releases, and Summary extraction — from many goroutines. Under -race
+// (the CI test mode) this is the safety net for the sharded tier's locking:
+// the padded shard mutexes, the pooled batch scratch, and the release
+// mutex guarding the shared merge scratch. Assertions are deliberately
+// weak (no torn state, conserved totals); the point is the interleaving.
+func TestShardedConcurrentStress(t *testing.T) {
+	const (
+		d         = 5_000
+		writers   = 4
+		batchers  = 2
+		perWriter = 8_000
+		batchSize = 257
+		readers   = 2
+		releases  = 6
+	)
+	s := NewShardedSketch(8, 64, d)
+	var wg sync.WaitGroup
+
+	total := int64(0)
+	for w := 0; w < writers; w++ {
+		str := workload.HeavyTail(perWriter, d, 4, 0.8, uint64(100+w))
+		total += int64(len(str))
+		wg.Add(1)
+		go func(str []Item) {
+			defer wg.Done()
+			for _, x := range str {
+				s.Update(x)
+			}
+		}(str)
+	}
+	for w := 0; w < batchers; w++ {
+		str := workload.Zipf(perWriter, d, 1.1, uint64(200+w))
+		total += int64(len(str))
+		wg.Add(1)
+		go func(str []Item) {
+			defer wg.Done()
+			for i := 0; i < len(str); i += batchSize {
+				end := i + batchSize
+				if end > len(str) {
+					end = len(str)
+				}
+				s.UpdateBatch(str[i:end])
+			}
+		}(str)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				if n := s.N(); n < 0 {
+					t.Errorf("negative N %d", n)
+					return
+				}
+				if est := s.Estimate(Item(i%d + 1)); est < 0 {
+					t.Errorf("negative estimate %d", est)
+					return
+				}
+			}
+		}(uint64(r))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < releases; i++ {
+			// ReleaseView (and the deprecated Release wrapper) must be safe
+			// to run while writers are mid-stream: each release snapshots
+			// shard by shard under the shard locks and merges under relMu.
+			if _, err := Release(s, Params{Eps: 1, Delta: 1e-6}, WithSeed(uint64(i))); err != nil {
+				t.Errorf("concurrent release: %v", err)
+				return
+			}
+			if _, err := s.Summary(); err != nil {
+				t.Errorf("concurrent summary: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if n := s.N(); n != total {
+		t.Fatalf("N = %d after quiesce, want %d", n, total)
+	}
+	// A post-quiesce release still works and sees the heavy items.
+	h, err := Release(s, Params{Eps: 1, Delta: 1e-6}, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) == 0 {
+		t.Fatal("release empty after stress ingest")
+	}
+}
