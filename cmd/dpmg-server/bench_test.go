@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"dpmg"
@@ -73,4 +77,112 @@ func BenchmarkServerRelease(b *testing.B) {
 			b.Fatalf("status %d: %s", w.Code, w.Body.String())
 		}
 	}
+}
+
+// newBenchManagerServer builds a server with `streams` pre-created streams
+// named s0..s{n-1} (plus the default), each with an effectively unlimited
+// budget so release benchmarks never exhaust.
+func newBenchManagerServer(b *testing.B, streams int, k int, d uint64) (*server, *http.ServeMux) {
+	b.Helper()
+	s, err := newServer(k, d, dpmg.Budget{Eps: float64(1 << 40), Delta: 0.999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mux := s.routes()
+	for i := 0; i < streams; i++ {
+		w := httptest.NewRecorder()
+		body := fmt.Sprintf(`{"name":"s%d"}`, i)
+		req := httptest.NewRequest(http.MethodPost, "/v1/streams", strings.NewReader(body))
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusCreated {
+			b.Fatalf("create s%d: %d %s", i, w.Code, w.Body.String())
+		}
+	}
+	return s, mux
+}
+
+// benchParallelIngest drives the batch endpoint from all parallel workers,
+// each worker pinned to the stream chosen by pick.
+func benchParallelIngest(b *testing.B, mux *http.ServeMux, raw []byte, pick func(worker int) string) {
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	var workers atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		path := "/v1/streams/" + pick(int(workers.Add(1)-1)) + "/batch"
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+			w := httptest.NewRecorder()
+			mux.ServeHTTP(w, req)
+			if w.Code != http.StatusAccepted {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+}
+
+// BenchmarkServerMultiStreamIngest is the tentpole concurrency claim in
+// benchmark form: parallel workers ingest into distinct streams, so the
+// only shared structure on the path is the lock-striped registry read.
+// Compare with BenchmarkServerSingleStreamIngest (same load, one stream):
+// the multi-stream row should scale with cores, the single-stream row pays
+// that stream's shard contention.
+func BenchmarkServerMultiStreamIngest(b *testing.B) {
+	const d = 1 << 16
+	streams := runtime.GOMAXPROCS(0)
+	_, mux := newBenchManagerServer(b, streams, 256, d)
+	var body bytes.Buffer
+	if err := encoding.MarshalItems(&body, workload.Zipf(4096, d, 1.05, 1)); err != nil {
+		b.Fatal(err)
+	}
+	benchParallelIngest(b, mux, body.Bytes(), func(worker int) string {
+		return fmt.Sprintf("s%d", worker%streams)
+	})
+}
+
+// BenchmarkServerSingleStreamIngest is the contended baseline: the same
+// parallel load aimed at one stream.
+func BenchmarkServerSingleStreamIngest(b *testing.B) {
+	const d = 1 << 16
+	_, mux := newBenchManagerServer(b, 1, 256, d)
+	var body bytes.Buffer
+	if err := encoding.MarshalItems(&body, workload.Zipf(4096, d, 1.05, 1)); err != nil {
+		b.Fatal(err)
+	}
+	benchParallelIngest(b, mux, body.Bytes(), func(int) string { return "s0" })
+}
+
+// BenchmarkServerMultiStreamRelease measures concurrent release traffic on
+// distinct streams: per-stream shard summarize + merge + laplace release +
+// streamed JSON, with no cross-stream synchronization.
+func BenchmarkServerMultiStreamRelease(b *testing.B) {
+	const d = 1 << 14
+	streams := runtime.GOMAXPROCS(0)
+	_, mux := newBenchManagerServer(b, streams, 256, d)
+	var body bytes.Buffer
+	if err := encoding.MarshalItems(&body, workload.Zipf(1<<17, d, 1.05, 2)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < streams; i++ {
+		req := httptest.NewRequest(http.MethodPost, fmt.Sprintf("/v1/streams/s%d/batch", i), bytes.NewReader(body.Bytes()))
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusAccepted {
+			b.Fatalf("ingest s%d status %d", i, w.Code)
+		}
+	}
+	b.ReportAllocs()
+	var workers atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		path := fmt.Sprintf("/v1/streams/s%d/release?eps=0.1&delta=1e-12&mech=laplace", int(workers.Add(1)-1)%streams)
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			w := httptest.NewRecorder()
+			mux.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
 }

@@ -1,34 +1,62 @@
-// Command dpmg-server runs a trusted aggregator for the distributed
-// heavy-hitters setting of the paper's Section 7. Edge nodes either sketch
-// their local streams with Misra-Gries summaries (dpmg.Sketch → Summary →
-// encoding.MarshalSummary) and POST them, or ship raw item batches for the
-// server to sketch itself; analysts GET differentially private releases,
-// metered against a fixed total privacy budget.
+// Command dpmg-server runs a multi-tenant trusted aggregator for the
+// distributed heavy-hitters setting of the paper's Section 7. A stream
+// manager holds any number of named streams — independent edge populations,
+// each with its own universe, sketch state, default mechanism, and
+// (eps, delta) budget. Edge nodes either sketch their local streams with
+// Misra-Gries summaries (dpmg.Sketch → Summary → encoding.MarshalSummary)
+// and POST them, or ship raw item batches for the server to sketch itself;
+// analysts GET differentially private releases, metered against each
+// stream's own budget.
 //
-//	dpmg-server -addr :8080 -k 256 -d 1048576 -eps 4 -delta 1e-5
+//	dpmg-server -addr :8080 -k 256 -d 1048576 -eps 4 -delta 1e-5 -state /var/lib/dpmg
 //
 // Endpoints:
 //
-//	POST /v1/summary           binary mergeable summary (wire format in
-//	                           internal/encoding); folded into the running
-//	                           aggregate with bounded (2k) memory
-//	POST /v1/batch             raw item batch (8-byte little-endian items,
-//	                           encoding.MarshalItems); sketched server-side
-//	                           with one lock acquisition per batch
-//	GET  /v1/release?eps=&delta=[&mech=<registry name>]
-//	                           private histogram over summaries ∪ batches;
-//	                           spends budget. mech is any dpmg mechanism
-//	                           registered for merged sensitivity
-//	                           ("gaussian" default, "laplace", ...); the
-//	                           response carries per-mechanism calibration
-//	                           metadata
-//	GET  /v1/stats             JSON: merges, batches, counters, budget
+//	POST   /v1/streams                  create a stream (idempotent); JSON
+//	                                    body {name, k, universe, shards,
+//	                                    mechanism, eps, delta} — zero fields
+//	                                    inherit the server flag defaults
+//	GET    /v1/streams                  list streams (ascending name order)
+//	DELETE /v1/streams/{s}              drop a stream and its state
+//	POST   /v1/streams/{s}/summary      binary mergeable summary (wire format
+//	                                    in internal/encoding); folded into
+//	                                    the stream's aggregate with bounded
+//	                                    (2k) memory
+//	POST   /v1/streams/{s}/batch        raw item batch (8-byte little-endian
+//	                                    items, encoding.MarshalItems);
+//	                                    sketched server-side on the stream's
+//	                                    sharded ingest path
+//	GET    /v1/streams/{s}/release?eps=&delta=[&mech=<registry name>]
+//	                                    private histogram over summaries ∪
+//	                                    batches; spends the stream's budget
+//	GET    /v1/streams/{s}/stats        JSON: merges, batches, counters,
+//	                                    remaining budget
+//
+// The original single-tenant routes (POST /v1/summary, POST /v1/batch,
+// GET /v1/release, GET /v1/stats) remain as aliases onto the "default"
+// stream, which is created at startup from the -k/-d/-eps/-delta flags —
+// same paths, status codes, and binary wire formats as before (ack bodies
+// are now JSON documents). Handler error responses are always the JSON
+// envelope {"error": "..."}; only net/http's router-level 405/404 replies
+// stay plain text.
+//
+// With -state set, the manager's full state (stream table, counters,
+// remaining budgets) is snapshotted to <dir>/manager.snapshot periodically
+// and on shutdown, and restored on the next start: a restarted server
+// resumes every stream with identical estimates, byte-identical seeded
+// releases, and exactly the budget it went down with. The server shuts
+// down gracefully on SIGINT/SIGTERM: in-flight requests drain (up to
+// -shutdown-grace), then the final snapshot is flushed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dpmg"
@@ -36,23 +64,94 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		k     = flag.Int("k", 256, "summary size all nodes must use")
-		d     = flag.Uint64("d", 1<<20, "universe bound for raw batch ingest")
-		eps   = flag.Float64("eps", 4, "total epsilon budget")
-		delta = flag.Float64("delta", 1e-5, "total delta budget")
+		addr     = flag.String("addr", ":8080", "listen address")
+		k        = flag.Int("k", 256, "default summary size for new streams")
+		d        = flag.Uint64("d", 1<<20, "default universe bound for new streams")
+		eps      = flag.Float64("eps", 4, "default total epsilon budget per stream")
+		delta    = flag.Float64("delta", 1e-5, "default total delta budget per stream")
+		shards   = flag.Int("shards", 0, "default raw-ingest shards per stream (0 = min(GOMAXPROCS, 16))")
+		mech     = flag.String("mech", "", "default release mechanism for new streams (registry name; empty = per-class default)")
+		stateDir = flag.String("state", "", "directory for durable manager snapshots (empty = no persistence)")
+		flushInt = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot interval when -state is set (<= 0 disables periodic flushes; the shutdown flush still runs)")
+		grace    = flag.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may drain on shutdown")
 	)
 	flag.Parse()
 
-	s, err := newServer(*k, *d, dpmg.Budget{Eps: *eps, Delta: *delta})
+	defaults := dpmg.StreamConfig{
+		K: *k, Universe: *d, Shards: *shards, Mechanism: *mech,
+		Budget: dpmg.Budget{Eps: *eps, Delta: *delta},
+	}
+	mgr, restored, err := loadOrNewManager(*stateDir, defaults)
 	if err != nil {
 		log.Fatal(err)
 	}
+	s, err := newServerFromManager(mgr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if restored {
+		log.Printf("restored %d stream(s) from %s", mgr.Len(), *stateDir)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("dpmg-server listening on %s (k=%d, budget eps=%g delta=%g)", *addr, *k, *eps, *delta)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dpmg-server listening on %s (defaults: k=%d, d=%d, budget eps=%g delta=%g)",
+			*addr, *k, *d, *eps, *delta)
+		errc <- srv.ListenAndServe()
+	}()
+
+	// Periodic snapshot flush: a crash loses at most one interval of
+	// ingest, never the whole stream table. A non-positive interval
+	// disables the ticker (NewTicker panics on it) and leaves only the
+	// shutdown flush.
+	if *stateDir != "" && *flushInt > 0 {
+		go func() {
+			ticker := time.NewTicker(*flushInt)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := s.saveState(*stateDir); err != nil {
+						log.Printf("periodic snapshot failed: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns pre-Shutdown on a hard failure.
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("signal received, draining requests (up to %s)", *grace)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	if *stateDir != "" {
+		// Final flush after the listener is closed: writers have drained, so
+		// this snapshot is the quiescent, byte-exact image of every stream.
+		if err := s.saveState(*stateDir); err != nil {
+			log.Fatalf("final snapshot failed: %v", err)
+		}
+		log.Printf("state flushed to %s", *stateDir)
+	}
 }

@@ -5,165 +5,311 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
 
 	"dpmg"
 	"dpmg/internal/encoding"
-	"dpmg/internal/merge"
-	"dpmg/internal/mg"
 	"dpmg/internal/stream"
 )
 
-// server is the trusted aggregator of the Section 7 distributed setting:
-// edge nodes either sketch locally and ship mergeable Misra-Gries
-// summaries, or ship raw item batches for the server to sketch itself
-// (POST /v1/batch, for thin edges à la C-POD's edge-pod aggregation);
-// analysts request differentially private releases against a fixed total
-// privacy budget.
+// server is the trusted aggregator of the Section 7 distributed setting,
+// multi-tenant: a dpmg.Manager holds any number of named streams, each an
+// independent edge population with its own universe, sketch state, default
+// mechanism, and (eps, delta) account. Edge nodes either sketch locally and
+// ship mergeable Misra-Gries summaries, or ship raw item batches for the
+// server to sketch itself (thin edges à la C-POD's edge-pod aggregation);
+// analysts request differentially private releases against each stream's
+// own budget.
 //
-// Releases dispatch through the dpmg mechanism registry: every registered
-// mechanism name is a valid mech= value, calibration errors are rejected
-// before any budget is spent, and the response carries the mechanism's
-// calibration metadata (noise scale, threshold, ...) alongside the
-// histogram.
+// Stream lookup is lock-striped and every stream's ingest path is sharded,
+// so requests on different streams never contend on a shared mutex; the
+// original single-tenant /v1/* routes survive as aliases onto the "default"
+// stream. Every handler-generated error carries the JSON envelope
+// {"error": "..."} with the appropriate status; only net/http's own
+// router-level responses (405 for a known path with the wrong method,
+// 404 for an unrouted path) remain plain text.
 //
-// The request hot paths are allocation-conscious: /v1/batch decodes into a
-// pooled item buffer, validating each item against the universe during the
-// decode (one pass, not decode-then-scan), and /v1/release streams its JSON
-// response from a pooled buffer without materializing an intermediate
-// string-keyed map.
+// The request hot paths are allocation-conscious: /v1/streams/{s}/batch
+// decodes into a pooled item buffer, validating each item against the
+// stream's universe during the decode (one pass, not decode-then-scan), and
+// .../release streams its JSON response from a pooled buffer without
+// materializing an intermediate string-keyed map. Releases keep the
+// Section 5.2 invariant per stream: histogram entries are emitted in
+// ascending item order, never in map or insertion order.
 type server struct {
-	mu       sync.Mutex
-	k        int
-	d        uint64 // universe bound for raw batch ingest
-	merged   *merge.Summary
-	nodes    int
-	ingest   *mg.Sketch // raw-item ingest sketch, batch-updated
-	batches  int
-	ingested int64
-	acct     *dpmg.Accountant
+	mgr *dpmg.Manager
+	def *dpmg.Stream
 
-	// combineKeys/combineVals are the flat extraction scratch combined()
-	// reuses between releases; guarded by mu like everything above.
-	combineKeys []stream.Item
-	combineVals []int64
+	// flushMu serializes saveState calls: the periodic flusher and the
+	// shutdown flush may otherwise race on the snapshot file.
+	flushMu sync.Mutex
 }
 
-// batchBufPool recycles /v1/batch decode buffers across requests.
+// defaultStreamName is the stream the back-compat /v1/* aliases act on.
+const defaultStreamName = "default"
+
+// batchBufPool recycles batch decode buffers across requests (shared by all
+// streams: a pool entry carries no per-stream state).
 var batchBufPool = sync.Pool{New: func() any { return new([]stream.Item) }}
 
-// respBufPool recycles /v1/release response buffers across requests.
+// respBufPool recycles release response buffers across requests.
 var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 func newServer(k int, d uint64, budget dpmg.Budget) (*server, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("k must be positive")
-	}
-	if d == 0 {
-		return nil, fmt.Errorf("universe must be positive")
-	}
-	acct, err := dpmg.NewAccountant(budget)
+	mgr, err := dpmg.NewManager(dpmg.StreamConfig{K: k, Universe: d, Budget: budget})
 	if err != nil {
 		return nil, err
 	}
-	return &server{k: k, d: d, ingest: mg.New(k, d), acct: acct}, nil
+	return newServerFromManager(mgr)
+}
+
+// newServerFromManager wraps an existing (possibly restored) manager,
+// creating the default stream from the manager defaults only if the
+// manager does not already hold one.
+func newServerFromManager(mgr *dpmg.Manager) (*server, error) {
+	def, ok := mgr.Stream(defaultStreamName)
+	if !ok {
+		var err error
+		def, _, err = mgr.CreateStream(defaultStreamName, dpmg.StreamConfig{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &server{mgr: mgr, def: def}, nil
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/summary", s.handleSummary)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/release", s.handleRelease)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	mux.HandleFunc("GET /v1/streams", s.handleStreamList)
+	mux.HandleFunc("DELETE /v1/streams/{stream}", s.handleStreamDelete)
+	mux.HandleFunc("POST /v1/streams/{stream}/summary", s.perStream(s.handleSummary))
+	mux.HandleFunc("POST /v1/streams/{stream}/batch", s.perStream(s.handleBatch))
+	mux.HandleFunc("GET /v1/streams/{stream}/release", s.perStream(s.handleRelease))
+	mux.HandleFunc("GET /v1/streams/{stream}/stats", s.perStream(s.handleStats))
+	// Back-compat: the original single-tenant routes alias the default
+	// stream — same paths, methods, status codes, and binary wire formats.
+	// (Success ack bodies are now JSON documents instead of the old plain
+	// text, and errors carry the JSON envelope.)
+	mux.HandleFunc("POST /v1/summary", s.onDefault(s.handleSummary))
+	mux.HandleFunc("POST /v1/batch", s.onDefault(s.handleBatch))
+	mux.HandleFunc("GET /v1/release", s.onDefault(s.handleRelease))
+	mux.HandleFunc("GET /v1/stats", s.onDefault(s.handleStats))
 	return mux
 }
 
-// handleSummary ingests one binary summary (encoding.MarshalSummary) and
-// folds it into the running aggregate with the Agarwal et al. merge, so the
-// server never stores more than 2k counters.
-func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	sum, err := encoding.UnmarshalSummary(http.MaxBytesReader(w, r.Body, 1<<24))
-	if err != nil {
-		http.Error(w, "bad summary: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sum.K != s.k {
-		http.Error(w, fmt.Sprintf("summary k=%d, server requires k=%d", sum.K, s.k),
-			http.StatusBadRequest)
-		return
-	}
-	if s.merged == nil {
-		s.merged = sum
-	} else {
-		m, err := merge.Merge(s.merged, sum)
-		if err != nil {
-			http.Error(w, "merge failed: "+err.Error(), http.StatusBadRequest)
+// errorResponse is the uniform JSON error envelope every handler emits.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// jsonError writes the {"error": "..."} envelope with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)}) //nolint:errcheck // best-effort error body
+}
+
+// writeJSON writes a success document with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // response already committed
+}
+
+// streamHandler is a handler bound to a resolved stream.
+type streamHandler func(http.ResponseWriter, *http.Request, *dpmg.Stream)
+
+// perStream resolves {stream} from the path, 404ing unknown names with the
+// JSON envelope. The lookup is one lock-striped read; everything after runs
+// on the stream's own synchronization.
+func (s *server) perStream(h streamHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("stream")
+		st, ok := s.mgr.Stream(name)
+		if !ok {
+			jsonError(w, http.StatusNotFound, "unknown stream %q", name)
 			return
 		}
-		s.merged = m
+		h(w, r, st)
 	}
-	s.nodes++
-	w.WriteHeader(http.StatusAccepted)
-	fmt.Fprintf(w, "merged summary %d\n", s.nodes)
+}
+
+// onDefault binds a handler to the default stream (back-compat routes).
+func (s *server) onDefault(h streamHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.def) }
+}
+
+// streamCreateRequest is the POST /v1/streams body. Zero fields inherit the
+// manager defaults (the -k/-d/-eps/-delta flags of the server).
+type streamCreateRequest struct {
+	Name      string  `json:"name"`
+	K         int     `json:"k"`
+	Universe  uint64  `json:"universe"`
+	Shards    int     `json:"shards"`
+	Mechanism string  `json:"mechanism"`
+	Eps       float64 `json:"eps"`
+	Delta     float64 `json:"delta"`
+}
+
+// streamInfo describes one stream in create/list responses.
+type streamInfo struct {
+	Name         string  `json:"name"`
+	K            int     `json:"k"`
+	Universe     uint64  `json:"universe"`
+	Shards       int     `json:"shards"`
+	Mechanism    string  `json:"mechanism,omitempty"`
+	Nodes        int64   `json:"summaries_merged"`
+	Batches      int64   `json:"batches_ingested"`
+	Items        int64   `json:"items_ingested"`
+	RemainingEps float64 `json:"remaining_eps"`
+	RemainingDel float64 `json:"remaining_delta"`
+	Releases     int     `json:"releases"`
+}
+
+func infoOf(st *dpmg.Stream) streamInfo {
+	cfg := st.Config()
+	rem := st.Accountant().Remaining()
+	return streamInfo{
+		Name: st.Name(), K: cfg.K, Universe: cfg.Universe, Shards: cfg.Shards,
+		Mechanism: cfg.Mechanism,
+		Nodes:     st.Nodes(), Batches: st.Batches(), Items: st.Ingested(),
+		RemainingEps: rem.Eps, RemainingDel: rem.Delta,
+		Releases: st.Accountant().Releases(),
+	}
+}
+
+// handleStreamCreate creates a named stream (idempotent: re-creating with
+// the same config returns the existing stream). 201 on creation, 200 on
+// idempotent hit, 409 on a config conflict, 400 on invalid input.
+func (s *server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	var req streamCreateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad stream config: %v", err)
+		return
+	}
+	cfg := dpmg.StreamConfig{
+		K: req.K, Universe: req.Universe, Shards: req.Shards,
+		Mechanism: req.Mechanism,
+		Budget:    dpmg.Budget{Eps: req.Eps, Delta: req.Delta},
+	}
+	st, created, err := s.mgr.CreateStream(req.Name, cfg)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, dpmg.ErrStreamConflict) {
+			status = http.StatusConflict
+		}
+		jsonError(w, status, "%v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, infoOf(st))
+}
+
+// handleStreamList returns every stream in ascending name order.
+func (s *server) handleStreamList(w http.ResponseWriter, r *http.Request) {
+	streams := s.mgr.Streams()
+	out := make([]streamInfo, len(streams))
+	for i, st := range streams {
+		out[i] = infoOf(st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStreamDelete removes a stream (its sketch state and spent-budget
+// record with it). The default stream cannot be deleted — the back-compat
+// aliases depend on it.
+func (s *server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("stream")
+	if name == defaultStreamName {
+		jsonError(w, http.StatusBadRequest, "the %q stream cannot be deleted (the /v1/* aliases depend on it)", defaultStreamName)
+		return
+	}
+	if !s.mgr.DeleteStream(name) {
+		jsonError(w, http.StatusNotFound, "unknown stream %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// summaryResponse acknowledges one merged node summary.
+type summaryResponse struct {
+	Stream string `json:"stream"`
+	Nodes  int64  `json:"summaries_merged"`
+}
+
+// handleSummary ingests one binary summary (encoding.MarshalSummary) and
+// folds it into the stream's running aggregate with the Agarwal et al.
+// merge, so the server never stores more than 2k counters per stream.
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
+	sum, err := encoding.UnmarshalSummary(http.MaxBytesReader(w, r.Body, 1<<24))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad summary: %v", err)
+		return
+	}
+	// Zero-copy wrap of the decoded columns; IngestSummary enforces the
+	// stream's k.
+	wrapped, err := dpmg.NewMergeableSummarySorted(sum.K, sum.Keys(), sum.Counts())
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad summary: %v", err)
+		return
+	}
+	if err := st.IngestSummary(wrapped); err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, summaryResponse{Stream: st.Name(), Nodes: st.Nodes()})
+}
+
+// batchResponse acknowledges one raw item batch.
+type batchResponse struct {
+	Stream   string `json:"stream"`
+	Ingested int    `json:"ingested"`
+	Total    int64  `json:"items_ingested"`
 }
 
 // handleBatch ingests a raw item batch (consecutive 8-byte little-endian
-// items, see encoding.MarshalItems) into the server-side Misra-Gries
-// sketch. Decoding validates every item against the universe bound as it is
-// read — a violation aborts before any item is applied — and the whole
-// batch is then applied under one lock acquisition: ingest cost is one
-// round trip, one (pooled) buffer, and one lock per batch, not per item.
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+// items, see encoding.MarshalItems) into the stream's sharded sketch.
+// Decoding validates every item against the stream's universe bound as it
+// is read — a violation aborts the decode before any item is applied — and
+// the whole batch then runs the sharded grouped hot path: ingest cost is
+// one round trip, one (pooled) buffer, and one lock acquisition per
+// touched shard. (Stream.UpdateBatch re-checks the bounds in one cheap
+// branch-predictable pass: the universe bound guards the sketch's
+// dummy-key region, so the manager facade never trusts its caller, this
+// handler included.)
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
 	bufp := batchBufPool.Get().(*[]stream.Item)
 	defer batchBufPool.Put(bufp)
-	items, err := encoding.AppendItems((*bufp)[:0], http.MaxBytesReader(w, r.Body, 1<<24), 1<<21, s.d)
+	items, err := encoding.AppendItems((*bufp)[:0], http.MaxBytesReader(w, r.Body, 1<<24), 1<<21, st.Config().Universe)
 	*bufp = items // keep the grown buffer even when the decode failed
 	if err != nil {
-		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "bad batch: %v", err)
 		return
 	}
-	s.mu.Lock()
-	s.ingest.UpdateBatch(items)
-	s.batches++
-	s.ingested += int64(len(items))
-	total := s.ingested
-	s.mu.Unlock()
-	w.WriteHeader(http.StatusAccepted)
-	fmt.Fprintf(w, "ingested %d items (%d total)\n", len(items), total)
+	if err := st.UpdateBatch(items); err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, batchResponse{Stream: st.Name(), Ingested: len(items), Total: st.Ingested()})
 }
 
-// combined folds the raw-ingest sketch (if it has seen data) into the
-// merged node summaries without mutating server state, so repeated
-// releases see a consistent view. The ingest sketch is extracted flat
-// (ascending keys, reused scratch) — no intermediate map. Callers must
-// hold s.mu; the result may borrow server scratch and is only valid while
-// the lock is held.
-func (s *server) combined() (*merge.Summary, error) {
-	base := s.merged
-	if s.ingested == 0 {
-		return base, nil
-	}
-	keys, vals := s.ingest.AppendReal(s.combineKeys[:0], s.combineVals[:0])
-	s.combineKeys, s.combineVals = keys, vals
-	sum, err := merge.FromSorted(s.k, keys, vals)
-	if err != nil {
-		return nil, err
-	}
-	if base == nil {
-		return sum, nil
-	}
-	return merge.Merge(base, sum)
-}
-
-// releaseResponse mirrors the /v1/release JSON document. The handler
-// streams the document manually (see writeReleaseJSON); this struct is the
-// schema clients — and the server's own tests — decode into.
+// releaseResponse mirrors the release JSON document. The handler streams
+// the document manually (see writeReleaseJSON); this struct is the schema
+// clients — and the server's own tests — decode into.
 type releaseResponse struct {
+	Stream    string             `json:"stream"`
 	Mechanism string             `json:"mechanism"`
 	Eps       float64            `json:"eps"`
 	Delta     float64            `json:"delta"`
@@ -171,76 +317,59 @@ type releaseResponse struct {
 	Items     map[string]float64 `json:"items"`
 }
 
-// handleRelease produces a private histogram of the aggregate. Query
-// parameters: eps, delta (spent against the server's budget), and mech=
-// any mechanism registered with the dpmg registry that is calibrated for
-// merged (Corollary 18) sensitivity — "gaussian" by default (sqrt(k)
-// Gaussian sparse histogram), "laplace" (k/eps Laplace with k-scaled
-// threshold), or anything added with dpmg.RegisterMechanism. "gauss" is
-// accepted as a legacy alias for "gaussian".
+// handleRelease produces a private histogram of the stream's aggregate.
+// Query parameters: eps, delta (spent against the stream's own budget), and
+// mech= any mechanism registered with the dpmg registry that is calibrated
+// for merged (Corollary 18) sensitivity — the stream's configured default
+// (or "gaussian") when omitted; "gauss" is accepted as a legacy alias.
 //
 // Ordering is load-bearing: the mechanism is calibrated before the budget
 // is spent, so an unknown mechanism, invalid parameters, or an infeasible
 // calibration rejects the request with the budget untouched.
-func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleRelease(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
 	eps, err := strconv.ParseFloat(r.URL.Query().Get("eps"), 64)
 	if err != nil || eps <= 0 {
-		http.Error(w, "eps must be a positive float", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "eps must be a positive float")
 		return
 	}
 	delta, err := strconv.ParseFloat(r.URL.Query().Get("delta"), 64)
 	if err != nil || delta <= 0 || delta >= 1 {
-		http.Error(w, "delta must be a float in (0,1)", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "delta must be a float in (0,1)")
 		return
 	}
-	mech := r.URL.Query().Get("mech")
-	switch mech {
-	case "", "gauss":
-		mech = dpmg.MechanismGaussian
-	}
-	if _, ok := dpmg.MechanismByName(mech); !ok {
-		http.Error(w, fmt.Sprintf("unknown mechanism %q (registered: %v)", mech, dpmg.Mechanisms()),
-			http.StatusBadRequest)
-		return
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.merged == nil && s.ingested == 0 {
-		http.Error(w, "no summaries or batches ingested yet", http.StatusConflict)
-		return
-	}
-	agg, err := s.combined()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	// Zero-copy: the release view borrows the aggregate's sorted columns,
-	// which stay valid for the duration of the request (s.mu is held).
-	sum, err := dpmg.NewMergeableSummarySorted(s.k, agg.Keys(), agg.Counts())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	var opts []dpmg.ReleaseOption
+	if mech := r.URL.Query().Get("mech"); mech != "" {
+		if mech == "gauss" {
+			mech = dpmg.MechanismGaussian
+		}
+		if _, ok := dpmg.MechanismByName(mech); !ok {
+			jsonError(w, http.StatusBadRequest, "unknown mechanism %q (registered: %v)", mech, dpmg.Mechanisms())
+			return
+		}
+		opts = append(opts, dpmg.WithMechanism(mech))
 	}
 	// No WithSeed: the release draws an unpredictable CSPRNG seed, the only
 	// safe choice for data leaving the trust boundary.
-	res, err := dpmg.ReleaseDetailed(sum, dpmg.Params{Eps: eps, Delta: delta},
-		dpmg.WithMechanism(mech), dpmg.WithAccountant(s.acct))
-	if err != nil {
-		if errors.Is(err, dpmg.ErrBudgetExhausted) {
-			http.Error(w, "privacy budget exhausted: "+err.Error(), http.StatusTooManyRequests)
-			return
-		}
+	res, err := st.ReleaseDetailed(dpmg.Params{Eps: eps, Delta: delta}, opts...)
+	switch {
+	case err == nil:
+	case errors.Is(err, dpmg.ErrStreamEmpty):
+		jsonError(w, http.StatusConflict, "no summaries or batches ingested yet")
+		return
+	case errors.Is(err, dpmg.ErrBudgetExhausted):
+		jsonError(w, http.StatusTooManyRequests, "privacy budget exhausted: %v", err)
+		return
+	default:
 		// Calibration failures (mechanism not applicable to merged
 		// sensitivity, infeasible parameters) reject the request before any
 		// budget was spent.
-		http.Error(w, "release not calibrated: "+err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "release not calibrated: %v", err)
 		return
 	}
 	buf := respBufPool.Get().(*bytes.Buffer)
 	defer respBufPool.Put(buf)
 	buf.Reset()
-	writeReleaseJSON(buf, res, eps, delta)
+	writeReleaseJSON(buf, st.Name(), res, eps, delta)
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		// Response already partially written; nothing sensible to send.
@@ -253,9 +382,11 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 // histogram entries are appended directly as `"item":value` pairs in
 // ascending item order (deterministic output; the released values are
 // noisy, so the order leaks nothing it should not).
-func writeReleaseJSON(buf *bytes.Buffer, res *dpmg.ReleaseResult, eps, delta float64) {
+func writeReleaseJSON(buf *bytes.Buffer, streamName string, res *dpmg.ReleaseResult, eps, delta float64) {
 	b := buf.AvailableBuffer()
-	b = append(b, `{"mechanism":`...)
+	b = append(b, `{"stream":`...)
+	b = strconv.AppendQuote(b, streamName)
+	b = append(b, `,"mechanism":`...)
 	b = strconv.AppendQuote(b, res.Mechanism)
 	b = append(b, `,"eps":`...)
 	b = strconv.AppendFloat(b, eps, 'g', -1, 64)
@@ -289,39 +420,105 @@ func writeReleaseJSON(buf *bytes.Buffer, res *dpmg.ReleaseResult, eps, delta flo
 	buf.Write(b)
 }
 
+// statsResponse keeps the original single-tenant field names (back-compat)
+// plus the stream identity fields the multi-tenant API adds.
 type statsResponse struct {
+	Stream        string  `json:"stream"`
 	K             int     `json:"k"`
 	Universe      uint64  `json:"universe"`
+	Shards        int     `json:"shards"`
+	Mechanism     string  `json:"mechanism,omitempty"`
 	Nodes         int     `json:"summaries_merged"`
 	Counters      int     `json:"counters_held"`
 	Batches       int     `json:"batches_ingested"`
 	Items         int64   `json:"items_ingested"`
-	IngestLive    int     `json:"ingest_counters"` // positive counters in the raw-ingest sketch
+	IngestLive    int     `json:"ingest_counters"` // positive counters in the merged raw-shard view
 	RemainingEps  float64 `json:"remaining_eps"`
 	RemainingDel  float64 `json:"remaining_delta"`
 	ReleasesSoFar int     `json:"releases"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	counters := 0
-	if s.merged != nil {
-		counters = s.merged.Len()
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
+	stats, err := st.Stats()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
-	rem := s.acct.Remaining()
-	ingestLive := 0
-	if s.ingested > 0 {
-		ingestLive = len(s.ingest.RealCounters())
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stream: stats.Name, K: stats.K, Universe: stats.Universe,
+		Shards: stats.Shards, Mechanism: stats.Mechanism,
+		Nodes: int(stats.Nodes), Counters: stats.AggregateCounters,
+		Batches: int(stats.Batches), Items: stats.Ingested,
+		IngestLive:   stats.IngestCounters,
+		RemainingEps: stats.Remaining.Eps, RemainingDel: stats.Remaining.Delta,
+		ReleasesSoFar: stats.Releases,
+	})
+}
+
+// stateFileName is the manager snapshot file inside the -state directory.
+const stateFileName = "manager.snapshot"
+
+// saveState writes the manager snapshot atomically: a uniquely named temp
+// file is written, synced, and renamed over the snapshot, so a crash
+// mid-flush never clobbers the previous good snapshot. Calls are
+// serialized — the periodic flusher and the final shutdown flush can
+// otherwise overlap (the ticker goroutine may already be inside a flush
+// when the signal arrives) and must not interleave writes.
+func (s *server) saveState(dir string) error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
 	}
-	resp := statsResponse{
-		K: s.k, Universe: s.d, Nodes: s.nodes, Counters: counters,
-		Batches: s.batches, Items: s.ingested, IngestLive: ingestLive,
-		RemainingEps: rem.Eps, RemainingDel: rem.Delta,
-		ReleasesSoFar: s.acct.Releases(),
+	f, err := os.CreateTemp(dir, stateFileName+".tmp-*")
+	if err != nil {
+		return err
 	}
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	tmp := f.Name()
+	if err := s.mgr.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, stateFileName))
+}
+
+// loadOrNewManager restores the manager from dir's snapshot if one exists,
+// otherwise starts fresh. restored reports which happened. Stale temp
+// files from flushes interrupted by a hard crash (the rename never ran)
+// are swept first so they cannot accumulate across crash loops.
+func loadOrNewManager(dir string, defaults dpmg.StreamConfig) (mgr *dpmg.Manager, restored bool, err error) {
+	if dir != "" {
+		if stale, _ := filepath.Glob(filepath.Join(dir, stateFileName+".tmp-*")); len(stale) > 0 {
+			for _, p := range stale {
+				os.Remove(p)
+			}
+		}
+		path := filepath.Join(dir, stateFileName)
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			defer f.Close()
+			mgr, err := dpmg.RestoreManager(f, defaults)
+			if err != nil {
+				return nil, false, fmt.Errorf("restoring %s: %w", path, err)
+			}
+			return mgr, true, nil
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start below.
+		default:
+			return nil, false, err
+		}
+	}
+	mgr, err = dpmg.NewManager(defaults)
+	return mgr, false, err
 }

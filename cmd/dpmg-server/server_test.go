@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync"
 	"testing"
 
 	"dpmg"
@@ -338,5 +340,343 @@ func TestBatchRejectsBadInput(t *testing.T) {
 	// Release with nothing ingested stays a conflict.
 	if resp := get(t, ts.URL+"/v1/release?eps=0.5&delta=1e-5"); resp.StatusCode != http.StatusConflict {
 		t.Errorf("empty release status %d", resp.StatusCode)
+	}
+}
+
+func createStream(t *testing.T, baseURL, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/streams", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeStats(t *testing.T, resp *http.Response) statsResponse {
+	t.Helper()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMultiStreamLifecycle drives the /v1/streams API end to end: create
+// (idempotent), list, per-stream ingest and release isolation, delete.
+func TestMultiStreamLifecycle(t *testing.T) {
+	ts := newTestServer(t, 32, 4, 1e-4)
+	if resp := createStream(t, ts.URL, `{"name":"edge-eu","k":64,"universe":5000,"eps":2,"delta":1e-5}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	// Idempotent re-create: 200, same stream.
+	if resp := createStream(t, ts.URL, `{"name":"edge-eu","k":64,"universe":5000,"eps":2,"delta":1e-5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("idempotent create status %d", resp.StatusCode)
+	}
+	// Conflicting config: 409.
+	if resp := createStream(t, ts.URL, `{"name":"edge-eu","k":128,"universe":5000,"eps":2,"delta":1e-5}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting create status %d", resp.StatusCode)
+	}
+	// Defaults inherited from server flags.
+	if resp := createStream(t, ts.URL, `{"name":"edge-us"}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("defaulted create status %d", resp.StatusCode)
+	}
+
+	// List: default + the two created streams, ascending by name.
+	var infos []streamInfo
+	if err := json.NewDecoder(get(t, ts.URL+"/v1/streams").Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 || infos[0].Name != "default" || infos[1].Name != "edge-eu" || infos[2].Name != "edge-us" {
+		t.Fatalf("stream list %+v", infos)
+	}
+	if infos[1].K != 64 || infos[1].Universe != 5000 || infos[2].K != 32 || infos[2].Universe != 1000 {
+		t.Fatalf("stream configs %+v", infos)
+	}
+
+	// Ingest disjoint data into the two streams.
+	post(t, ts.URL+"/v1/streams/edge-eu/batch", batchBytes(t, workload.HeavyTail(30000, 5000, 3, 0.9, 1)))
+	post(t, ts.URL+"/v1/streams/edge-us/batch", batchBytes(t, []stream.Item{500, 500, 500, 7}))
+	euStats := decodeStats(t, get(t, ts.URL+"/v1/streams/edge-eu/stats"))
+	usStats := decodeStats(t, get(t, ts.URL+"/v1/streams/edge-us/stats"))
+	if euStats.Items != 30000 || usStats.Items != 4 {
+		t.Fatalf("ingest isolation broken: eu=%d us=%d", euStats.Items, usStats.Items)
+	}
+	if euStats.Stream != "edge-eu" || euStats.Shards <= 0 {
+		t.Fatalf("stats identity: %+v", euStats)
+	}
+	// The default stream saw none of it.
+	if def := decodeStats(t, get(t, ts.URL+"/v1/stats")); def.Items != 0 || def.Nodes != 0 {
+		t.Fatalf("default stream contaminated: %+v", def)
+	}
+
+	// Budget isolation: exhaust edge-us; edge-eu must be untouched.
+	for i := 0; i < 2; i++ {
+		if resp := get(t, ts.URL+"/v1/streams/edge-us/release?eps=2&delta=1e-5"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("edge-us release %d status %d", i, resp.StatusCode)
+		}
+	}
+	if resp := get(t, ts.URL+"/v1/streams/edge-us/release?eps=2&delta=1e-5"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("exhausted edge-us release status %d", resp.StatusCode)
+	}
+	resp := get(t, ts.URL+"/v1/streams/edge-eu/release?eps=1&delta=1e-5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edge-eu release status %d", resp.StatusCode)
+	}
+	var rel releaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rel); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Stream != "edge-eu" {
+		t.Errorf("release stream = %q", rel.Stream)
+	}
+	for x := 1; x <= 3; x++ {
+		if _, ok := rel.Items[strconv.Itoa(x)]; !ok {
+			t.Errorf("heavy item %d missing from edge-eu release", x)
+		}
+	}
+
+	// Delete: gone afterwards; the default stream is protected.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/edge-us", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/v1/streams/edge-us/stats"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted stream stats status %d", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/default", nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("default delete status %d", dresp.StatusCode)
+	}
+}
+
+// TestErrorEnvelope is the table-driven contract for the JSON error
+// envelope: every failing handler response must carry status-appropriate
+// {"error": "..."} with a non-empty message — including unknown-stream
+// 404s on every per-stream route.
+func TestErrorEnvelope(t *testing.T) {
+	ts := newTestServer(t, 32, 1, 1e-4)
+	post(t, ts.URL+"/v1/summary", summaryBytes(t, 32, 3))
+	get(t, ts.URL+"/v1/release?eps=0.9&delta=1e-5") // drain most of the budget
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"garbage summary", "POST", "/v1/summary", "garbage", http.StatusBadRequest},
+		{"bad eps", "GET", "/v1/release?eps=abc&delta=1e-5", "", http.StatusBadRequest},
+		{"bad delta", "GET", "/v1/release?eps=0.5&delta=2", "", http.StatusBadRequest},
+		{"unknown mech", "GET", "/v1/release?eps=0.01&delta=1e-7&mech=nope", "", http.StatusBadRequest},
+		{"uncalibratable mech", "GET", "/v1/release?eps=0.01&delta=1e-7&mech=geometric", "", http.StatusBadRequest},
+		{"over budget", "GET", "/v1/release?eps=5&delta=1e-5", "", http.StatusTooManyRequests},
+		{"truncated batch", "POST", "/v1/batch", "abc", http.StatusBadRequest},
+		{"unknown stream stats", "GET", "/v1/streams/ghost/stats", "", http.StatusNotFound},
+		{"unknown stream batch", "POST", "/v1/streams/ghost/batch", "", http.StatusNotFound},
+		{"unknown stream summary", "POST", "/v1/streams/ghost/summary", "", http.StatusNotFound},
+		{"unknown stream release", "GET", "/v1/streams/ghost/release?eps=1&delta=1e-5", "", http.StatusNotFound},
+		{"unknown stream delete", "DELETE", "/v1/streams/ghost", "", http.StatusNotFound},
+		{"bad create json", "POST", "/v1/streams", "{", http.StatusBadRequest},
+		{"unknown create field", "POST", "/v1/streams", `{"name":"x","bogus":1}`, http.StatusBadRequest},
+		{"bad stream name", "POST", "/v1/streams", `{"name":"no spaces"}`, http.StatusBadRequest},
+		{"bad stream config", "POST", "/v1/streams", `{"name":"y","eps":-1}`, http.StatusBadRequest},
+		{"bad stream mech", "POST", "/v1/streams", `{"name":"z","mechanism":"nope"}`, http.StatusBadRequest},
+		{"oversized stream k", "POST", "/v1/streams", `{"name":"big","k":100000000}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type %q", ct)
+			}
+			var env struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("error body is not the JSON envelope: %v", err)
+			}
+			if env.Error == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+	// Empty-stream release keeps its 409 + envelope.
+	createStream(t, ts.URL, `{"name":"empty"}`)
+	resp := get(t, ts.URL+"/v1/streams/empty/release?eps=0.5&delta=1e-5")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("empty release status %d", resp.StatusCode)
+	}
+	var env struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == "" {
+		t.Fatalf("empty release envelope: %v %q", err, env.Error)
+	}
+}
+
+// TestServerCrossStreamStress hammers distinct streams through the real
+// HTTP handler stack from many goroutines — the server-tier -race harness
+// for the "no shared mutex across streams" design (the registry lookup is
+// the only shared structure on the path, and it is read-locked per stripe).
+func TestServerCrossStreamStress(t *testing.T) {
+	ts := newTestServer(t, 32, 1e6, 0.5)
+	const streams = 4
+	for i := 0; i < streams; i++ {
+		if resp := createStream(t, ts.URL, fmt.Sprintf(`{"name":"s%d"}`, i)); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create s%d status %d", i, resp.StatusCode)
+		}
+	}
+	raw := batchBytes(t, workload.Zipf(512, 1000, 1.1, 9))
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(2)
+		go func(name string) { // ingest worker
+			defer wg.Done()
+			for iter := 0; iter < 25; iter++ {
+				resp, err := http.Post(ts.URL+"/v1/streams/"+name+"/batch", "application/octet-stream", bytes.NewReader(raw))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("%s batch status %d", name, resp.StatusCode)
+					return
+				}
+			}
+		}(fmt.Sprintf("s%d", i))
+		go func(name string) { // release + stats worker
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				for _, path := range []string{"/stats", "/release?eps=0.5&delta=1e-7"} {
+					resp, err := http.Get(ts.URL + "/v1/streams/" + name + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+						t.Errorf("%s%s status %d", name, path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}(fmt.Sprintf("s%d", i))
+	}
+	wg.Wait()
+	for i := 0; i < streams; i++ {
+		st := decodeStats(t, get(t, fmt.Sprintf("%s/v1/streams/s%d/stats", ts.URL, i)))
+		if st.Items != 25*512 {
+			t.Errorf("s%d ingested %d, want %d", i, st.Items, 25*512)
+		}
+	}
+}
+
+// TestServerRestartDurability is the end-to-end kill/restart contract:
+// ingest into two streams, flush the state dir, build a fresh server from
+// it, and require identical /stats documents and identical remaining
+// budgets — plus byte-identical seeded releases at the manager layer
+// (the HTTP release path deliberately draws CSPRNG seeds).
+func TestServerRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	defaults := dpmg.StreamConfig{K: 32, Universe: 1000, Budget: dpmg.Budget{Eps: 4, Delta: 1e-4}}
+	mgr1, restored, err := loadOrNewManager(dir, defaults)
+	if err != nil || restored {
+		t.Fatalf("fresh manager: restored=%v err=%v", restored, err)
+	}
+	s1, err := newServerFromManager(mgr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s1.routes())
+
+	createStream(t, ts.URL, `{"name":"alpha","mechanism":"laplace"}`)
+	post(t, ts.URL+"/v1/streams/alpha/batch", batchBytes(t, workload.HeavyTail(40000, 1000, 3, 0.9, 4)))
+	post(t, ts.URL+"/v1/streams/alpha/summary", summaryBytes(t, 32, 5))
+	post(t, ts.URL+"/v1/batch", batchBytes(t, workload.Zipf(10000, 1000, 1.3, 6)))
+	// Spend budget so the restored accountants carry history.
+	if resp := get(t, ts.URL+"/v1/streams/alpha/release?eps=1&delta=1e-5"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-restart release status %d", resp.StatusCode)
+	}
+	statsBefore := map[string]statsResponse{
+		"alpha":   decodeStats(t, get(t, ts.URL+"/v1/streams/alpha/stats")),
+		"default": decodeStats(t, get(t, ts.URL+"/v1/stats")),
+	}
+	ts.Close() // drain in-flight requests: the quiescent shutdown point
+	if err := s1.saveState(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new server from the state dir.
+	mgr2, restored, err := loadOrNewManager(dir, defaults)
+	if err != nil || !restored {
+		t.Fatalf("restore: restored=%v err=%v", restored, err)
+	}
+	s2, err := newServerFromManager(mgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.routes())
+	t.Cleanup(ts2.Close)
+
+	statsAfter := map[string]statsResponse{
+		"alpha":   decodeStats(t, get(t, ts2.URL+"/v1/streams/alpha/stats")),
+		"default": decodeStats(t, get(t, ts2.URL+"/v1/stats")),
+	}
+	for name, before := range statsBefore {
+		if after := statsAfter[name]; after != before {
+			t.Errorf("%s stats diverge across restart:\n  before %+v\n  after  %+v", name, before, after)
+		}
+	}
+
+	// Byte-identical seeded releases from the two managers' streams.
+	for _, name := range []string{"alpha", "default"} {
+		st1, _ := mgr1.Stream(name)
+		st2, _ := mgr2.Stream(name)
+		h1, err1 := st1.ReleaseDetailed(dpmg.Params{Eps: 0.5, Delta: 1e-5}, dpmg.WithSeed(77))
+		h2, err2 := st2.ReleaseDetailed(dpmg.Params{Eps: 0.5, Delta: 1e-5}, dpmg.WithSeed(77))
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if len(h1.Histogram) != len(h2.Histogram) {
+			t.Fatalf("%s seeded releases diverge after restart", name)
+		}
+		for x, v := range h1.Histogram {
+			if h2.Histogram[x] != v {
+				t.Fatalf("%s seeded release value for %d diverges: %v vs %v", name, x, v, h2.Histogram[x])
+			}
+		}
+	}
+
+	// Continuing ingest after restart works and the next periodic flush
+	// overwrites atomically.
+	post(t, ts2.URL+"/v1/streams/alpha/batch", batchBytes(t, []stream.Item{1, 2, 3}))
+	if err := s2.saveState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, restored, err := loadOrNewManager(dir, defaults); err != nil || !restored {
+		t.Fatalf("second restore: restored=%v err=%v", restored, err)
 	}
 }

@@ -55,6 +55,19 @@
 // RestoreSketch, so long-running ingest survives restarts; a restored
 // sketch releases byte-identically to the original under the same seed.
 //
+// # Multi-tenant serving
+//
+// A Manager hosts many independent named streams — the Section 7 setting
+// with every edge population as a first-class object: per-stream sketch
+// state (sharded raw ingest plus a bounded merged-summary aggregate),
+// per-stream config (k, universe, default mechanism), and a private
+// Accountant per stream. Stream lookup is lock-striped, so ingest on
+// different streams never contends. Manager.Snapshot / RestoreManager make
+// the whole stream table durable: a restarted service resumes every tenant
+// with identical estimates, byte-identical seeded releases, and exactly
+// the remaining budget. The dpmg-server command serves this layer over
+// HTTP (/v1/streams).
+//
 // # Performance
 //
 // The sketch core is flat storage (contiguous counter array + open

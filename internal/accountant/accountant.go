@@ -92,6 +92,70 @@ func (a *Accountant) Remaining() Budget {
 	return Budget{Eps: a.budget.Eps - a.spentEps, Delta: a.budget.Delta - a.spentDel}
 }
 
+// Spent returns the budget consumed so far under basic composition.
+func (a *Accountant) Spent() Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Budget{Eps: a.spentEps, Delta: a.spentDel}
+}
+
+// Total returns the accountant's full budget.
+func (a *Accountant) Total() Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget
+}
+
+// State returns the full account — total budget, spend so far, and
+// admitted-release count — read under one lock acquisition, so the triple
+// is a consistent linearization point even while concurrent Spends run.
+// Snapshot paths must use this rather than separate Spent/Releases calls:
+// a pair of reads can otherwise straddle a Spend and persist a release
+// count whose budget charge is missing.
+func (a *Accountant) State() (total, spent Budget, releases int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget, Budget{Eps: a.spentEps, Delta: a.spentDel}, a.releases
+}
+
+// Restore reconstructs an accountant in a mid-life state — total budget,
+// spend so far, and admitted-release count — so durable deployments (the
+// dpmg-server manager snapshot) can resume metering after a restart with
+// exactly the remaining budget they went down with. The spent state is
+// validated against the budget with the same tolerances Spend applies, so
+// tampered or corrupted snapshots fail loudly instead of minting budget.
+func Restore(total, spent Budget, releases int) (*Accountant, error) {
+	if err := total.Valid(); err != nil {
+		return nil, err
+	}
+	for _, v := range []float64{total.Eps, total.Delta, spent.Eps, spent.Delta} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("accountant: non-finite budget value %v", v)
+		}
+	}
+	if spent.Eps < 0 || spent.Delta < 0 {
+		return nil, fmt.Errorf("accountant: negative spent budget (%v, %v)", spent.Eps, spent.Delta)
+	}
+	if spent.Eps > total.Eps+1e-12 {
+		return nil, fmt.Errorf("accountant: spent eps %v exceeds budget %v", spent.Eps, total.Eps)
+	}
+	if spent.Delta > total.Delta+1e-18 {
+		return nil, fmt.Errorf("accountant: spent delta %v exceeds budget %v", spent.Delta, total.Delta)
+	}
+	if releases < 0 {
+		return nil, fmt.Errorf("accountant: negative release count %d", releases)
+	}
+	if releases == 0 && (spent.Eps != 0 || spent.Delta != 0) {
+		return nil, fmt.Errorf("accountant: nonzero spend (%v, %v) with zero releases", spent.Eps, spent.Delta)
+	}
+	return &Accountant{
+		budget:   total,
+		spentEps: spent.Eps,
+		spentDel: spent.Delta,
+		releases: releases,
+	}, nil
+}
+
 // Releases returns how many releases have been admitted.
 func (a *Accountant) Releases() int {
 	a.mu.Lock()

@@ -174,3 +174,71 @@ func TestBestPerReleaseEps(t *testing.T) {
 		t.Error("delta overflow accepted")
 	}
 }
+
+func TestSpentTotalRestore(t *testing.T) {
+	total := Budget{Eps: 2, Delta: 1e-4}
+	a, err := New(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(0.5, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(0.25, 2e-5); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Total(); got != total {
+		t.Errorf("Total = %+v, want %+v", got, total)
+	}
+	spent := a.Spent()
+	if spent.Eps != 0.75 || math.Abs(spent.Delta-3e-5) > 1e-18 {
+		t.Errorf("Spent = %+v", spent)
+	}
+
+	// A restored accountant must behave identically to the original: same
+	// remaining budget, same release count, same admit/refuse boundary.
+	b, err := Restore(total, spent, a.Releases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != a.Remaining() {
+		t.Errorf("restored Remaining = %+v, want %+v", b.Remaining(), a.Remaining())
+	}
+	if b.Releases() != 2 {
+		t.Errorf("restored Releases = %d", b.Releases())
+	}
+	if err := b.Spend(1.3, 0); err == nil {
+		t.Error("restored accountant admitted an over-budget spend")
+	}
+	if err := b.Spend(1.25, 0); err != nil {
+		t.Errorf("restored accountant refused an in-budget spend: %v", err)
+	}
+}
+
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	total := Budget{Eps: 1, Delta: 1e-4}
+	cases := []struct {
+		name     string
+		total    Budget
+		spent    Budget
+		releases int
+	}{
+		{"eps overspent", total, Budget{Eps: 1.5, Delta: 0}, 1},
+		{"delta overspent", total, Budget{Eps: 0.5, Delta: 1e-3}, 1},
+		{"negative spent", total, Budget{Eps: -0.1, Delta: 0}, 1},
+		{"negative releases", total, Budget{Eps: 0.1, Delta: 0}, -1},
+		{"spend without releases", total, Budget{Eps: 0.1, Delta: 0}, 0},
+		{"nan spent", total, Budget{Eps: math.NaN(), Delta: 0}, 1},
+		{"inf spent", total, Budget{Eps: math.Inf(1), Delta: 0}, 1},
+		{"bad total", Budget{Eps: -1, Delta: 0}, Budget{}, 0},
+	}
+	for _, tc := range cases {
+		if _, err := Restore(tc.total, tc.spent, tc.releases); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Zero spend with zero releases is the fresh state and must restore.
+	if _, err := Restore(total, Budget{}, 0); err != nil {
+		t.Errorf("fresh state rejected: %v", err)
+	}
+}

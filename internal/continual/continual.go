@@ -73,6 +73,18 @@ type Monitor struct {
 	// of 2^j epochs, nil when bit j of epoch is 0).
 	levels []*mg.Sketch
 	slots  []hist.Estimate
+
+	// relKeys/relVals are the flat extraction scratch the per-epoch release
+	// reuses (mg.AppendAll → core.ReleaseColumns): steady-state releases
+	// build no counter map and allocate no key slice. Draws are identical to
+	// the map path under the same seed (see the differential test).
+	relKeys []stream.Item
+	relVals []int64
+
+	// release performs one per-epoch Algorithm 2 release. It defaults to
+	// releaseFlat; the differential test swaps in the map-based core.Release
+	// to pin flat ≡ map draw for draw under a shared seed.
+	release func(*mg.Sketch, core.Params) (hist.Estimate, error)
 }
 
 // Options configure a Monitor.
@@ -110,6 +122,7 @@ func NewMonitor(o Options) (*Monitor, error) {
 		src:      noise.NewSource(o.Seed),
 		whole:    mg.New(o.K, o.Universe),
 	}
+	m.release = m.releaseFlat
 	var err error
 	switch o.Strategy {
 	case Uniform:
@@ -186,7 +199,7 @@ func (m *Monitor) EndEpoch() (hist.Estimate, error) {
 		if err := m.acct.Spend(m.perEps, m.perDelta); err != nil {
 			return nil, err
 		}
-		return core.Release(m.whole, p, m.src)
+		return m.release(m.whole, p)
 	case Dyadic:
 		// The intervals completing at this epoch are levels 0..z where z is
 		// the number of trailing ones of (epoch-1), i.e. trailing zeros of
@@ -199,7 +212,7 @@ func (m *Monitor) EndEpoch() (hist.Estimate, error) {
 		// completing intervals are subsumed by it and releasing fewer
 		// intervals only improves privacy. See NewMonitor for why the
 		// per-element cost stays within the total budget.
-		rel, err := core.Release(m.levels[z], p, m.src)
+		rel, err := m.release(m.levels[z], p)
 		if err != nil {
 			return nil, err
 		}
@@ -227,6 +240,18 @@ func (m *Monitor) EndEpoch() (hist.Estimate, error) {
 		return out, nil
 	}
 	return nil, fmt.Errorf("continual: unknown strategy")
+}
+
+// releaseFlat runs the Algorithm 2 release over the sketch's flat column
+// extraction: the full counter table is appended into the monitor's reused
+// scratch (ascending keys, dummies included) and privatized with
+// core.ReleaseColumns. Draw-for-draw identical to core.Release on the same
+// sketch — the differential test pins flat ≡ map under a shared seed — but
+// with no counter map and no per-epoch key allocation.
+func (m *Monitor) releaseFlat(sk *mg.Sketch, p core.Params) (hist.Estimate, error) {
+	keys, vals := sk.AppendAll(m.relKeys[:0], m.relVals[:0])
+	m.relKeys, m.relVals = keys, vals
+	return core.ReleaseColumns(keys, vals, m.d, p, m.src)
 }
 
 // Epoch returns the number of published epochs.

@@ -1,9 +1,12 @@
 package continual
 
 import (
+	"reflect"
 	"testing"
 
+	"dpmg/internal/core"
 	"dpmg/internal/hist"
+	"dpmg/internal/mg"
 	"dpmg/internal/stream"
 	"dpmg/internal/workload"
 )
@@ -211,5 +214,54 @@ func TestUniformBudgetEnforced(t *testing.T) {
 	}
 	if _, err := m.EndEpoch(); err == nil {
 		t.Fatal("4th epoch accepted against 3-epoch budget")
+	}
+}
+
+// TestEndEpochFlatMatchesMap is the differential harness for the flat
+// per-epoch release port: two monitors with identical options and seed are
+// fed the same stream, one releasing through the default flat path
+// (mg.AppendAll → core.ReleaseColumns) and one through the retained
+// map-based core.Release. Every epoch snapshot must be bit-identical under
+// both strategies — same counters, same ascending release order, same
+// number of draws per key, hence the same seed → noise mapping.
+func TestEndEpochFlatMatchesMap(t *testing.T) {
+	for _, strategy := range []Strategy{Uniform, Dyadic} {
+		name := "uniform"
+		if strategy == Dyadic {
+			name = "dyadic"
+		}
+		t.Run(name, func(t *testing.T) {
+			const T = 12
+			flat, err := NewMonitor(opts(strategy, T))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewMonitor(opts(strategy, T))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Swap the reference monitor's release seam onto the map path.
+			ref.release = func(sk *mg.Sketch, p core.Params) (hist.Estimate, error) {
+				return core.Release(sk, p, ref.src)
+			}
+			str := workload.Zipf(T*3000, 1000, 1.1, 21)
+			for e := 0; e < T; e++ {
+				for _, x := range str[e*3000 : (e+1)*3000] {
+					flat.Update(x)
+					ref.Update(x)
+				}
+				a, err := flat.EndEpoch()
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := ref.EndEpoch()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("epoch %d: flat and map snapshots diverge:\nflat %v\nmap  %v", e+1, a, b)
+				}
+			}
+		})
 	}
 }

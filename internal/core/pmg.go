@@ -76,6 +76,30 @@ func Release(sk Alg1Sketch, p Params, src noise.Source) (hist.Estimate, error) {
 	return out, nil
 }
 
+// ReleaseColumns runs Algorithm 2 over a flat extraction of the full
+// Algorithm 1 counter table: keys strictly ascending with parallel counts
+// (mg.Sketch.AppendAll), dummy keys identified by lying above the universe
+// bound. The loop draws the shared layer then one Laplace(1/eps) sample per
+// key in ascending order — exactly the draw sequence of Release over the
+// same table — so flat and map releases are byte-identical under the same
+// seed (pinned by TestReleaseColumnsMatchesMap). This is the map-free path
+// the continual monitor's per-epoch releases run on.
+func ReleaseColumns(keys []stream.Item, counts []int64, universe uint64, p Params, src noise.Source) (hist.Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	eta := noise.Laplace(src, 1/p.Eps) // shared second noise layer
+	thresh := p.Threshold()
+	out := make(hist.Estimate)
+	for i, x := range keys {
+		noisy := float64(counts[i]) + eta + noise.Laplace(src, 1/p.Eps)
+		if noisy >= thresh && uint64(x) <= universe {
+			out[x] = noisy
+		}
+	}
+	return out, nil
+}
+
 // StdSketch is the view of a standard Misra-Gries sketch (zero counters
 // removed immediately) that the Section 5.1 release consumes. *mg.
 // StandardSketch satisfies it, as does any front-end exposing the same

@@ -41,6 +41,9 @@ const (
 	// KindCounters is a raw counter table (full Algorithm 1 state,
 	// including zero and dummy counters).
 	KindCounters Kind = 3
+	// KindManager is a multi-tenant stream-manager snapshot: a stream table
+	// whose records embed KindSummary and KindCounters blobs (see manager.go).
+	KindManager Kind = 4
 )
 
 var magic = [4]byte{'D', 'P', 'M', 'G'}

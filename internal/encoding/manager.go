@@ -1,0 +1,328 @@
+package encoding
+
+// Manager snapshots: the durable state of a multi-tenant stream manager
+// (dpmg.Manager), so a restarted aggregator resumes every tenant with
+// identical estimates and remaining privacy budgets. The format nests the
+// existing per-structure encodings — each stream's merged node aggregate is
+// a KindSummary blob and each raw-ingest shard is a full KindCounters
+// Algorithm 1 state — inside a versioned stream table:
+//
+//	[standard header]  kind = KindManager, entries = number of streams
+//	entries × stream record, in strictly ascending name order:
+//	  [2]  name length, then name bytes (UTF-8, 1..maxNameLen)
+//	  [8]  k
+//	  [8]  universe
+//	  [8]  shard count
+//	  [2]  mechanism-name length, then bytes (may be empty)
+//	  [8×4] budget eps, budget delta, spent eps, spent delta (float64 bits)
+//	  [8]  releases admitted
+//	  [8]  summaries merged (nodes)
+//	  [8]  batches ingested
+//	  [8]  items ingested
+//	  [1]  merged-aggregate present flag
+//	       (KindSummary blob when 1)
+//	  shard count × KindCounters blob (full Algorithm 1 state per shard)
+//
+// The ascending-name record order is canonical — equal manager states
+// serialize to equal bytes, and nothing about stream creation history leaks
+// through the wire (the Section 5.2 discipline applied to the stream table).
+// Like every snapshot of raw counters, a manager snapshot is as sensitive
+// as the streams themselves and must stay inside the trust boundary.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"dpmg/internal/merge"
+	"dpmg/internal/mg"
+)
+
+const (
+	// maxStreams bounds a snapshot's stream table (DoS guard on decode).
+	maxStreams = 1 << 20
+	// maxNameLen bounds one stream name on the wire.
+	maxNameLen = 256
+	// maxMechLen bounds a mechanism registry name on the wire.
+	maxMechLen = 128
+	// maxShards bounds one stream's raw-ingest shard count.
+	maxShards = 1 << 16
+)
+
+// StreamState is one stream's record in a manager snapshot. The marshal
+// side fills ShardSketches with the live per-shard sketches; the unmarshal
+// side leaves it nil and fills ShardWires with the decoded, validated
+// Algorithm 1 states instead (the caller owns turning wires back into live
+// sketches, universe checks included).
+type StreamState struct {
+	Name      string
+	K         int
+	Universe  uint64
+	Shards    int
+	Mechanism string // default release mechanism; "" = sensitivity-class default
+
+	BudgetEps, BudgetDelta float64
+	SpentEps, SpentDelta   float64
+	Releases               int64
+
+	Nodes    int64 // summaries merged into the aggregate
+	Batches  int64 // raw batches ingested
+	Ingested int64 // raw items ingested
+
+	Merged *merge.Summary // merged node aggregate; nil when none
+
+	ShardSketches []*mg.Sketch  // marshal input; one per shard
+	ShardWires    []*SketchWire // unmarshal output; one per shard
+}
+
+// validate checks the record fields shared by both directions.
+func (s *StreamState) validate() error {
+	if s.Name == "" || len(s.Name) > maxNameLen {
+		return fmt.Errorf("encoding: stream name length %d outside [1,%d]", len(s.Name), maxNameLen)
+	}
+	if len(s.Mechanism) > maxMechLen {
+		return fmt.Errorf("encoding: stream %q: mechanism name length %d exceeds %d", s.Name, len(s.Mechanism), maxMechLen)
+	}
+	if s.K <= 0 || s.K > 1<<30 {
+		return fmt.Errorf("encoding: stream %q: implausible k %d", s.Name, s.K)
+	}
+	if s.Universe == 0 {
+		return fmt.Errorf("encoding: stream %q: universe must be positive", s.Name)
+	}
+	if s.Shards <= 0 || s.Shards > maxShards {
+		return fmt.Errorf("encoding: stream %q: shard count %d outside [1,%d]", s.Name, s.Shards, maxShards)
+	}
+	for _, v := range []float64{s.BudgetEps, s.BudgetDelta, s.SpentEps, s.SpentDelta} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("encoding: stream %q: non-finite budget value %v", s.Name, v)
+		}
+	}
+	if s.Releases < 0 || s.Nodes < 0 || s.Batches < 0 || s.Ingested < 0 {
+		return fmt.Errorf("encoding: stream %q: negative bookkeeping", s.Name)
+	}
+	if s.Merged != nil && s.Merged.K != s.K {
+		return fmt.Errorf("encoding: stream %q: aggregate k=%d, stream k=%d", s.Name, s.Merged.K, s.K)
+	}
+	return nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func writeString(w io.Writer, s string, max int) error {
+	if len(s) > max {
+		return fmt.Errorf("encoding: string length %d exceeds %d", len(s), max)
+	}
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], uint16(len(s)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader, max int) (string, error) {
+	var buf [2]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return "", err
+	}
+	n := int(binary.LittleEndian.Uint16(buf[:]))
+	if n > max {
+		return "", fmt.Errorf("encoding: string length %d exceeds %d", n, max)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// MarshalManager serializes a manager snapshot. Streams may arrive in any
+// order; they are written in ascending name order (the canonical record
+// order). Each stream's ShardSketches must hold exactly Shards sketches.
+func MarshalManager(w io.Writer, streams []StreamState) error {
+	sorted := make([]*StreamState, len(streams))
+	for i := range streams {
+		sorted[i] = &streams[i]
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Name == sorted[i-1].Name {
+			return fmt.Errorf("encoding: duplicate stream name %q", sorted[i].Name)
+		}
+	}
+	if err := writeHeader(w, header{Kind: KindManager, Entries: uint64(len(sorted))}); err != nil {
+		return err
+	}
+	for _, s := range sorted {
+		if err := s.validate(); err != nil {
+			return err
+		}
+		if len(s.ShardSketches) != s.Shards {
+			return fmt.Errorf("encoding: stream %q: %d shard sketches for %d shards", s.Name, len(s.ShardSketches), s.Shards)
+		}
+		if err := writeString(w, s.Name, maxNameLen); err != nil {
+			return err
+		}
+		for _, v := range []uint64{uint64(s.K), s.Universe, uint64(s.Shards)} {
+			if err := writeU64(w, v); err != nil {
+				return err
+			}
+		}
+		if err := writeString(w, s.Mechanism, maxMechLen); err != nil {
+			return err
+		}
+		for _, f := range []float64{s.BudgetEps, s.BudgetDelta, s.SpentEps, s.SpentDelta} {
+			if err := writeU64(w, math.Float64bits(f)); err != nil {
+				return err
+			}
+		}
+		for _, v := range []uint64{uint64(s.Releases), uint64(s.Nodes), uint64(s.Batches), uint64(s.Ingested)} {
+			if err := writeU64(w, v); err != nil {
+				return err
+			}
+		}
+		present := byte(0)
+		if s.Merged != nil {
+			present = 1
+		}
+		if _, err := w.Write([]byte{present}); err != nil {
+			return err
+		}
+		if s.Merged != nil {
+			if err := MarshalSummary(w, s.Merged); err != nil {
+				return err
+			}
+		}
+		for i, sk := range s.ShardSketches {
+			if sk.K() != s.K || sk.Universe() != s.Universe {
+				return fmt.Errorf("encoding: stream %q: shard %d is (k=%d, d=%d), stream is (k=%d, d=%d)",
+					s.Name, i, sk.K(), sk.Universe(), s.K, s.Universe)
+			}
+			if err := MarshalSketch(w, sk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// UnmarshalManager reads a manager snapshot back, validating every nested
+// structure (the summary and per-shard sketch decoders run their own
+// structural checks) plus the cross-record invariants: strictly ascending
+// stream names, per-stream k/universe agreement, finite budget values. The
+// returned records carry decoded ShardWires; ShardSketches is nil.
+func UnmarshalManager(r io.Reader) ([]StreamState, error) {
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != KindManager {
+		return nil, fmt.Errorf("encoding: expected manager snapshot, got kind %d", h.Kind)
+	}
+	// The per-structure header fields are unused at the manager level and
+	// written as zero; enforce that on read so the encoding stays canonical
+	// (any accepted document re-encodes to the same bytes).
+	if h.K != 0 || h.Universe != 0 || h.N != 0 || h.Decrements != 0 {
+		return nil, fmt.Errorf("encoding: manager snapshot reserved header fields must be zero")
+	}
+	if h.Entries > maxStreams {
+		return nil, fmt.Errorf("encoding: %d streams exceed limit %d", h.Entries, maxStreams)
+	}
+	out := make([]StreamState, 0, h.Entries)
+	prev := ""
+	for i := uint64(0); i < h.Entries; i++ {
+		var s StreamState
+		if s.Name, err = readString(r, maxNameLen); err != nil {
+			return nil, fmt.Errorf("encoding: stream %d name: %w", i, err)
+		}
+		if i > 0 && s.Name <= prev {
+			return nil, fmt.Errorf("encoding: stream names not strictly ascending at %q", s.Name)
+		}
+		prev = s.Name
+		var k, shards uint64
+		for _, p := range []*uint64{&k, &s.Universe, &shards} {
+			if *p, err = readU64(r); err != nil {
+				return nil, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
+			}
+		}
+		if k > 1<<30 {
+			return nil, fmt.Errorf("encoding: stream %q: implausible k %d", s.Name, k)
+		}
+		if shards > maxShards {
+			return nil, fmt.Errorf("encoding: stream %q: shard count %d exceeds %d", s.Name, shards, maxShards)
+		}
+		s.K, s.Shards = int(k), int(shards)
+		if s.Mechanism, err = readString(r, maxMechLen); err != nil {
+			return nil, fmt.Errorf("encoding: stream %q mechanism: %w", s.Name, err)
+		}
+		for _, p := range []*float64{&s.BudgetEps, &s.BudgetDelta, &s.SpentEps, &s.SpentDelta} {
+			bits, err := readU64(r)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
+			}
+			*p = math.Float64frombits(bits)
+		}
+		for _, p := range []*int64{&s.Releases, &s.Nodes, &s.Batches, &s.Ingested} {
+			v, err := readU64(r)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
+			}
+			if v > math.MaxInt64 {
+				return nil, fmt.Errorf("encoding: stream %q: bookkeeping value %d overflows", s.Name, v)
+			}
+			*p = int64(v)
+		}
+		var present [1]byte
+		if _, err := io.ReadFull(r, present[:]); err != nil {
+			return nil, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
+		}
+		switch present[0] {
+		case 0:
+		case 1:
+			if s.Merged, err = UnmarshalSummary(r); err != nil {
+				return nil, fmt.Errorf("encoding: stream %q aggregate: %w", s.Name, err)
+			}
+		default:
+			return nil, fmt.Errorf("encoding: stream %q: bad aggregate flag %d", s.Name, present[0])
+		}
+		s.ShardWires = make([]*SketchWire, s.Shards)
+		for j := range s.ShardWires {
+			wire, err := UnmarshalSketch(r)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: stream %q shard %d: %w", s.Name, j, err)
+			}
+			if wire.K != s.K || wire.Universe != s.Universe {
+				return nil, fmt.Errorf("encoding: stream %q shard %d: (k=%d, d=%d) does not match stream (k=%d, d=%d)",
+					s.Name, j, wire.K, wire.Universe, s.K, s.Universe)
+			}
+			s.ShardWires[j] = wire
+		}
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	// The table must be the whole document: trailing bytes mean a foreign
+	// or corrupted snapshot.
+	var trail [1]byte
+	if n, _ := r.Read(trail[:]); n != 0 {
+		return nil, fmt.Errorf("encoding: trailing bytes after manager snapshot")
+	}
+	return out, nil
+}

@@ -363,6 +363,23 @@ func (s *Sketch) AppendReal(keys []stream.Item, vals []int64) ([]stream.Item, []
 	return keys, vals
 }
 
+// AppendAll appends the sketch's full Algorithm 1 counter table — dummy and
+// zero-count keys included, exactly the table Counters returns — to the
+// given parallel columns in ascending key order, and returns the extended
+// slices. It is the flat counterpart of Counters/SortedKeys: callers that
+// reuse the destination slices across calls (the continual monitor's
+// per-epoch release) extract the full release table with no map and no
+// per-call key allocation.
+func (s *Sketch) AppendAll(keys []stream.Item, vals []int64) ([]stream.Item, []int64) {
+	base := len(keys)
+	for i := range s.slots {
+		keys = append(keys, s.slots[i].key)
+		vals = append(vals, s.slots[i].stored-s.off)
+	}
+	sort.Sort(&pairSorter{keys: keys[base:], vals: vals[base:]})
+	return keys, vals
+}
+
 // pairSorter co-sorts parallel key/count columns by ascending key.
 type pairSorter struct {
 	keys []stream.Item

@@ -1,0 +1,175 @@
+// Package registry provides the lock-striped named-entry table underneath
+// the dpmg.Manager multi-tenant facade. The Section 7 distributed setting
+// (and C-POD's edge-pod aggregation model) is many independent edge
+// populations, each with its own universe, sketch, and privacy account;
+// this package supplies the concurrency skeleton for that boundary: a
+// string-keyed table whose entries are reachable without any global mutex,
+// so ingest into one stream never contends with ingest into another.
+//
+// # Lock striping
+//
+// The table is split into a fixed number of stripes, each an independently
+// locked map shard; a name is routed to its stripe with FNV-1a. A lookup
+// takes exactly one stripe RLock for the duration of a map read — never
+// while the caller operates on the entry — so two requests touching
+// different streams proceed with no shared mutex at all, and two requests
+// touching the same stream share only that stream's own synchronization.
+// Stripes are padded to cache-line size so one stripe's lock traffic does
+// not evict its neighbors' lines (the same false-sharing discipline as
+// dpmg.ShardedSketch's shards).
+//
+// The table is deliberately policy-free: name validation, entry
+// construction, and per-entry locking belong to the caller (dpmg.Manager).
+package registry
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultStripes is the stripe count New uses when given n <= 0. 64 stripes
+// keep the collision probability negligible for realistic tenant counts
+// while the table stays a few KiB.
+const DefaultStripes = 64
+
+// Table is a lock-striped map of named entries. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Table[T any] struct {
+	stripes []stripe[T]
+}
+
+// stripe is one independently locked shard of the table, padded so
+// neighboring stripes' mutexes never share a cache line.
+type stripe[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T
+	_  [64 - 32]byte
+}
+
+// New returns a table with the given number of stripes (DefaultStripes when
+// n <= 0).
+func New[T any](n int) *Table[T] {
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	t := &Table[T]{stripes: make([]stripe[T], n)}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[string]T)
+	}
+	return t
+}
+
+// stripeFor routes a name to its stripe with FNV-1a (input-independent:
+// placement depends only on the name, never on creation history).
+func (t *Table[T]) stripeFor(name string) *stripe[T] {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &t.stripes[h%uint64(len(t.stripes))]
+}
+
+// Get returns the entry for name, if present. It holds name's stripe RLock
+// only for the map read.
+func (t *Table[T]) Get(name string) (T, bool) {
+	s := t.stripeFor(name)
+	s.mu.RLock()
+	v, ok := s.m[name]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// GetOrCreate returns the entry for name, constructing it with create if it
+// does not exist. Exactly one concurrent caller runs create for a given
+// name (the stripe write lock is held across it — keep create cheap); the
+// others observe the constructed entry. created reports whether this call
+// did the construction. If create errors, nothing is stored and the error
+// is returned.
+func (t *Table[T]) GetOrCreate(name string, create func() (T, error)) (v T, created bool, err error) {
+	s := t.stripeFor(name)
+	s.mu.RLock()
+	v, ok := s.m[name]
+	s.mu.RUnlock()
+	if ok {
+		return v, false, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok = s.m[name]; ok {
+		return v, false, nil
+	}
+	v, err = create()
+	if err != nil {
+		var zero T
+		return zero, false, err
+	}
+	s.m[name] = v
+	return v, true, nil
+}
+
+// Delete removes and returns the entry for name, reporting whether it was
+// present.
+func (t *Table[T]) Delete(name string) (T, bool) {
+	s := t.stripeFor(name)
+	s.mu.Lock()
+	v, ok := s.m[name]
+	if ok {
+		delete(s.m, name)
+	}
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Len returns the number of entries. Stripes are counted one at a time, so
+// under concurrent mutation the result is a consistent-per-stripe snapshot,
+// exact once writers quiesce.
+func (t *Table[T]) Len() int {
+	n := 0
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Entry is one (name, value) pair of a Snapshot.
+type Entry[T any] struct {
+	Name  string
+	Value T
+}
+
+// Snapshot returns all entries sorted by name — the canonical,
+// input-independent iteration order (serializing in stripe or map order
+// would leak creation history, the same Section 5.2 concern the release
+// paths carry). Stripes are read one at a time; entries created or deleted
+// concurrently may or may not be included.
+func (t *Table[T]) Snapshot() []Entry[T] {
+	out := make([]Entry[T], 0, 16)
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		for name, v := range s.m {
+			out = append(out, Entry[T]{Name: name, Value: v})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns all entry names in ascending order.
+func (t *Table[T]) Names() []string {
+	entries := t.Snapshot()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}

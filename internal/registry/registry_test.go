@@ -1,0 +1,143 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrCreateIdempotent(t *testing.T) {
+	tab := New[int](8)
+	v, created, err := tab.GetOrCreate("a", func() (int, error) { return 1, nil })
+	if err != nil || !created || v != 1 {
+		t.Fatalf("first create: v=%d created=%v err=%v", v, created, err)
+	}
+	v, created, err = tab.GetOrCreate("a", func() (int, error) { return 2, nil })
+	if err != nil || created || v != 1 {
+		t.Fatalf("second create must return existing: v=%d created=%v err=%v", v, created, err)
+	}
+	if v, ok := tab.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if _, ok := tab.Get("missing"); ok {
+		t.Fatal("Get of missing name succeeded")
+	}
+}
+
+func TestCreateErrorStoresNothing(t *testing.T) {
+	tab := New[int](4)
+	_, created, err := tab.GetOrCreate("x", func() (int, error) { return 0, fmt.Errorf("boom") })
+	if err == nil || created {
+		t.Fatalf("create error not propagated: created=%v err=%v", created, err)
+	}
+	if _, ok := tab.Get("x"); ok {
+		t.Fatal("failed create left an entry behind")
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after failed create", tab.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab := New[string](0) // 0 -> DefaultStripes
+	tab.GetOrCreate("a", func() (string, error) { return "va", nil })
+	if v, ok := tab.Delete("a"); !ok || v != "va" {
+		t.Fatalf("Delete = %q, %v", v, ok)
+	}
+	if _, ok := tab.Delete("a"); ok {
+		t.Fatal("second Delete reported presence")
+	}
+	if _, ok := tab.Get("a"); ok {
+		t.Fatal("entry survived Delete")
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	tab := New[int](4)
+	// Insertion order deliberately scrambled: the snapshot order must
+	// depend only on the names.
+	for i, name := range []string{"zeta", "alpha", "mid", "beta"} {
+		tab.GetOrCreate(name, func() (int, error) { return i, nil })
+	}
+	want := []string{"alpha", "beta", "mid", "zeta"}
+	names := tab.Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	snap := tab.Snapshot()
+	for i, e := range snap {
+		if e.Name != want[i] {
+			t.Fatalf("Snapshot[%d].Name = %q, want %q", i, e.Name, want[i])
+		}
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+// TestConcurrentDistinctNames hammers the table from many goroutines, each
+// working a distinct name, with concurrent snapshots — the -race harness for
+// the no-global-mutex claim.
+func TestConcurrentDistinctNames(t *testing.T) {
+	tab := New[*atomic.Int64](16)
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	wg.Add(workers + 1)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("stream-%d", w)
+			for i := 0; i < iters; i++ {
+				v, _, err := tab.GetOrCreate(name, func() (*atomic.Int64, error) {
+					return new(atomic.Int64), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				v.Add(1)
+				if i%512 == 511 {
+					tab.Delete(name)
+				}
+			}
+		}(w)
+	}
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tab.Snapshot()
+			tab.Len()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestCreateOnceUnderContention checks that exactly one concurrent caller
+// constructs a given name.
+func TestCreateOnceUnderContention(t *testing.T) {
+	tab := New[int](2)
+	var constructed atomic.Int64
+	var wg sync.WaitGroup
+	const callers = 16
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			tab.GetOrCreate("same", func() (int, error) {
+				constructed.Add(1)
+				return 7, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if n := constructed.Load(); n != 1 {
+		t.Fatalf("create ran %d times, want 1", n)
+	}
+}

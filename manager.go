@@ -1,0 +1,638 @@
+package dpmg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dpmg/internal/accountant"
+	"dpmg/internal/encoding"
+	"dpmg/internal/merge"
+	"dpmg/internal/mg"
+	"dpmg/internal/registry"
+)
+
+// ErrStreamEmpty is returned (wrapped) when a release is requested from a
+// managed stream that has ingested no summaries and no raw items yet; test
+// with errors.Is. It is a state error, not a calibration error — no budget
+// is ever spent on it.
+var ErrStreamEmpty = errors.New("dpmg: stream has no ingested data")
+
+// ErrStreamConflict is wrapped by CreateStream when the named stream
+// already exists with a different configuration; test with errors.Is.
+var ErrStreamConflict = errors.New("dpmg: stream exists with different config")
+
+// StreamConfig fixes one managed stream's parameters at creation time. The
+// zero value of any field means "inherit the manager default" in
+// CreateStream; a fully resolved config is immutable for the stream's
+// lifetime (it is part of the durable snapshot).
+type StreamConfig struct {
+	// K is the summary size: k counters, sketch error N/(k+1).
+	K int
+	// Universe bounds the stream's item universe [1, Universe].
+	Universe uint64
+	// Shards is the raw-ingest parallelism (ShardedSketch shards). Zero
+	// inherits the default; creation resolves zero defaults to
+	// min(GOMAXPROCS, 16) and the resolved value is what persists.
+	Shards int
+	// Mechanism names the default release mechanism in the dpmg registry
+	// ("gaussian", "laplace", ...). Empty selects the sensitivity-class
+	// default at release time (gaussian, for the merged class every managed
+	// stream has).
+	Mechanism string
+	// Budget is the stream's total privacy allowance. Each stream owns an
+	// independent Accountant: tenants never share an (eps, delta) account.
+	Budget Budget
+}
+
+// withDefaults fills zero fields from d.
+func (c StreamConfig) withDefaults(d StreamConfig) StreamConfig {
+	if c.K == 0 {
+		c.K = d.K
+	}
+	if c.Universe == 0 {
+		c.Universe = d.Universe
+	}
+	if c.Shards == 0 {
+		c.Shards = d.Shards
+	}
+	if c.Mechanism == "" {
+		c.Mechanism = d.Mechanism
+	}
+	// Budget components inherit individually, like every other field: a
+	// request that sets only eps still gets the default delta (and vice
+	// versa). A deliberate delta of exactly 0 is not expressible through
+	// defaulting — configure the manager default to 0 instead.
+	if c.Budget.Eps == 0 {
+		c.Budget.Eps = d.Budget.Eps
+	}
+	if c.Budget.Delta == 0 {
+		c.Budget.Delta = d.Budget.Delta
+	}
+	return c
+}
+
+// Resource ceilings a single stream config may request. Stream creation is
+// reachable from untrusted input (the server's POST /v1/streams), so the
+// per-stream allocation — shards × k counter slots — must be bounded by
+// validation, not by the operator's good faith: without a ceiling one
+// small JSON request could commit gigabytes. The caps are far above any
+// useful sketch (the paper's k is in the hundreds; error is N/(k+1)) while
+// keeping the worst single stream in the tens-of-MB range. Tenant quotas
+// and authentication remain the deployment's job.
+const (
+	// MaxStreamK bounds one stream's summary size.
+	MaxStreamK = 1 << 20
+	// MaxStreamShards bounds one stream's raw-ingest parallelism.
+	MaxStreamShards = 1 << 10
+	// maxStreamSlots bounds the product shards × k (total counter slots).
+	maxStreamSlots = 1 << 22
+)
+
+// validate checks a fully resolved config.
+func (c StreamConfig) validate() error {
+	if c.K <= 0 || c.K > MaxStreamK {
+		return fmt.Errorf("dpmg: stream k %d outside [1, %d]", c.K, MaxStreamK)
+	}
+	if c.Universe == 0 {
+		return fmt.Errorf("dpmg: stream universe must be positive")
+	}
+	if c.Shards <= 0 || c.Shards > MaxStreamShards {
+		return fmt.Errorf("dpmg: stream shards %d outside [1, %d]", c.Shards, MaxStreamShards)
+	}
+	if slots := c.Shards * c.K; slots > maxStreamSlots {
+		return fmt.Errorf("dpmg: stream footprint %d counter slots (shards %d × k %d) exceeds %d",
+			slots, c.Shards, c.K, maxStreamSlots)
+	}
+	if c.Mechanism != "" {
+		if _, ok := MechanismByName(c.Mechanism); !ok {
+			return fmt.Errorf("dpmg: unknown default mechanism %q (registered: %v)", c.Mechanism, Mechanisms())
+		}
+	}
+	return nil
+}
+
+// defaultShards resolves the zero Shards default once, at creation: ingest
+// parallelism up to the machine width, capped so tiny streams do not pay a
+// 16-way merge at every release. The resolved value is persisted, so a
+// snapshot restored on different hardware keeps its original sharding (and
+// therefore its exact estimates).
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// validateStreamName enforces the manager's naming rules: 1..128 characters
+// of [a-zA-Z0-9._-], starting with a letter or digit — safe in URL paths,
+// file names, and the snapshot wire format.
+func validateStreamName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("dpmg: stream name length %d outside [1, 128]", len(name))
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return fmt.Errorf("dpmg: stream name %q: character %q at %d not allowed (want [a-zA-Z0-9._-], leading alphanumeric)", name, c, i)
+		}
+	}
+	return nil
+}
+
+// Manager is the multi-tenant stream layer of the Section 7 distributed
+// setting: a registry of named streams, each an independent edge population
+// with its own universe, sketch state, and (eps, delta) account — the
+// C-POD edge-pod boundary as a first-class object instead of N separate
+// processes. It is safe for concurrent use, and deliberately has no global
+// mutex: stream lookup is lock-striped (internal/registry), so ingest into
+// one stream never contends with ingest into another, and within a stream
+// the raw-ingest path is sharded (ShardedSketch).
+//
+// The manager's full state — stream table, per-stream counters, remaining
+// budgets — serializes with Snapshot and resumes with RestoreManager, so a
+// restarted aggregator continues every tenant with identical estimates,
+// identical seeded releases, and exactly the budget it went down with.
+type Manager struct {
+	defaults StreamConfig
+	streams  *registry.Table[*Stream]
+}
+
+// NewManager returns an empty manager. defaults supplies the per-stream
+// config fields CreateStream callers leave zero; it must itself resolve to
+// a valid config (K, Universe, and Budget set; Shards zero means
+// min(GOMAXPROCS, 16)).
+func NewManager(defaults StreamConfig) (*Manager, error) {
+	if defaults.Shards == 0 {
+		defaults.Shards = defaultShards()
+	}
+	if err := defaults.validate(); err != nil {
+		return nil, fmt.Errorf("dpmg: manager defaults: %w", err)
+	}
+	if err := defaults.Budget.valid(); err != nil {
+		return nil, fmt.Errorf("dpmg: manager defaults: %w", err)
+	}
+	return &Manager{defaults: defaults, streams: registry.New[*Stream](0)}, nil
+}
+
+// Defaults returns the manager's default stream config.
+func (m *Manager) Defaults() StreamConfig { return m.defaults }
+
+// CreateStream creates the named stream, or returns the existing one when
+// the request is compatible with it (idempotent create: retried requests
+// and racing replicas converge on one stream). Compatibility is judged on
+// the fields the caller set explicitly — zero fields mean "whatever the
+// stream has", so a defaults-only retry stays idempotent even if the
+// manager defaults changed between the calls (new flags, different
+// hardware resolving a different shard default). An explicitly requested
+// field that contradicts the existing stream wraps ErrStreamConflict.
+// created reports whether this call performed the creation.
+func (m *Manager) CreateStream(name string, cfg StreamConfig) (st *Stream, created bool, err error) {
+	if err := validateStreamName(name); err != nil {
+		return nil, false, err
+	}
+	resolved := cfg.withDefaults(m.defaults)
+	if err := resolved.validate(); err != nil {
+		return nil, false, err
+	}
+	st, created, err = m.streams.GetOrCreate(name, func() (*Stream, error) {
+		return newStream(name, resolved)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !created {
+		if err := st.cfg.conflict(name, cfg); err != nil {
+			return nil, false, err
+		}
+	}
+	return st, created, nil
+}
+
+// conflict reports how the explicitly requested fields of r contradict the
+// existing config c; zero fields of r never conflict (they inherit).
+func (c StreamConfig) conflict(name string, r StreamConfig) error {
+	disagree := func(field string, want, have any) error {
+		return fmt.Errorf("%w: %q has %s=%v, requested %v", ErrStreamConflict, name, field, have, want)
+	}
+	switch {
+	case r.K != 0 && r.K != c.K:
+		return disagree("k", r.K, c.K)
+	case r.Universe != 0 && r.Universe != c.Universe:
+		return disagree("universe", r.Universe, c.Universe)
+	case r.Shards != 0 && r.Shards != c.Shards:
+		return disagree("shards", r.Shards, c.Shards)
+	case r.Mechanism != "" && r.Mechanism != c.Mechanism:
+		return disagree("mechanism", r.Mechanism, c.Mechanism)
+	case r.Budget.Eps != 0 && r.Budget.Eps != c.Budget.Eps:
+		return disagree("budget eps", r.Budget.Eps, c.Budget.Eps)
+	case r.Budget.Delta != 0 && r.Budget.Delta != c.Budget.Delta:
+		return disagree("budget delta", r.Budget.Delta, c.Budget.Delta)
+	}
+	return nil
+}
+
+// Stream returns the named stream, if it exists.
+func (m *Manager) Stream(name string) (*Stream, bool) {
+	return m.streams.Get(name)
+}
+
+// Streams returns all streams in ascending name order.
+func (m *Manager) Streams() []*Stream {
+	entries := m.streams.Snapshot()
+	out := make([]*Stream, len(entries))
+	for i, e := range entries {
+		out[i] = e.Value
+	}
+	return out
+}
+
+// DeleteStream removes the named stream from the manager, reporting whether
+// it existed. The stream's state (and its spent budget record) is dropped;
+// in-flight operations holding the *Stream finish against the orphaned
+// state. Deleting and re-creating a name starts a fresh privacy account —
+// callers own the composition argument across that boundary.
+func (m *Manager) DeleteStream(name string) bool {
+	_, ok := m.streams.Delete(name)
+	return ok
+}
+
+// Len returns the number of managed streams.
+func (m *Manager) Len() int { return m.streams.Len() }
+
+// Snapshot writes the manager's full durable state — the stream table with
+// each stream's config, bookkeeping, accountant balance, merged node
+// aggregate, and every raw-ingest shard's full Algorithm 1 counter state —
+// in the versioned binary format of internal/encoding (KindManager).
+// Snapshots are canonical (equal states serialize to equal bytes) and as
+// sensitive as the raw streams: they hold un-noised counters and must stay
+// inside the trust boundary.
+//
+// Snapshot may run concurrently with ingest: each stream (and each shard
+// within it) is read under its own lock at a slightly different instant,
+// exactly like a release racing writers. Updates completed before the call
+// began are always included; the snapshot of each stream is internally
+// consistent per shard. For a byte-exact quiescent image (the shutdown
+// flush), stop writers first.
+func (m *Manager) Snapshot(w io.Writer) error {
+	entries := m.streams.Snapshot()
+	states := make([]encoding.StreamState, 0, len(entries))
+	for _, e := range entries {
+		st, err := e.Value.snapshotState()
+		if err != nil {
+			return fmt.Errorf("dpmg: snapshot stream %q: %w", e.Name, err)
+		}
+		states = append(states, st)
+	}
+	return encoding.MarshalManager(w, states)
+}
+
+// RestoreManager reads a Snapshot back into a live manager, validating the
+// header and every nested structure so corrupted or foreign bytes fail
+// loudly instead of resuming garbage. defaults plays the same role as in
+// NewManager — it configures streams created after the restore; the
+// restored streams keep their own persisted configs. The restored manager
+// is behaviorally identical to the snapshotted one: same estimates, same
+// remaining budgets, byte-identical releases under the same seed, and the
+// same response to any continuation of every stream.
+func RestoreManager(r io.Reader, defaults StreamConfig) (*Manager, error) {
+	states, err := encoding.UnmarshalManager(r)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewManager(defaults)
+	if err != nil {
+		return nil, err
+	}
+	for i := range states {
+		st, err := restoreStream(&states[i])
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := m.streams.GetOrCreate(st.name, func() (*Stream, error) { return st, nil }); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Stream is one managed tenant: a raw-ingest ShardedSketch, a merged
+// aggregate of shipped node summaries, and a private Accountant, all under
+// the config fixed at creation. Every method is safe for concurrent use;
+// two streams share no synchronization at all.
+//
+// A stream's releases carry merged (Corollary 18) sensitivity — raw items
+// and node summaries funnel through the same bounded-memory Agarwal et al.
+// aggregate — so the gaussian mechanism is the class default.
+type Stream struct {
+	name    string
+	cfg     StreamConfig
+	sharded *ShardedSketch
+	acct    *Accountant
+
+	batches  atomic.Int64
+	ingested atomic.Int64
+
+	mu     sync.Mutex // guards merged + nodes
+	merged *merge.Summary
+	nodes  int64
+}
+
+// newStream builds a fresh stream from a resolved, validated config.
+func newStream(name string, cfg StreamConfig) (*Stream, error) {
+	acct, err := NewAccountant(cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		name:    name,
+		cfg:     cfg,
+		sharded: NewShardedSketch(cfg.Shards, cfg.K, cfg.Universe),
+		acct:    acct,
+	}, nil
+}
+
+// restoreStream rebuilds a stream from its snapshot record.
+func restoreStream(w *encoding.StreamState) (*Stream, error) {
+	if err := validateStreamName(w.Name); err != nil {
+		return nil, err
+	}
+	cfg := StreamConfig{
+		K: w.K, Universe: w.Universe, Shards: w.Shards,
+		Mechanism: w.Mechanism,
+		Budget:    Budget{Eps: w.BudgetEps, Delta: w.BudgetDelta},
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("dpmg: restore stream %q: %w", w.Name, err)
+	}
+	inner, err := accountant.Restore(
+		accountant.Budget{Eps: w.BudgetEps, Delta: w.BudgetDelta},
+		accountant.Budget{Eps: w.SpentEps, Delta: w.SpentDelta},
+		int(w.Releases),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("dpmg: restore stream %q: %w", w.Name, err)
+	}
+	sharded := NewShardedSketch(cfg.Shards, cfg.K, cfg.Universe)
+	for i, sw := range w.ShardWires {
+		sk, err := mg.Restore(sw.K, sw.Universe, sw.N, sw.Decrements, sw.Counts)
+		if err != nil {
+			return nil, fmt.Errorf("dpmg: restore stream %q shard %d: %w", w.Name, i, err)
+		}
+		sharded.shards[i].sk = sk
+	}
+	st := &Stream{
+		name:    w.Name,
+		cfg:     cfg,
+		sharded: sharded,
+		acct:    &Accountant{inner: inner},
+		merged:  w.Merged,
+		nodes:   w.Nodes,
+	}
+	st.batches.Store(w.Batches)
+	st.ingested.Store(w.Ingested)
+	return st, nil
+}
+
+// snapshotState captures the stream's durable state for Snapshot.
+func (s *Stream) snapshotState() (encoding.StreamState, error) {
+	shards, err := s.sharded.snapshotShards()
+	if err != nil {
+		return encoding.StreamState{}, err
+	}
+	s.mu.Lock()
+	merged := s.merged // immutable once published; safe to serialize unlocked
+	nodes := s.nodes
+	s.mu.Unlock()
+	// One locked read for the whole account: a spend racing the snapshot
+	// is either fully in (charge and release count) or fully out, never a
+	// torn record that would under-count privacy spend after a restore.
+	_, spent, releases := s.acct.inner.State()
+	return encoding.StreamState{
+		Name: s.name, K: s.cfg.K, Universe: s.cfg.Universe, Shards: s.cfg.Shards,
+		Mechanism: s.cfg.Mechanism,
+		BudgetEps: s.cfg.Budget.Eps, BudgetDelta: s.cfg.Budget.Delta,
+		SpentEps: spent.Eps, SpentDelta: spent.Delta,
+		Releases: int64(releases),
+		Nodes:    nodes, Batches: s.batches.Load(), Ingested: s.ingested.Load(),
+		Merged:        merged,
+		ShardSketches: shards,
+	}, nil
+}
+
+// Name returns the stream's registry name.
+func (s *Stream) Name() string { return s.name }
+
+// Config returns the stream's resolved, immutable config.
+func (s *Stream) Config() StreamConfig { return s.cfg }
+
+// Ingested returns the number of raw items ingested so far.
+func (s *Stream) Ingested() int64 { return s.ingested.Load() }
+
+// Batches returns the number of raw batches ingested so far.
+func (s *Stream) Batches() int64 { return s.batches.Load() }
+
+// Nodes returns the number of node summaries merged so far.
+func (s *Stream) Nodes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes
+}
+
+// Accountant returns the stream's private budget account, for callers that
+// meter ad-hoc releases of related data against the same allowance.
+func (s *Stream) Accountant() *Accountant { return s.acct }
+
+// Update ingests one raw element, rejecting items outside [1, Universe]
+// (the universe bound is load-bearing: dummy keys live just above it).
+func (s *Stream) Update(x Item) error {
+	if x == 0 || uint64(x) > s.cfg.Universe {
+		return fmt.Errorf("dpmg: stream %q: item %d outside universe [1, %d]", s.name, x, s.cfg.Universe)
+	}
+	s.sharded.Update(x)
+	s.ingested.Add(1)
+	return nil
+}
+
+// UpdateBatch ingests a raw item batch: every item is validated against the
+// universe before any is applied (a bad item mid-batch cannot leave a
+// half-ingested batch), then the whole batch runs on the sharded sketch's
+// grouped hot path. Safe for concurrent use; batches on different streams
+// share no locks at all.
+func (s *Stream) UpdateBatch(xs []Item) error {
+	for _, x := range xs {
+		if x == 0 || uint64(x) > s.cfg.Universe {
+			return fmt.Errorf("dpmg: stream %q: item %d outside universe [1, %d]", s.name, x, s.cfg.Universe)
+		}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	s.sharded.UpdateBatch(xs)
+	s.batches.Add(1)
+	s.ingested.Add(int64(len(xs)))
+	return nil
+}
+
+// IngestSummary folds one shipped node summary into the stream's bounded
+// aggregate with the Agarwal et al. merge: the stream never holds more than
+// 2k counters for its node tier, no matter how many edges report.
+func (s *Stream) IngestSummary(sum *MergeableSummary) error {
+	if sum.K() != s.cfg.K {
+		return fmt.Errorf("dpmg: stream %q: summary k=%d, stream requires k=%d", s.name, sum.K(), s.cfg.K)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.merged == nil {
+		// First summary: keep it as-is (callers hand over ownership, like
+		// every FromSorted-style zero-copy entry point).
+		s.merged = sum.inner
+	} else {
+		m, err := merge.Merge(s.merged, sum.inner)
+		if err != nil {
+			return err
+		}
+		s.merged = m
+	}
+	s.nodes++
+	return nil
+}
+
+// combined folds the raw-ingest shards (if any data arrived) into the node
+// aggregate without mutating stream state. The result owns its storage —
+// the node aggregate is immutable once published and the sharded summary is
+// extracted as a fresh clone — so it stays valid after locks are dropped.
+// nil means the stream is empty.
+func (s *Stream) combined() (*merge.Summary, error) {
+	s.mu.Lock()
+	base := s.merged
+	s.mu.Unlock()
+	if s.ingested.Load() == 0 {
+		return base, nil
+	}
+	shardSum, err := s.sharded.Summary()
+	if err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return shardSum.inner, nil
+	}
+	return merge.Merge(base, shardSum.inner)
+}
+
+// ReleaseView snapshots the stream for the unified release path: the
+// combined (node aggregate ∪ raw shards) summary under merged
+// (Corollary 18) sensitivity, flat sorted columns in the input-independent
+// ascending-key order every release in this package draws in. An empty
+// stream wraps ErrStreamEmpty.
+func (s *Stream) ReleaseView() (*ReleaseView, error) {
+	sum, err := s.combined()
+	if err != nil {
+		return nil, err
+	}
+	if sum == nil {
+		return nil, fmt.Errorf("%w: %q", ErrStreamEmpty, s.name)
+	}
+	return &ReleaseView{
+		Keys: sum.Keys(),
+		Vals: sum.Counts(),
+		Sens: Sensitivity{Class: SensitivityMerged, K: s.cfg.K, Universe: s.cfg.Universe},
+	}, nil
+}
+
+// ReleaseDetailed privatizes the stream through the unified release path,
+// metered against the stream's own Accountant and defaulting to the
+// stream's configured mechanism. Options are applied after the defaults, so
+// WithMechanism / WithSeed / WithTopK override per call. The ordering
+// guarantees of ReleaseDetailed hold: calibration failures and empty
+// streams never spend budget, and ErrBudgetExhausted releases nothing.
+func (s *Stream) ReleaseDetailed(p Params, opts ...ReleaseOption) (*ReleaseResult, error) {
+	base := make([]ReleaseOption, 0, 2+len(opts))
+	base = append(base, WithAccountant(s.acct))
+	if s.cfg.Mechanism != "" {
+		base = append(base, WithMechanism(s.cfg.Mechanism))
+	}
+	return ReleaseDetailed(s, p, append(base, opts...)...)
+}
+
+// Estimate returns the stream's non-private combined estimate for x: its
+// raw-shard estimate plus its node-aggregate estimate (the two tiers hold
+// disjoint data). Prefer ReleaseDetailed for anything leaving the trust
+// boundary.
+func (s *Stream) Estimate(x Item) int64 {
+	s.mu.Lock()
+	var agg int64
+	if s.merged != nil {
+		agg = s.merged.Estimate(x)
+	}
+	s.mu.Unlock()
+	return agg + s.sharded.Estimate(x)
+}
+
+// StreamStats is a point-in-time, non-private description of one stream.
+// Fields counting raw data (Ingested, IngestCounters) and the aggregate
+// tier (Nodes, AggregateCounters) are each internally consistent; under
+// concurrent writers the struct as a whole is a near-point snapshot, exact
+// once writers quiesce.
+type StreamStats struct {
+	Name      string
+	K         int
+	Universe  uint64
+	Shards    int
+	Mechanism string
+
+	Nodes             int64 // node summaries merged
+	AggregateCounters int   // counters held by the node aggregate (≤ k)
+	Batches           int64 // raw batches ingested
+	Ingested          int64 // raw items ingested
+	IngestCounters    int   // positive counters in the merged raw-shard view (≤ k)
+
+	Remaining Budget // unspent privacy budget
+	Releases  int    // releases admitted so far
+}
+
+// Stats returns the stream's current stats. When raw data has been
+// ingested, the shard summaries are merged (bounded, ≤ k counters) to count
+// the live raw-tier counters — the same fold a release performs.
+func (s *Stream) Stats() (StreamStats, error) {
+	s.mu.Lock()
+	nodes := s.nodes
+	aggCounters := 0
+	if s.merged != nil {
+		aggCounters = s.merged.Len()
+	}
+	s.mu.Unlock()
+	ingestCounters := 0
+	if s.ingested.Load() > 0 {
+		sum, err := s.sharded.Summary()
+		if err != nil {
+			return StreamStats{}, err
+		}
+		ingestCounters = sum.Len()
+	}
+	total, spent, releases := s.acct.inner.State() // one lock: consistent pair
+	return StreamStats{
+		Name: s.name, K: s.cfg.K, Universe: s.cfg.Universe, Shards: s.cfg.Shards,
+		Mechanism: s.cfg.Mechanism,
+		Nodes:     nodes, AggregateCounters: aggCounters,
+		Batches: s.batches.Load(), Ingested: s.ingested.Load(),
+		IngestCounters: ingestCounters,
+		Remaining:      Budget{Eps: total.Eps - spent.Eps, Delta: total.Delta - spent.Delta},
+		Releases:       releases,
+	}, nil
+}
+
+// valid reports whether the budget is usable (the accountant's rules).
+func (b Budget) valid() error {
+	return accountant.Budget{Eps: b.Eps, Delta: b.Delta}.Valid()
+}

@@ -165,8 +165,8 @@ type Mechanism interface {
 // every sketch front-end via WithMechanism and from the dpmg-server's
 // /v1/release mech= parameter — no per-type Release method needed.
 var (
-	registryMu sync.RWMutex
-	registry   = make(map[string]Mechanism)
+	registryMu   sync.RWMutex
+	mechRegistry = make(map[string]Mechanism)
 )
 
 // RegisterMechanism adds m under its name. It errors on an empty name or a
@@ -178,10 +178,10 @@ func RegisterMechanism(m Mechanism) error {
 	}
 	registryMu.Lock()
 	defer registryMu.Unlock()
-	if _, dup := registry[name]; dup {
+	if _, dup := mechRegistry[name]; dup {
 		return fmt.Errorf("dpmg: mechanism %q already registered", name)
 	}
-	registry[name] = m
+	mechRegistry[name] = m
 	return nil
 }
 
@@ -189,7 +189,7 @@ func RegisterMechanism(m Mechanism) error {
 func MechanismByName(name string) (Mechanism, bool) {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
-	m, ok := registry[name]
+	m, ok := mechRegistry[name]
 	return m, ok
 }
 
@@ -197,8 +197,8 @@ func MechanismByName(name string) (Mechanism, bool) {
 func Mechanisms() []string {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
-	out := make([]string, 0, len(registry))
-	for name := range registry {
+	out := make([]string, 0, len(mechRegistry))
+	for name := range mechRegistry {
 		out = append(out, name)
 	}
 	sort.Strings(out)

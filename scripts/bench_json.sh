@@ -24,8 +24,12 @@ run . 'BenchmarkSketchUpdate$|BenchmarkSketchUpdateAdversarial$|BenchmarkSketchU
 # Merge/release tier: steady-state multi-way merge and the release loops.
 run . 'BenchmarkMergeSummaries$|BenchmarkMergeSummariesOneShot$|BenchmarkShardedRelease$|BenchmarkRelease$'
 run ./internal/merge 'BenchmarkMergeAllWide$|BenchmarkReleaseBounded$'
-# Server tier: HTTP batch ingest and streamed release.
-run ./cmd/dpmg-server 'BenchmarkServerBatchIngest$|BenchmarkServerRelease$'
+# Server tier: HTTP batch ingest and streamed release, plus the
+# multi-tenant pair — BenchmarkServerMultiStreamIngest (parallel workers on
+# distinct streams, no shared mutex) against BenchmarkServerSingleStreamIngest
+# (same load, one contended stream) — whose ratio tracks the manager's
+# cross-stream scaling.
+run ./cmd/dpmg-server 'BenchmarkServerBatchIngest$|BenchmarkServerRelease$|BenchmarkServerMultiStreamIngest$|BenchmarkServerSingleStreamIngest$|BenchmarkServerMultiStreamRelease$'
 
 awk '
 /^Benchmark/ {

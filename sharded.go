@@ -285,6 +285,27 @@ func (s *ShardedSketch) Release(p Params, seed uint64) (Histogram, error) {
 	return Release(s, p, WithMechanism(MechanismGaussian), WithSeed(seed))
 }
 
+// snapshotShards deep-copies every shard's full Algorithm 1 state for
+// serialization. Each shard is locked only while its own state is read (the
+// cross-shard consistency model above applies), and the copy is built with
+// mg.Restore, the canonical reconstruction of a counter table — so two
+// snapshots of equal shard states marshal to equal bytes and carry no
+// insertion-history side channel.
+func (s *ShardedSketch) snapshotShards() ([]*mg.Sketch, error) {
+	out := make([]*mg.Sketch, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		cp, err := mg.Restore(sh.sk.K(), sh.sk.Universe(), sh.sk.N(), sh.sk.Decrements(), sh.sk.Counters())
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("dpmg: shard %d snapshot: %w", i, err)
+		}
+		out[i] = cp
+	}
+	return out, nil
+}
+
 // Summary extracts the merged non-private summary for further aggregation.
 func (s *ShardedSketch) Summary() (*MergeableSummary, error) {
 	s.relMu.Lock()
