@@ -61,5 +61,26 @@ func (a *Accountant) Remaining() Budget {
 	return Budget{Eps: r.Eps, Delta: r.Delta}
 }
 
+// Spent returns the budget consumed so far.
+func (a *Accountant) Spent() Budget {
+	s := a.inner.Spent()
+	return Budget{Eps: s.Eps, Delta: s.Delta}
+}
+
+// Total returns the full budget the accountant was created with.
+func (a *Accountant) Total() Budget {
+	t := a.inner.Total()
+	return Budget{Eps: t.Eps, Delta: t.Delta}
+}
+
+// State returns the full account — total budget, spend so far, and
+// admitted-release count — in one consistent read: the triple can never
+// straddle a concurrent spend, which separate Spent/Releases calls could.
+// Observability paths (the dpmg-server /metrics scrape) should prefer it.
+func (a *Accountant) State() (total, spent Budget, releases int) {
+	it, is, rel := a.inner.State()
+	return Budget{Eps: it.Eps, Delta: it.Delta}, Budget{Eps: is.Eps, Delta: is.Delta}, rel
+}
+
 // Releases returns how many releases have been admitted.
 func (a *Accountant) Releases() int { return a.inner.Releases() }

@@ -152,6 +152,76 @@ func BenchmarkServerSingleStreamIngest(b *testing.B) {
 	benchParallelIngest(b, mux, body.Bytes(), func(int) string { return "s0" })
 }
 
+// BenchmarkServerMultiStreamIngestQoS is BenchmarkServerMultiStreamIngest
+// with the full lifecycle subsystem engaged: per-stream token buckets
+// (ceiling far above the offered load, so nothing throttles and the
+// admission CAS is the only extra work), an attached offload store, and
+// the /metrics surface live. The acceptance bar is parity with the
+// plain multi-stream row — QoS + metrics must not tax the hot path.
+func BenchmarkServerMultiStreamIngestQoS(b *testing.B) {
+	const d = 1 << 16
+	streams := runtime.GOMAXPROCS(0)
+	s, err := newServer(256, d, dpmg.Budget{Eps: float64(1 << 40), Delta: 0.999})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := dpmg.NewDirStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.mgr.SetOffloadStore(store); err != nil {
+		b.Fatal(err)
+	}
+	mux := s.routes()
+	for i := 0; i < streams; i++ {
+		w := httptest.NewRecorder()
+		body := fmt.Sprintf(`{"name":"s%d","max_ingest_rate":1e12,"ingest_burst":1000000000,"max_inflight_releases":4}`, i)
+		req := httptest.NewRequest(http.MethodPost, "/v1/streams", strings.NewReader(body))
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusCreated {
+			b.Fatalf("create s%d: %d %s", i, w.Code, w.Body.String())
+		}
+	}
+	var body bytes.Buffer
+	if err := encoding.MarshalItems(&body, workload.Zipf(4096, d, 1.05, 1)); err != nil {
+		b.Fatal(err)
+	}
+	benchParallelIngest(b, mux, body.Bytes(), func(worker int) string {
+		return fmt.Sprintf("s%d", worker%streams)
+	})
+}
+
+// BenchmarkServerMetrics measures one /metrics scrape over 64 streams —
+// the observability tax an operator pays every scrape interval. It must
+// stay microseconds-per-stream cheap: atomic reads and one accountant
+// lock per stream, no summary folds, no fault-ins.
+func BenchmarkServerMetrics(b *testing.B) {
+	const d = 1 << 16
+	_, mux := newBenchManagerServer(b, 64, 256, d)
+	var body bytes.Buffer
+	if err := encoding.MarshalItems(&body, workload.Zipf(4096, d, 1.05, 1)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		req := httptest.NewRequest(http.MethodPost, fmt.Sprintf("/v1/streams/s%d/batch", i), bytes.NewReader(body.Bytes()))
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusAccepted {
+			b.Fatalf("ingest s%d status %d", i, w.Code)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("metrics status %d", w.Code)
+		}
+	}
+}
+
 // BenchmarkServerMultiStreamRelease measures concurrent release traffic on
 // distinct streams: per-stream shard summarize + merge + laplace release +
 // streamed JSON, with no cross-stream synchronization.

@@ -30,7 +30,13 @@
 //	                                    private histogram over summaries ∪
 //	                                    batches; spends the stream's budget
 //	GET    /v1/streams/{s}/stats        JSON: merges, batches, counters,
-//	                                    remaining budget
+//	                                    remaining budget, residency,
+//	                                    lifecycle/QoS tallies
+//	GET    /metrics                     Prometheus text exposition: per-
+//	                                    stream ingest/release/budget/
+//	                                    residency/throttle series (cheap:
+//	                                    no summary folds, no fault-ins,
+//	                                    does not reset stream idle TTLs)
 //
 // The original single-tenant routes (POST /v1/summary, POST /v1/batch,
 // GET /v1/release, GET /v1/stats) remain as aliases onto the "default"
@@ -44,9 +50,30 @@
 // remaining budgets) is snapshotted to <dir>/manager.snapshot periodically
 // and on shutdown, and restored on the next start: a restarted server
 // resumes every stream with identical estimates, byte-identical seeded
-// releases, and exactly the budget it went down with. The server shuts
-// down gracefully on SIGINT/SIGTERM: in-flight requests drain (up to
-// -shutdown-grace), then the final snapshot is flushed.
+// releases, and exactly the budget it went down with.
+//
+// # Stream lifecycle (TTL eviction)
+//
+// With -ttl set (requires -state), streams idle past the TTL are evicted
+// on an -evict-interval sweep: each one's full state is offloaded to
+// <state>/streams/<name>.stream and only a small stub stays in RAM. The
+// next access to the stream faults it back in transparently with identical
+// estimates, byte-identical seeded releases, and its exact remaining
+// budget. At startup, offloaded streams are recovered as stubs (they stay
+// on disk until first access), so restarts do not fault the cold tier in.
+//
+// # Per-stream QoS
+//
+// -max-ingest-rate (items/second, token bucket of -ingest-burst items) and
+// -max-inflight-releases bound each stream independently; violations get
+// 429 with the JSON error envelope and a Retry-After hint. Per-stream
+// overrides come from the POST /v1/streams body (max_ingest_rate,
+// ingest_burst, max_inflight_releases; -1 = explicitly unlimited). QoS
+// ceilings are operational policy: they are not persisted, and a restart
+// re-applies the current flags.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain (up to -shutdown-grace), then the final snapshot is flushed.
 package main
 
 import (
@@ -56,6 +83,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -74,16 +102,49 @@ func main() {
 		stateDir = flag.String("state", "", "directory for durable manager snapshots (empty = no persistence)")
 		flushInt = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot interval when -state is set (<= 0 disables periodic flushes; the shutdown flush still runs)")
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may drain on shutdown")
+
+		ttl       = flag.Duration("ttl", 0, "idle TTL before a stream is offloaded to disk (0 = never evict; requires -state)")
+		evictInt  = flag.Duration("evict-interval", time.Minute, "how often the idle-eviction sweep runs when -ttl is set")
+		qosRate   = flag.Float64("max-ingest-rate", 0, "default per-stream ingest ceiling in items/second (0 = unlimited)")
+		qosBurst  = flag.Int("ingest-burst", 0, "default per-stream token-bucket burst in items (0 = one second of -max-ingest-rate)")
+		qosInrels = flag.Int("max-inflight-releases", 0, "default per-stream cap on concurrent release calls (0 = unlimited)")
 	)
 	flag.Parse()
 
+	if *ttl > 0 && *stateDir == "" {
+		log.Fatal("-ttl requires -state: evicted streams offload to <state>/streams")
+	}
 	defaults := dpmg.StreamConfig{
 		K: *k, Universe: *d, Shards: *shards, Mechanism: *mech,
-		Budget: dpmg.Budget{Eps: *eps, Delta: *delta},
+		Budget:              dpmg.Budget{Eps: *eps, Delta: *delta},
+		MaxIngestRate:       *qosRate,
+		IngestBurst:         *qosBurst,
+		MaxInflightReleases: *qosInrels,
 	}
 	mgr, restored, err := loadOrNewManager(*stateDir, defaults)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// The offload store is attached whenever state is durable (not only
+	// when -ttl is set): previously offloaded streams must recover after a
+	// restart, and stream deletion must clean their records up. Recovery
+	// runs before the default stream is ensured, so an offloaded "default"
+	// is recovered rather than shadowed by a fresh one.
+	if *stateDir != "" {
+		store, err := dpmg.NewDirStore(filepath.Join(*stateDir, "streams"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mgr.SetOffloadStore(store); err != nil {
+			log.Fatal(err)
+		}
+		recovered, err := mgr.RecoverOffloaded()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if recovered > 0 {
+			log.Printf("recovered %d offloaded stream(s) (cold: faulted in on first access)", recovered)
+		}
 	}
 	s, err := newServerFromManager(mgr)
 	if err != nil {
@@ -111,6 +172,29 @@ func main() {
 			*addr, *k, *d, *eps, *delta)
 		errc <- srv.ListenAndServe()
 	}()
+
+	// Idle-eviction sweep: every -evict-interval, streams idle past -ttl
+	// are offloaded to the store and their RAM reclaimed. The sweep never
+	// contends with hot streams (idleness is re-checked under each
+	// stream's own lifecycle lock).
+	if *ttl > 0 {
+		go func() {
+			ticker := time.NewTicker(*evictInt)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if n, err := mgr.EvictIdle(*ttl); err != nil {
+						log.Printf("idle eviction failed: %v", err)
+					} else if n > 0 {
+						log.Printf("evicted %d idle stream(s) to %s", n, *stateDir)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 
 	// Periodic snapshot flush: a crash loses at most one interval of
 	// ingest, never the whole stream table. A non-positive interval

@@ -93,6 +93,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/streams/{stream}/batch", s.perStream(s.handleBatch))
 	mux.HandleFunc("GET /v1/streams/{stream}/release", s.perStream(s.handleRelease))
 	mux.HandleFunc("GET /v1/streams/{stream}/stats", s.perStream(s.handleStats))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Back-compat: the original single-tenant routes alias the default
 	// stream — same paths, methods, status codes, and binary wire formats.
 	// (Success ack bodies are now JSON documents instead of the old plain
@@ -146,8 +147,9 @@ func (s *server) onDefault(h streamHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.def) }
 }
 
-// streamCreateRequest is the POST /v1/streams body. Zero fields inherit the
-// manager defaults (the -k/-d/-eps/-delta flags of the server).
+// streamCreateRequest is the POST /v1/streams body. Zero fields inherit
+// the manager defaults (the -k/-d/-eps/-delta and QoS flags of the
+// server); for the QoS ceilings -1 means explicitly unlimited.
 type streamCreateRequest struct {
 	Name      string  `json:"name"`
 	K         int     `json:"k"`
@@ -156,6 +158,10 @@ type streamCreateRequest struct {
 	Mechanism string  `json:"mechanism"`
 	Eps       float64 `json:"eps"`
 	Delta     float64 `json:"delta"`
+
+	MaxIngestRate       float64 `json:"max_ingest_rate"`
+	IngestBurst         int     `json:"ingest_burst"`
+	MaxInflightReleases int     `json:"max_inflight_releases"`
 }
 
 // streamInfo describes one stream in create/list responses.
@@ -171,17 +177,19 @@ type streamInfo struct {
 	RemainingEps float64 `json:"remaining_eps"`
 	RemainingDel float64 `json:"remaining_delta"`
 	Releases     int     `json:"releases"`
+	Resident     bool    `json:"resident"`
 }
 
 func infoOf(st *dpmg.Stream) streamInfo {
 	cfg := st.Config()
-	rem := st.Accountant().Remaining()
+	_, spent, releases := st.Accountant().State()
 	return streamInfo{
 		Name: st.Name(), K: cfg.K, Universe: cfg.Universe, Shards: cfg.Shards,
 		Mechanism: cfg.Mechanism,
 		Nodes:     st.Nodes(), Batches: st.Batches(), Items: st.Ingested(),
-		RemainingEps: rem.Eps, RemainingDel: rem.Delta,
-		Releases: st.Accountant().Releases(),
+		RemainingEps: cfg.Budget.Eps - spent.Eps, RemainingDel: cfg.Budget.Delta - spent.Delta,
+		Releases: releases,
+		Resident: st.Resident(),
 	}
 }
 
@@ -198,8 +206,11 @@ func (s *server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := dpmg.StreamConfig{
 		K: req.K, Universe: req.Universe, Shards: req.Shards,
-		Mechanism: req.Mechanism,
-		Budget:    dpmg.Budget{Eps: req.Eps, Delta: req.Delta},
+		Mechanism:           req.Mechanism,
+		Budget:              dpmg.Budget{Eps: req.Eps, Delta: req.Delta},
+		MaxIngestRate:       req.MaxIngestRate,
+		IngestBurst:         req.IngestBurst,
+		MaxInflightReleases: req.MaxInflightReleases,
 	}
 	st, created, err := s.mgr.CreateStream(req.Name, cfg)
 	if err != nil {
@@ -227,16 +238,28 @@ func (s *server) handleStreamList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleStreamDelete removes a stream (its sketch state and spent-budget
-// record with it). The default stream cannot be deleted — the back-compat
-// aliases depend on it.
+// handleStreamDelete removes a stream (its sketch state, offload record,
+// and spent-budget record with it). The default stream cannot be deleted —
+// the back-compat aliases depend on it. A stream with operations in flight
+// is never deleted out from under them: the manager refuses
+// deterministically and the client gets 409 to retry.
 func (s *server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("stream")
 	if name == defaultStreamName {
 		jsonError(w, http.StatusBadRequest, "the %q stream cannot be deleted (the /v1/* aliases depend on it)", defaultStreamName)
 		return
 	}
-	if !s.mgr.DeleteStream(name) {
+	deleted, err := s.mgr.DeleteStream(name)
+	switch {
+	case errors.Is(err, dpmg.ErrStreamConflict):
+		jsonError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		// Deleted, but cleaning up the offload record failed; surface it —
+		// the operator must not believe the record is gone.
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	case !deleted:
 		jsonError(w, http.StatusNotFound, "unknown stream %q", name)
 		return
 	}
@@ -299,6 +322,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, st *dpmg.St
 		return
 	}
 	if err := st.UpdateBatch(items); err != nil {
+		if errors.Is(err, dpmg.ErrRateLimited) {
+			// Per-stream QoS ceiling: all-or-nothing refusal, nothing was
+			// ingested. Retry-After is a hint; the bucket refills
+			// continuously at the configured rate.
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -358,6 +389,12 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request, st *dpmg.
 		return
 	case errors.Is(err, dpmg.ErrBudgetExhausted):
 		jsonError(w, http.StatusTooManyRequests, "privacy budget exhausted: %v", err)
+		return
+	case errors.Is(err, dpmg.ErrReleaseBusy):
+		// Per-stream QoS ceiling on concurrent releases; no budget was
+		// spent. Retry once an in-flight release drains.
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	default:
 		// Calibration failures (mechanism not applicable to merged
@@ -421,7 +458,8 @@ func writeReleaseJSON(buf *bytes.Buffer, streamName string, res *dpmg.ReleaseRes
 }
 
 // statsResponse keeps the original single-tenant field names (back-compat)
-// plus the stream identity fields the multi-tenant API adds.
+// plus the stream identity fields the multi-tenant API adds and the
+// lifecycle/QoS observability fields (additive: old clients ignore them).
 type statsResponse struct {
 	Stream        string  `json:"stream"`
 	K             int     `json:"k"`
@@ -436,6 +474,12 @@ type statsResponse struct {
 	RemainingEps  float64 `json:"remaining_eps"`
 	RemainingDel  float64 `json:"remaining_delta"`
 	ReleasesSoFar int     `json:"releases"`
+
+	Resident          bool  `json:"resident"`
+	Evictions         int64 `json:"evictions"`
+	FaultIns          int64 `json:"fault_ins"`
+	ThrottledIngest   int64 `json:"throttled_ingest"`
+	ThrottledReleases int64 `json:"throttled_releases"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
@@ -452,7 +496,168 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request, st *dpmg.St
 		IngestLive:   stats.IngestCounters,
 		RemainingEps: stats.Remaining.Eps, RemainingDel: stats.Remaining.Delta,
 		ReleasesSoFar: stats.Releases,
+		Resident:      stats.Resident,
+		Evictions:     stats.Evictions, FaultIns: stats.FaultIns,
+		ThrottledIngest: stats.ThrottledIngest, ThrottledReleases: stats.ThrottledReleases,
 	})
+}
+
+// metricsBufPool recycles /metrics response buffers across scrapes.
+var metricsBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// streamSample is one stream's cheap metric reads, gathered in a single
+// pass so the per-metric sample loops below need no further locking.
+type streamSample struct {
+	name      string
+	resident  bool
+	ingested  int64
+	batches   int64
+	nodes     int64
+	releases  int64
+	spentEps  float64
+	spentDel  float64
+	remEps    float64
+	remDel    float64
+	lifecycle dpmg.LifecycleCounters
+}
+
+// handleMetrics serves Prometheus text exposition (format 0.0.4) with no
+// external dependencies. Every read on the scrape path is cheap — atomic
+// counters, one accountant lock per stream, no summary folds and no
+// fault-ins — and scraping does not count as stream access, so
+// observability never keeps an idle tenant hot. Stream names need no label
+// escaping: the manager restricts them to [a-zA-Z0-9._-].
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	streams := s.mgr.Streams()
+	samples := make([]streamSample, len(streams))
+	residentCount := 0
+	for i, st := range streams {
+		total, spent, releases := st.Accountant().State()
+		samples[i] = streamSample{
+			name:     st.Name(),
+			resident: st.Resident(),
+			ingested: st.Ingested(),
+			batches:  st.Batches(),
+			nodes:    st.Nodes(),
+			releases: int64(releases),
+			spentEps: spent.Eps, spentDel: spent.Delta,
+			remEps: total.Eps - spent.Eps, remDel: total.Delta - spent.Delta,
+			lifecycle: st.Lifecycle(),
+		}
+		if samples[i].resident {
+			residentCount++
+		}
+	}
+
+	buf := metricsBufPool.Get().(*bytes.Buffer)
+	defer metricsBufPool.Put(buf)
+	buf.Reset()
+
+	writeHeaderFor := func(name, help, typ string) {
+		buf.WriteString("# HELP ")
+		buf.WriteString(name)
+		buf.WriteByte(' ')
+		buf.WriteString(help)
+		buf.WriteString("\n# TYPE ")
+		buf.WriteString(name)
+		buf.WriteByte(' ')
+		buf.WriteString(typ)
+		buf.WriteByte('\n')
+	}
+	writeInt := func(v int64) {
+		b := buf.AvailableBuffer()
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, '\n')
+		buf.Write(b)
+	}
+	writeFloat := func(v float64) {
+		b := buf.AvailableBuffer()
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		b = append(b, '\n')
+		buf.Write(b)
+	}
+	writeLabel := func(name, stream string) {
+		buf.WriteString(name)
+		buf.WriteString(`{stream="`)
+		buf.WriteString(stream)
+		buf.WriteString(`"} `)
+	}
+
+	writeHeaderFor("dpmg_streams", "Number of managed streams (resident + offloaded).", "gauge")
+	buf.WriteString("dpmg_streams ")
+	writeInt(int64(len(samples)))
+	writeHeaderFor("dpmg_streams_resident", "Number of streams whose counters are in RAM.", "gauge")
+	buf.WriteString("dpmg_streams_resident ")
+	writeInt(int64(residentCount))
+
+	intMetrics := []struct {
+		name, help, typ string
+		value           func(*streamSample) int64
+	}{
+		{"dpmg_stream_items_ingested_total", "Raw items ingested into the stream.", "counter",
+			func(sm *streamSample) int64 { return sm.ingested }},
+		{"dpmg_stream_batches_ingested_total", "Raw batches ingested into the stream.", "counter",
+			func(sm *streamSample) int64 { return sm.batches }},
+		{"dpmg_stream_summaries_merged_total", "Node summaries merged into the stream aggregate.", "counter",
+			func(sm *streamSample) int64 { return sm.nodes }},
+		{"dpmg_stream_releases_total", "Private releases admitted against the stream budget.", "counter",
+			func(sm *streamSample) int64 { return sm.releases }},
+		{"dpmg_stream_resident", "Whether the stream counters are in RAM (1) or offloaded (0).", "gauge",
+			func(sm *streamSample) int64 {
+				if sm.resident {
+					return 1
+				}
+				return 0
+			}},
+		{"dpmg_stream_evictions_total", "Times the stream was offloaded (since process start).", "counter",
+			func(sm *streamSample) int64 { return sm.lifecycle.Evictions }},
+		{"dpmg_stream_fault_ins_total", "Times the stream was faulted back in (since process start).", "counter",
+			func(sm *streamSample) int64 { return sm.lifecycle.FaultIns }},
+	}
+	for _, mtr := range intMetrics {
+		writeHeaderFor(mtr.name, mtr.help, mtr.typ)
+		for i := range samples {
+			writeLabel(mtr.name, samples[i].name)
+			writeInt(mtr.value(&samples[i]))
+		}
+	}
+
+	floatMetrics := []struct {
+		name, help string
+		value      func(*streamSample) float64
+	}{
+		{"dpmg_stream_budget_eps_spent", "Epsilon spent against the stream budget.",
+			func(sm *streamSample) float64 { return sm.spentEps }},
+		{"dpmg_stream_budget_eps_remaining", "Epsilon remaining in the stream budget.",
+			func(sm *streamSample) float64 { return sm.remEps }},
+		{"dpmg_stream_budget_delta_spent", "Delta spent against the stream budget.",
+			func(sm *streamSample) float64 { return sm.spentDel }},
+		{"dpmg_stream_budget_delta_remaining", "Delta remaining in the stream budget.",
+			func(sm *streamSample) float64 { return sm.remDel }},
+	}
+	for _, mtr := range floatMetrics {
+		writeHeaderFor(mtr.name, mtr.help, "gauge")
+		for i := range samples {
+			writeLabel(mtr.name, samples[i].name)
+			writeFloat(mtr.value(&samples[i]))
+		}
+	}
+
+	writeHeaderFor("dpmg_stream_throttled_total", "Requests refused by the stream QoS ceilings.", "counter")
+	for i := range samples {
+		sm := &samples[i]
+		buf.WriteString(`dpmg_stream_throttled_total{stream="`)
+		buf.WriteString(sm.name)
+		buf.WriteString(`",op="ingest"} `)
+		writeInt(sm.lifecycle.ThrottledIngest)
+		buf.WriteString(`dpmg_stream_throttled_total{stream="`)
+		buf.WriteString(sm.name)
+		buf.WriteString(`",op="release"} `)
+		writeInt(sm.lifecycle.ThrottledReleases)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes()) //nolint:errcheck // response already committed
 }
 
 // stateFileName is the manager snapshot file inside the -state directory.

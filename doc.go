@@ -1,0 +1,149 @@
+// Package dpmg is a differentially private streaming heavy-hitters library:
+// a production-oriented implementation of "Better Differentially Private
+// Approximate Histograms and Heavy Hitters using the Misra-Gries Sketch"
+// (Lebeda & Tětek, PODS 2023).
+//
+// The core object is the Misra-Gries sketch of size k, which summarizes a
+// stream of n items with at most k counters and per-item error n/(k+1).
+// This package releases such sketches under differential privacy with noise
+// of magnitude O(1/eps) per counter — independent of k — via the paper's
+// two-layer Laplace mechanism:
+//
+//	sk := dpmg.NewSketch(256, 1_000_000)         // k counters, universe [1, d]
+//	for _, x := range stream { sk.Update(x) }
+//	hh, err := dpmg.Release(sk, dpmg.Params{Eps: 1, Delta: 1e-6})
+//
+// Releases satisfy (eps, delta)-differential privacy under add/remove
+// neighbors.
+//
+// # Orientation in the paper
+//
+// The load-bearing results, and where they surface in the API:
+//
+//   - Algorithm 1 is the Misra-Gries variant the sketch core implements
+//     (internal/mg): k counters, decrement-all on overflow, plus the
+//     bookkeeping (total count n, decrement count) that the privacy
+//     analysis consumes. Sketch.Update/UpdateBatch are its ingest path,
+//     and a serialized sketch (Snapshot, manager snapshots, offload
+//     records) is exactly this state.
+//   - Lemma 8 is the key structural fact: on neighboring streams, the
+//     sketch's counter vectors differ by at most 1 in each coordinate,
+//     all in the same direction. It is what lets the two-layer Laplace
+//     mechanism add O(1/eps) noise per counter instead of scaling with k.
+//     Front-ends whose state preserves this structure (Sketch,
+//     StandardSketch, StringSketch) carry SensitivitySingleStream.
+//   - Corollary 18 extends the analysis to merged summaries (the Agarwal
+//     et al. merge of many sketches): the merged counter vector has
+//     L2-sensitivity bounded by sqrt(k+1), so the Gaussian Sparse
+//     Histogram Mechanism applies. MergeableSummary, ShardedSketch, and
+//     every managed Stream (whose view is node summaries ∪ raw shards)
+//     carry SensitivityMerged.
+//   - Theorem 30 covers user-level privacy: when each user contributes a
+//     set of at most m distinct items, the UserSketch releases under
+//     user-level (eps, delta)-DP (SensitivityUserLevel).
+//
+// # The unified release API
+//
+// Every sketch front-end (Sketch, StandardSketch, MergeableSummary,
+// ShardedSketch, UserSketch, StringSketch, ContinualMonitor, Stream)
+// implements Releasable: it exposes its counters plus its sensitivity
+// class — single-stream (Lemma 8), merged (Corollary 18), or user-level
+// (Theorem 30). One entry point releases them all:
+//
+//	h, err := dpmg.Release(sk, p,
+//		dpmg.WithMechanism("geometric"), // registry name; default per class
+//		dpmg.WithSeed(seed),             // omit for a CSPRNG-drawn seed
+//		dpmg.WithAccountant(acct),       // meter against a shared budget
+//		dpmg.WithTopK(10),               // free post-processing cut
+//	)
+//
+// Mechanisms live in a by-name registry (RegisterMechanism) and split
+// calibration from noising: every failure mode — bad parameters, a
+// mechanism that does not apply to the sketch's sensitivity class, an
+// infeasible noise search — surfaces in Calibrate, before any budget is
+// spent. The built-in mechanisms:
+//
+//	name       noise                    applies to                 prefer when
+//	laplace    two-layer Laplace        single-stream (1/eps),     default for one sketch: tightest
+//	                                    merged (k/eps)             error, O(1/eps) noise (Thm 14)
+//	geometric  two-sided geometric      single-stream              integer outputs; floating-point
+//	                                                               side channels matter (Sec 5.2)
+//	pure       Laplace(2/eps) over      single-stream              pure eps-DP required; pays
+//	           the whole universe                                  Theta(d) release time (Sec 6)
+//	gaussian   N(0, sigma^2) with       single-stream, merged,     merged/sharded/user sketches:
+//	           sigma ~ sqrt(k)/eps      user-level                 sqrt(k) beats k/eps at large k
+//
+// The per-type Release* methods predate this API and survive as thin
+// deprecated wrappers; a release through either path is byte-identical
+// under the same seed.
+//
+// # Budget accounting
+//
+// An Accountant meters cumulative privacy loss under basic composition:
+// it is given a total (eps, delta) budget up front and atomically admits
+// or refuses each release against the remainder (ErrBudgetExhausted).
+// The charge is ordered after calibration and before noising, so a
+// calibration error never burns budget and a charged release always
+// yields a histogram. Every managed Stream owns a private Accountant —
+// tenants never share an account — and accountant state round-trips
+// exactly through snapshots, restarts, and offload records.
+//
+// Live sketches serialize with Sketch.Snapshot and resume with
+// RestoreSketch, so long-running ingest survives restarts; a restored
+// sketch releases byte-identically to the original under the same seed.
+//
+// # Multi-tenant serving
+//
+// A Manager hosts many independent named streams — the Section 7 setting
+// with every edge population as a first-class object: per-stream sketch
+// state (sharded raw ingest plus a bounded merged-summary aggregate),
+// per-stream config (k, universe, default mechanism), and a private
+// Accountant per stream. Stream lookup is lock-striped, so ingest on
+// different streams never contends. Manager.Snapshot / RestoreManager make
+// the whole stream table durable: a restarted service resumes every tenant
+// with identical estimates, byte-identical seeded releases, and exactly
+// the remaining budget. The dpmg-server command serves this layer over
+// HTTP (/v1/streams).
+//
+// # Stream lifecycle and QoS
+//
+// Managed streams have a residency lifecycle: an idle stream can be
+// evicted (Manager.EvictIdle, Manager.Evict) — its full state offloaded
+// to an OffloadStore as one canonical record — and is faulted back in
+// transparently on the next data access, resuming identical estimates,
+// byte-identical seeded releases, and its exact remaining budget.
+// Restarted deployments recover offloaded streams as stubs
+// (Manager.RecoverOffloaded) that stay on disk until first touched.
+// Per-stream QoS ceilings (StreamConfig.MaxIngestRate, a lock-free token
+// bucket, and MaxInflightReleases) bound what one tenant can demand of
+// the aggregator; violations wrap ErrRateLimited / ErrReleaseBusy and
+// never partially apply. See lifecycle.go and PERFORMANCE.md.
+//
+// # Performance
+//
+// The sketch core is flat storage (contiguous counter array + open
+// addressing + a lazy decrement offset, see internal/mg) and Update never
+// allocates. Batch ingest (UpdateBatch, ShardedSketch.UpdateBatch, the
+// dpmg-server /v1/batch endpoint) amortizes call and lock overhead when
+// items already arrive grouped. Measured on one 2.10 GHz Xeon core
+// (go test -bench=BenchmarkSketch, k=256, d=65536, n=2^20), against the
+// previous map-based core:
+//
+//	BenchmarkSketchUpdate             138.2 ns/op → 43.6 ns/op  (3.2x, 0 allocs)
+//	BenchmarkSketchUpdateAdversarial  126.3 ns/op →  5.6 ns/op (22.6x, 0 allocs)
+//
+// The adversarial stream (k+1 items round-robin, maximal decrement rate)
+// is the paper's worst case for Misra-Gries: the old core paid an O(k)
+// counter-map sweep per decrement, the flat core pays a single offset
+// increment plus an amortized O(1) zero-census scan (Fact 7 bounds
+// decrement steps by n/(k+1)). The map-based implementation survives as
+// the test-only reference (internal/mg.Ref) that differential and fuzz
+// harnesses check the flat core against, observable for observable.
+//
+// The merge and release tier is flat too: mergeable summaries are sorted
+// parallel key/count columns, MergeAll is one multi-way pass, and a
+// SummaryMerger merges with zero steady-state allocations (8 summaries of
+// k=256: 170.0 µs → 24.6 µs, 72 → 0 allocs per merge). See PERFORMANCE.md
+// for the design, the measured numbers, and the input-independent-order
+// invariant every release path maintains.
+package dpmg

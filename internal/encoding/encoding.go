@@ -44,6 +44,11 @@ const (
 	// KindManager is a multi-tenant stream-manager snapshot: a stream table
 	// whose records embed KindSummary and KindCounters blobs (see manager.go).
 	KindManager Kind = 4
+	// KindStream is a standalone single-stream offload record: the same
+	// stream record a KindManager table holds, plus the resident-counter
+	// trailer the lifecycle tier serves stats from while the stream's
+	// counters live on disk (see manager.go).
+	KindStream Kind = 5
 )
 
 var magic = [4]byte{'D', 'P', 'M', 'G'}

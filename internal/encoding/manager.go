@@ -75,6 +75,14 @@ type StreamState struct {
 
 	ShardSketches []*mg.Sketch  // marshal input; one per shard
 	ShardWires    []*SketchWire // unmarshal output; one per shard
+
+	// AggCounters and IngestCounters are the live-counter tallies captured
+	// when a stream is offloaded, so stats can be served while the counters
+	// themselves live on disk. They travel only in standalone KindStream
+	// offload records (a trailer after the record); KindManager tables do
+	// not carry them — resident streams recompute them live.
+	AggCounters    int
+	IngestCounters int
 }
 
 // validate checks the record fields shared by both directions.
@@ -152,6 +160,143 @@ func readString(r io.Reader, max int) (string, error) {
 	return string(b), nil
 }
 
+// writeStreamRecord validates and emits one stream record — the shared
+// body of KindManager tables and KindStream offload records.
+func writeStreamRecord(w io.Writer, s *StreamState) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	if len(s.ShardSketches) != s.Shards {
+		return fmt.Errorf("encoding: stream %q: %d shard sketches for %d shards", s.Name, len(s.ShardSketches), s.Shards)
+	}
+	if err := writeString(w, s.Name, maxNameLen); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(s.K), s.Universe, uint64(s.Shards)} {
+		if err := writeU64(w, v); err != nil {
+			return err
+		}
+	}
+	if err := writeString(w, s.Mechanism, maxMechLen); err != nil {
+		return err
+	}
+	for _, f := range []float64{s.BudgetEps, s.BudgetDelta, s.SpentEps, s.SpentDelta} {
+		if err := writeU64(w, math.Float64bits(f)); err != nil {
+			return err
+		}
+	}
+	for _, v := range []uint64{uint64(s.Releases), uint64(s.Nodes), uint64(s.Batches), uint64(s.Ingested)} {
+		if err := writeU64(w, v); err != nil {
+			return err
+		}
+	}
+	present := byte(0)
+	if s.Merged != nil {
+		present = 1
+	}
+	if _, err := w.Write([]byte{present}); err != nil {
+		return err
+	}
+	if s.Merged != nil {
+		if err := MarshalSummary(w, s.Merged); err != nil {
+			return err
+		}
+	}
+	for i, sk := range s.ShardSketches {
+		if sk.K() != s.K || sk.Universe() != s.Universe {
+			return fmt.Errorf("encoding: stream %q: shard %d is (k=%d, d=%d), stream is (k=%d, d=%d)",
+				s.Name, i, sk.K(), sk.Universe(), s.K, s.Universe)
+		}
+		if err := MarshalSketch(w, sk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readStreamRecord decodes and validates one stream record (the shared
+// body of KindManager tables and KindStream offload records), filling
+// ShardWires. idx labels decode errors in multi-record tables.
+func readStreamRecord(r io.Reader, idx uint64) (StreamState, error) {
+	var s StreamState
+	var err error
+	if s.Name, err = readString(r, maxNameLen); err != nil {
+		return s, fmt.Errorf("encoding: stream %d name: %w", idx, err)
+	}
+	var k, shards uint64
+	for _, p := range []*uint64{&k, &s.Universe, &shards} {
+		if *p, err = readU64(r); err != nil {
+			return s, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
+		}
+	}
+	if k > 1<<30 {
+		return s, fmt.Errorf("encoding: stream %q: implausible k %d", s.Name, k)
+	}
+	if shards > maxShards {
+		return s, fmt.Errorf("encoding: stream %q: shard count %d exceeds %d", s.Name, shards, maxShards)
+	}
+	s.K, s.Shards = int(k), int(shards)
+	if s.Mechanism, err = readString(r, maxMechLen); err != nil {
+		return s, fmt.Errorf("encoding: stream %q mechanism: %w", s.Name, err)
+	}
+	for _, p := range []*float64{&s.BudgetEps, &s.BudgetDelta, &s.SpentEps, &s.SpentDelta} {
+		bits, err := readU64(r)
+		if err != nil {
+			return s, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
+		}
+		*p = math.Float64frombits(bits)
+	}
+	for _, p := range []*int64{&s.Releases, &s.Nodes, &s.Batches, &s.Ingested} {
+		v, err := readU64(r)
+		if err != nil {
+			return s, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
+		}
+		if v > math.MaxInt64 {
+			return s, fmt.Errorf("encoding: stream %q: bookkeeping value %d overflows", s.Name, v)
+		}
+		*p = int64(v)
+	}
+	var present [1]byte
+	if _, err := io.ReadFull(r, present[:]); err != nil {
+		return s, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
+	}
+	switch present[0] {
+	case 0:
+	case 1:
+		if s.Merged, err = UnmarshalSummary(r); err != nil {
+			return s, fmt.Errorf("encoding: stream %q aggregate: %w", s.Name, err)
+		}
+	default:
+		return s, fmt.Errorf("encoding: stream %q: bad aggregate flag %d", s.Name, present[0])
+	}
+	s.ShardWires = make([]*SketchWire, s.Shards)
+	for j := range s.ShardWires {
+		wire, err := UnmarshalSketch(r)
+		if err != nil {
+			return s, fmt.Errorf("encoding: stream %q shard %d: %w", s.Name, j, err)
+		}
+		if wire.K != s.K || wire.Universe != s.Universe {
+			return s, fmt.Errorf("encoding: stream %q shard %d: (k=%d, d=%d) does not match stream (k=%d, d=%d)",
+				s.Name, j, wire.K, wire.Universe, s.K, s.Universe)
+		}
+		s.ShardWires[j] = wire
+	}
+	if err := s.validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// expectNoTrailer errors if r has bytes left: the record must be the whole
+// document, so truncated-then-padded or foreign snapshots fail loudly.
+func expectNoTrailer(r io.Reader, what string) error {
+	var trail [1]byte
+	if n, _ := r.Read(trail[:]); n != 0 {
+		return fmt.Errorf("encoding: trailing bytes after %s", what)
+	}
+	return nil
+}
+
 // MarshalManager serializes a manager snapshot. Streams may arrive in any
 // order; they are written in ascending name order (the canonical record
 // order). Each stream's ShardSketches must hold exactly Shards sketches.
@@ -170,53 +315,8 @@ func MarshalManager(w io.Writer, streams []StreamState) error {
 		return err
 	}
 	for _, s := range sorted {
-		if err := s.validate(); err != nil {
+		if err := writeStreamRecord(w, s); err != nil {
 			return err
-		}
-		if len(s.ShardSketches) != s.Shards {
-			return fmt.Errorf("encoding: stream %q: %d shard sketches for %d shards", s.Name, len(s.ShardSketches), s.Shards)
-		}
-		if err := writeString(w, s.Name, maxNameLen); err != nil {
-			return err
-		}
-		for _, v := range []uint64{uint64(s.K), s.Universe, uint64(s.Shards)} {
-			if err := writeU64(w, v); err != nil {
-				return err
-			}
-		}
-		if err := writeString(w, s.Mechanism, maxMechLen); err != nil {
-			return err
-		}
-		for _, f := range []float64{s.BudgetEps, s.BudgetDelta, s.SpentEps, s.SpentDelta} {
-			if err := writeU64(w, math.Float64bits(f)); err != nil {
-				return err
-			}
-		}
-		for _, v := range []uint64{uint64(s.Releases), uint64(s.Nodes), uint64(s.Batches), uint64(s.Ingested)} {
-			if err := writeU64(w, v); err != nil {
-				return err
-			}
-		}
-		present := byte(0)
-		if s.Merged != nil {
-			present = 1
-		}
-		if _, err := w.Write([]byte{present}); err != nil {
-			return err
-		}
-		if s.Merged != nil {
-			if err := MarshalSummary(w, s.Merged); err != nil {
-				return err
-			}
-		}
-		for i, sk := range s.ShardSketches {
-			if sk.K() != s.K || sk.Universe() != s.Universe {
-				return fmt.Errorf("encoding: stream %q: shard %d is (k=%d, d=%d), stream is (k=%d, d=%d)",
-					s.Name, i, sk.K(), sk.Universe(), s.K, s.Universe)
-			}
-			if err := MarshalSketch(w, sk); err != nil {
-				return err
-			}
 		}
 	}
 	return nil
@@ -247,82 +347,83 @@ func UnmarshalManager(r io.Reader) ([]StreamState, error) {
 	out := make([]StreamState, 0, h.Entries)
 	prev := ""
 	for i := uint64(0); i < h.Entries; i++ {
-		var s StreamState
-		if s.Name, err = readString(r, maxNameLen); err != nil {
-			return nil, fmt.Errorf("encoding: stream %d name: %w", i, err)
+		s, err := readStreamRecord(r, i)
+		if err != nil {
+			return nil, err
 		}
 		if i > 0 && s.Name <= prev {
 			return nil, fmt.Errorf("encoding: stream names not strictly ascending at %q", s.Name)
 		}
 		prev = s.Name
-		var k, shards uint64
-		for _, p := range []*uint64{&k, &s.Universe, &shards} {
-			if *p, err = readU64(r); err != nil {
-				return nil, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
-			}
-		}
-		if k > 1<<30 {
-			return nil, fmt.Errorf("encoding: stream %q: implausible k %d", s.Name, k)
-		}
-		if shards > maxShards {
-			return nil, fmt.Errorf("encoding: stream %q: shard count %d exceeds %d", s.Name, shards, maxShards)
-		}
-		s.K, s.Shards = int(k), int(shards)
-		if s.Mechanism, err = readString(r, maxMechLen); err != nil {
-			return nil, fmt.Errorf("encoding: stream %q mechanism: %w", s.Name, err)
-		}
-		for _, p := range []*float64{&s.BudgetEps, &s.BudgetDelta, &s.SpentEps, &s.SpentDelta} {
-			bits, err := readU64(r)
-			if err != nil {
-				return nil, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
-			}
-			*p = math.Float64frombits(bits)
-		}
-		for _, p := range []*int64{&s.Releases, &s.Nodes, &s.Batches, &s.Ingested} {
-			v, err := readU64(r)
-			if err != nil {
-				return nil, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
-			}
-			if v > math.MaxInt64 {
-				return nil, fmt.Errorf("encoding: stream %q: bookkeeping value %d overflows", s.Name, v)
-			}
-			*p = int64(v)
-		}
-		var present [1]byte
-		if _, err := io.ReadFull(r, present[:]); err != nil {
-			return nil, fmt.Errorf("encoding: stream %q: %w", s.Name, err)
-		}
-		switch present[0] {
-		case 0:
-		case 1:
-			if s.Merged, err = UnmarshalSummary(r); err != nil {
-				return nil, fmt.Errorf("encoding: stream %q aggregate: %w", s.Name, err)
-			}
-		default:
-			return nil, fmt.Errorf("encoding: stream %q: bad aggregate flag %d", s.Name, present[0])
-		}
-		s.ShardWires = make([]*SketchWire, s.Shards)
-		for j := range s.ShardWires {
-			wire, err := UnmarshalSketch(r)
-			if err != nil {
-				return nil, fmt.Errorf("encoding: stream %q shard %d: %w", s.Name, j, err)
-			}
-			if wire.K != s.K || wire.Universe != s.Universe {
-				return nil, fmt.Errorf("encoding: stream %q shard %d: (k=%d, d=%d) does not match stream (k=%d, d=%d)",
-					s.Name, j, wire.K, wire.Universe, s.K, s.Universe)
-			}
-			s.ShardWires[j] = wire
-		}
-		if err := s.validate(); err != nil {
-			return nil, err
-		}
 		out = append(out, s)
 	}
 	// The table must be the whole document: trailing bytes mean a foreign
 	// or corrupted snapshot.
-	var trail [1]byte
-	if n, _ := r.Read(trail[:]); n != 0 {
-		return nil, fmt.Errorf("encoding: trailing bytes after manager snapshot")
+	if err := expectNoTrailer(r, "manager snapshot"); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MarshalStream serializes one stream as a standalone offload record: a
+// KindStream header, the same stream record a KindManager table holds,
+// then the resident-counter trailer (AggCounters, IngestCounters) the
+// lifecycle tier captured at offload time. Like every raw-counter
+// snapshot, the record is as sensitive as the stream itself. The encoding
+// is canonical: equal stream states serialize to equal bytes.
+func MarshalStream(w io.Writer, s *StreamState) error {
+	if s.AggCounters < 0 || s.AggCounters > s.K || s.IngestCounters < 0 || s.IngestCounters > s.K {
+		return fmt.Errorf("encoding: stream %q: resident counter tallies (%d, %d) outside [0, k=%d]",
+			s.Name, s.AggCounters, s.IngestCounters, s.K)
+	}
+	if err := writeHeader(w, header{Kind: KindStream, Entries: 1}); err != nil {
+		return err
+	}
+	if err := writeStreamRecord(w, s); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(s.AggCounters), uint64(s.IngestCounters)} {
+		if err := writeU64(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UnmarshalStream reads a standalone stream offload record back,
+// validating the header, the nested structures, and the counter trailer,
+// and rejecting trailing bytes — the same fail-loudly discipline as
+// UnmarshalManager.
+func UnmarshalStream(r io.Reader) (*StreamState, error) {
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != KindStream {
+		return nil, fmt.Errorf("encoding: expected stream offload record, got kind %d", h.Kind)
+	}
+	if h.K != 0 || h.Universe != 0 || h.N != 0 || h.Decrements != 0 {
+		return nil, fmt.Errorf("encoding: stream record reserved header fields must be zero")
+	}
+	if h.Entries != 1 {
+		return nil, fmt.Errorf("encoding: stream offload record must hold exactly 1 stream, got %d", h.Entries)
+	}
+	s, err := readStreamRecord(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []*int{&s.AggCounters, &s.IngestCounters} {
+		v, err := readU64(r)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: stream %q counter trailer: %w", s.Name, err)
+		}
+		if v > uint64(s.K) {
+			return nil, fmt.Errorf("encoding: stream %q: resident counter tally %d exceeds k=%d", s.Name, v, s.K)
+		}
+		*p = int(v)
+	}
+	if err := expectNoTrailer(r, "stream offload record"); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }

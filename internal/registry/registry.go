@@ -125,6 +125,31 @@ func (t *Table[T]) Delete(name string) (T, bool) {
 	return v, ok
 }
 
+// DeleteIf removes name's entry only if pred approves it, holding the
+// stripe write lock across the predicate: between a true predicate and the
+// removal no concurrent Get, GetOrCreate, or Snapshot can observe the
+// entry, so pred's verdict is atomic with the delete. This is the
+// lifecycle hook the manager's delete-vs-release interlock needs — pred
+// typically try-acquires the entry's own exclusive lock, refusing the
+// delete deterministically while any operation is in flight instead of
+// racing it.
+//
+// pred runs under the stripe write lock: it must be non-blocking (try-lock
+// semantics, never a plain Lock) and must not call back into the table.
+// Returns the entry (whether or not removed), whether it existed, and
+// whether it was removed.
+func (t *Table[T]) DeleteIf(name string, pred func(T) bool) (v T, existed, deleted bool) {
+	s := t.stripeFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, existed = s.m[name]
+	if !existed || !pred(v) {
+		return v, existed, false
+	}
+	delete(s.m, name)
+	return v, true, true
+}
+
 // Len returns the number of entries. Stripes are counted one at a time, so
 // under concurrent mutation the result is a consistent-per-stripe snapshot,
 // exact once writers quiesce.

@@ -53,6 +53,73 @@ func TestDelete(t *testing.T) {
 	}
 }
 
+func TestDeleteIf(t *testing.T) {
+	tab := New[string](4)
+	tab.GetOrCreate("a", func() (string, error) { return "va", nil })
+	// Refusing predicate: entry survives, value still reported.
+	if v, existed, deleted := tab.DeleteIf("a", func(string) bool { return false }); !existed || deleted || v != "va" {
+		t.Fatalf("refused DeleteIf = %q, existed=%v deleted=%v", v, existed, deleted)
+	}
+	if _, ok := tab.Get("a"); !ok {
+		t.Fatal("entry removed despite refusing predicate")
+	}
+	// Approving predicate: entry removed.
+	if v, existed, deleted := tab.DeleteIf("a", func(string) bool { return true }); !existed || !deleted || v != "va" {
+		t.Fatalf("approved DeleteIf = %q, existed=%v deleted=%v", v, existed, deleted)
+	}
+	if _, ok := tab.Get("a"); ok {
+		t.Fatal("entry survived approved DeleteIf")
+	}
+	// Missing name: predicate must not run.
+	ran := false
+	if _, existed, deleted := tab.DeleteIf("missing", func(string) bool { ran = true; return true }); existed || deleted || ran {
+		t.Fatalf("missing DeleteIf: existed=%v deleted=%v predicate ran=%v", existed, deleted, ran)
+	}
+}
+
+// TestDeleteIfAtomicWithOps: a predicate's verdict is atomic with the
+// removal. The predicate try-locks a mutex held by a concurrent
+// "operation"; whenever the delete succeeds the operation had finished, so
+// the observable history is always (op fully before delete) or (delete
+// refused) — never a delete racing a live operation.
+func TestDeleteIfAtomicWithOps(t *testing.T) {
+	type entry struct{ mu sync.Mutex }
+	tab := New[*entry](2)
+	var refused, deleted atomic.Int64
+	for i := 0; i < 200; i++ {
+		e := &entry{}
+		tab.GetOrCreate("s", func() (*entry, error) { return e, nil })
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // in-flight operation holding the entry lock
+			defer wg.Done()
+			e.mu.Lock()
+			_, _ = tab.Get("s")
+			e.mu.Unlock()
+		}()
+		go func() {
+			defer wg.Done()
+			_, _, ok := tab.DeleteIf("s", func(v *entry) bool {
+				if !v.mu.TryLock() {
+					return false
+				}
+				v.mu.Unlock()
+				return true
+			})
+			if ok {
+				deleted.Add(1)
+			} else {
+				refused.Add(1)
+			}
+		}()
+		wg.Wait()
+		tab.Delete("s")
+	}
+	if refused.Load()+deleted.Load() != 200 {
+		t.Fatalf("accounting: refused %d + deleted %d != 200", refused.Load(), deleted.Load())
+	}
+}
+
 func TestSnapshotSortedByName(t *testing.T) {
 	tab := New[int](4)
 	// Insertion order deliberately scrambled: the snapshot order must

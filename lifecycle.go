@@ -1,0 +1,495 @@
+package dpmg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dpmg/internal/encoding"
+	"dpmg/internal/mg"
+)
+
+// Stream lifecycle: TTL / idle eviction, offload, and fault-in.
+//
+// A million-tenant manager cannot hold every stream's counter slots hot in
+// RAM forever. The lifecycle tier gives each stream a residency state:
+// resident streams hold their raw-ingest shards and merged node aggregate
+// in memory as usual; an idle stream can be *offloaded* — its full durable
+// state written to an OffloadStore as one canonical encoding.KindStream
+// record — after which only a small stub (config, accountant, bookkeeping
+// counters, captured stats) stays in the registry. The next data access
+// *faults the stream back in* transparently: the record is read, the
+// shards and aggregate are rebuilt with the same canonical restore path a
+// manager snapshot uses, and the operation proceeds. The round trip is
+// exact — identical estimates, byte-identical seeded releases, and the
+// precise remaining (eps, delta) budget — because the offload record is
+// the same Algorithm 1 state a Manager.Snapshot persists.
+//
+// # Interlock
+//
+// Each stream carries a lifecycle RWMutex: every data operation holds the
+// read side for its duration, eviction and fault-in hold the write side.
+// An eviction therefore waits for in-flight operations to drain and
+// re-checks idleness under the exclusive lock, so an update can never land
+// in a sketch that is mid-offload and be lost; an operation that arrives
+// after the offload faults the stream back in before proceeding. Streams
+// share no lifecycle state with each other, preserving the manager's
+// no-cross-stream-contention property.
+//
+// # Durability interplay
+//
+// Manager.Snapshot skips offloaded streams — their offload records are the
+// durable truth, and serializing them would fault everything back in. A
+// restarted deployment restores the manager snapshot first (resident
+// streams) and then calls RecoverOffloaded, which registers a stub for
+// every offload record whose name is not already resident; those streams
+// stay on disk until first access. Fault-in deliberately leaves the
+// offload record in place as a stale shadow (it is overwritten by the next
+// eviction and shadowed by the registry while the stream is resident), so
+// a crash right after a fault-in degrades to the usual at-most-one-
+// snapshot-interval durability window instead of losing the stream.
+
+// ErrRateLimited is wrapped by ingest rejections on a stream whose
+// configured MaxIngestRate cannot admit the batch right now; test with
+// errors.Is. Rejected batches consume no tokens and are not ingested (not
+// even partially); the caller should retry after backing off.
+var ErrRateLimited = errors.New("dpmg: stream ingest rate limit exceeded")
+
+// ErrReleaseBusy is wrapped by release rejections on a stream that is
+// already running its configured MaxInflightReleases; test with errors.Is.
+// Rejected releases spend no budget.
+var ErrReleaseBusy = errors.New("dpmg: stream in-flight release limit exceeded")
+
+// errStreamOffloaded signals Manager.Snapshot to skip a stream whose
+// durable truth is its offload record.
+var errStreamOffloaded = errors.New("dpmg: stream is offloaded")
+
+// OffloadStore persists evicted streams' offload records by name. Records
+// hold un-noised counters: a store is as sensitive as the streams
+// themselves and must stay inside the trust boundary. Implementations must
+// make Save atomic (a reader never observes a torn record) and are not
+// required to be safe for concurrent Save/Load of the same name — the
+// manager serializes per-stream access through each stream's lifecycle
+// lock.
+type OffloadStore interface {
+	// Save durably persists data as the record for name, replacing any
+	// previous record atomically.
+	Save(name string, data []byte) error
+	// Load returns the record for name, or an error wrapping fs.ErrNotExist
+	// when there is none.
+	Load(name string) ([]byte, error)
+	// Delete removes the record for name; deleting a missing record is not
+	// an error.
+	Delete(name string) error
+	// List returns the names that currently have records, in any order.
+	List() ([]string, error)
+}
+
+// DirStore is the file-backed OffloadStore: one <name>.stream file per
+// record inside a directory, written with the atomic temp-file-and-rename
+// discipline so a crash mid-save never clobbers the previous good record.
+// Stream names validated by the manager ([a-zA-Z0-9._-], leading
+// alphanumeric) are safe as file names.
+type DirStore struct {
+	dir string
+}
+
+// streamFileSuffix is the DirStore record file extension.
+const streamFileSuffix = ".stream"
+
+// NewDirStore returns a DirStore rooted at dir, creating it (mode 0700 —
+// records are sensitive) if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("dpmg: offload store directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path returns the record file for name.
+func (d *DirStore) path(name string) string {
+	return filepath.Join(d.dir, name+streamFileSuffix)
+}
+
+// Save implements OffloadStore with write-to-temp, sync, rename.
+func (d *DirStore) Save(name string, data []byte) error {
+	f, err := os.CreateTemp(d.dir, name+streamFileSuffix+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, d.path(name))
+}
+
+// Load implements OffloadStore.
+func (d *DirStore) Load(name string) ([]byte, error) {
+	return os.ReadFile(d.path(name))
+}
+
+// Delete implements OffloadStore.
+func (d *DirStore) Delete(name string) error {
+	if err := os.Remove(d.path(name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// List implements OffloadStore. Stale temp files from interrupted saves
+// are ignored (and swept, so crash loops cannot accumulate them).
+func (d *DirStore) List() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if strings.Contains(n, streamFileSuffix+".tmp-") {
+			os.Remove(filepath.Join(d.dir, n))
+			continue
+		}
+		if strings.HasSuffix(n, streamFileSuffix) {
+			names = append(names, strings.TrimSuffix(n, streamFileSuffix))
+		}
+	}
+	return names, nil
+}
+
+// SetOffloadStore attaches the store evicted streams offload to. It must
+// be called before the first eviction — typically right after NewManager /
+// RestoreManager, before serving traffic — and at most once.
+func (m *Manager) SetOffloadStore(s OffloadStore) error {
+	if s == nil {
+		return fmt.Errorf("dpmg: offload store must not be nil")
+	}
+	m.offMu.Lock()
+	defer m.offMu.Unlock()
+	if m.offload != nil {
+		return fmt.Errorf("dpmg: offload store already set")
+	}
+	m.offload = s
+	return nil
+}
+
+// store returns the attached offload store, or nil.
+func (m *Manager) store() OffloadStore {
+	m.offMu.RLock()
+	defer m.offMu.RUnlock()
+	return m.offload
+}
+
+// EvictIdle offloads every resident stream that has seen no data access
+// for at least ttl, returning how many streams were evicted. A ttl <= 0
+// means "never evict" and is a no-op, so a disabled TTL is expressed by
+// configuration alone. Idleness is re-checked under each stream's
+// exclusive lifecycle lock after in-flight operations drain, so an access
+// racing the sweep either completes before the offload (and is included in
+// the record) or faults the stream back in afterwards — never lost.
+// Requires an offload store (SetOffloadStore).
+func (m *Manager) EvictIdle(ttl time.Duration) (int, error) {
+	if ttl <= 0 {
+		return 0, nil
+	}
+	store := m.store()
+	if store == nil {
+		return 0, fmt.Errorf("dpmg: EvictIdle requires an offload store (SetOffloadStore)")
+	}
+	now := m.now()
+	evicted := 0
+	var errs []error
+	for _, e := range m.streams.Snapshot() {
+		st := e.Value
+		if now-st.access.Load() < int64(ttl) {
+			continue
+		}
+		st.life.Lock()
+		if !st.offloaded && !st.deleted && now-st.access.Load() >= int64(ttl) {
+			if err := st.offloadLocked(store); err != nil {
+				// Keep sweeping: one un-offloadable stream (its record's
+				// disk quota, say) must not starve eviction for the rest
+				// of the fleet.
+				errs = append(errs, fmt.Errorf("dpmg: evict %q: %w", st.name, err))
+			} else {
+				evicted++
+			}
+		}
+		st.life.Unlock()
+	}
+	return evicted, errors.Join(errs...)
+}
+
+// Evict forcibly offloads the named stream regardless of idleness,
+// reporting whether this call performed the eviction (false when the
+// stream does not exist or is already offloaded — offloading is
+// idempotent). It waits for the stream's in-flight operations to drain.
+// Requires an offload store (SetOffloadStore).
+func (m *Manager) Evict(name string) (bool, error) {
+	store := m.store()
+	if store == nil {
+		return false, fmt.Errorf("dpmg: Evict requires an offload store (SetOffloadStore)")
+	}
+	st, ok := m.streams.Get(name)
+	if !ok {
+		return false, nil
+	}
+	st.life.Lock()
+	defer st.life.Unlock()
+	if st.offloaded || st.deleted {
+		return false, nil
+	}
+	if err := st.offloadLocked(store); err != nil {
+		return false, fmt.Errorf("dpmg: evict %q: %w", name, err)
+	}
+	return true, nil
+}
+
+// RecoverOffloaded scans the offload store and registers an offloaded stub
+// for every record whose name is not already resident, returning how many
+// streams were recovered (including ones that replaced stale resident
+// state). Call it once at startup, after RestoreManager and before
+// serving traffic. Recovered streams stay on disk until first access.
+//
+// When a name exists both in the restored manager snapshot and in the
+// store, the *strictly newer* state wins, judged on the stream's monotone
+// counters (items ingested, summaries merged, releases admitted, budget
+// spent): a stream evicted after the last periodic snapshot leaves a
+// record newer than the snapshot, and ignoring it would resurrect
+// already-spent privacy budget; conversely, a stream faulted in and
+// mutated after its eviction leaves a record older than the snapshot (a
+// stale shadow), which is skipped.
+func (m *Manager) RecoverOffloaded() (int, error) {
+	store := m.store()
+	if store == nil {
+		return 0, fmt.Errorf("dpmg: RecoverOffloaded requires an offload store (SetOffloadStore)")
+	}
+	names, err := store.List()
+	if err != nil {
+		return 0, err
+	}
+	recovered := 0
+	for _, name := range names {
+		data, err := store.Load(name)
+		if err != nil {
+			return recovered, fmt.Errorf("dpmg: recover %q: %w", name, err)
+		}
+		w, err := encoding.UnmarshalStream(bytes.NewReader(data))
+		if err != nil {
+			return recovered, fmt.Errorf("dpmg: recover %q: %w", name, err)
+		}
+		if w.Name != name {
+			return recovered, fmt.Errorf("dpmg: recover %q: record is for stream %q", name, w.Name)
+		}
+		if res, ok := m.streams.Get(name); ok {
+			if !recordNewer(res, w) {
+				continue // resident state is current; record is a stale shadow
+			}
+			// The record post-dates the restored snapshot (evicted after
+			// the last flush, then crashed): the resident copy would
+			// resurrect spent budget and drop ingested data. Startup is
+			// single-threaded, so a plain replace is safe.
+			m.streams.Delete(name)
+		}
+		st, err := restoreStreamStub(m, w)
+		if err != nil {
+			return recovered, fmt.Errorf("dpmg: recover %q: %w", name, err)
+		}
+		if _, created, err := m.streams.GetOrCreate(name, func() (*Stream, error) { return st, nil }); err != nil {
+			return recovered, err
+		} else if created {
+			recovered++
+		}
+	}
+	return recovered, nil
+}
+
+// recordNewer reports whether an offload record strictly post-dates the
+// resident stream's state. A stream's history is linear and these
+// counters are monotone non-decreasing along it, so "newer" is simply
+// "further along on any axis".
+func recordNewer(res *Stream, w *encoding.StreamState) bool {
+	_, spent, releases := res.acct.inner.State()
+	return w.Ingested > res.ingested.Load() ||
+		w.Nodes > res.Nodes() ||
+		w.Releases > int64(releases) ||
+		w.SpentEps > spent.Eps ||
+		w.SpentDelta > spent.Delta
+}
+
+// acquire pins the stream resident for one data operation, returning with
+// the lifecycle read lock held on success (the caller must RUnlock). If
+// the stream is offloaded it is faulted back in first; the loop covers the
+// rare window where an eviction slips between the fault-in and the
+// re-acquisition of the read side.
+func (s *Stream) acquire() error {
+	for {
+		s.life.RLock()
+		if !s.offloaded {
+			return nil
+		}
+		s.life.RUnlock()
+		s.life.Lock()
+		if s.offloaded {
+			if err := s.faultInLocked(); err != nil {
+				s.life.Unlock()
+				return err
+			}
+		}
+		s.life.Unlock()
+	}
+}
+
+// offloadLocked writes the stream's full durable state to store and drops
+// the in-memory counter structures, leaving the stub. The lifecycle write
+// lock must be held. Offloading an already-offloaded stream is a no-op
+// (idempotent), and because the record encoding is canonical, a repeated
+// offload of unchanged state writes byte-identical records.
+func (s *Stream) offloadLocked(store OffloadStore) error {
+	if s.offloaded || s.deleted {
+		return nil
+	}
+	state, err := s.streamState()
+	if err != nil {
+		return err
+	}
+	// Capture the live-counter tallies so Stats can be served from the
+	// stub without touching the record.
+	agg := 0
+	if s.merged != nil {
+		agg = s.merged.Len()
+	}
+	ingest := 0
+	if s.ingested.Load() > 0 {
+		sum, err := s.sharded.Summary()
+		if err != nil {
+			return err
+		}
+		ingest = sum.inner.Len()
+	}
+	state.AggCounters, state.IngestCounters = agg, ingest
+	var buf bytes.Buffer
+	if err := encoding.MarshalStream(&buf, &state); err != nil {
+		return err
+	}
+	if err := store.Save(s.name, buf.Bytes()); err != nil {
+		return err
+	}
+	s.offAgg, s.offIngest = agg, ingest
+	s.sharded = nil
+	s.merged = nil
+	s.offloaded = true
+	s.evictions.Add(1)
+	return nil
+}
+
+// faultInLocked reads the stream's offload record back and rebuilds the
+// in-memory counter structures. The lifecycle write lock must be held. The
+// record is left in place as a stale shadow (see the durability notes at
+// the top of this file); bookkeeping and the accountant keep their live
+// stub values, which are identical to the record's — nothing can mutate
+// them while the stream is offloaded.
+func (s *Stream) faultInLocked() error {
+	store := s.mgr.store()
+	if store == nil {
+		return fmt.Errorf("dpmg: stream %q is offloaded but the manager has no offload store", s.name)
+	}
+	data, err := store.Load(s.name)
+	if err != nil {
+		return fmt.Errorf("dpmg: fault-in %q: %w", s.name, err)
+	}
+	w, err := encoding.UnmarshalStream(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("dpmg: fault-in %q: %w", s.name, err)
+	}
+	if w.Name != s.name || w.K != s.cfg.K || w.Universe != s.cfg.Universe || w.Shards != s.cfg.Shards {
+		return fmt.Errorf("dpmg: fault-in %q: record is for stream %q (k=%d, d=%d, shards=%d), want (k=%d, d=%d, shards=%d)",
+			s.name, w.Name, w.K, w.Universe, w.Shards, s.cfg.K, s.cfg.Universe, s.cfg.Shards)
+	}
+	sharded, err := shardedFromWires(s.cfg, w.ShardWires)
+	if err != nil {
+		return fmt.Errorf("dpmg: fault-in %q: %w", s.name, err)
+	}
+	s.mu.Lock()
+	s.merged = w.Merged
+	s.mu.Unlock()
+	s.sharded = sharded
+	s.offloaded = false
+	s.offAgg, s.offIngest = 0, 0
+	s.faultIns.Add(1)
+	return nil
+}
+
+// shardedFromWires rebuilds a stream's raw-ingest tier from decoded,
+// validated per-shard Algorithm 1 states — the canonical reconstruction
+// shared by manager-snapshot restore and fault-in.
+func shardedFromWires(cfg StreamConfig, wires []*encoding.SketchWire) (*ShardedSketch, error) {
+	sharded := NewShardedSketch(cfg.Shards, cfg.K, cfg.Universe)
+	for i, sw := range wires {
+		sk, err := mg.Restore(sw.K, sw.Universe, sw.N, sw.Decrements, sw.Counts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		sharded.shards[i].sk = sk
+	}
+	return sharded, nil
+}
+
+// touch stamps the stream's idle clock. Data operations touch; Stats and
+// the metrics scrape deliberately do not, so observability never keeps a
+// stream hot.
+func (s *Stream) touch(now int64) {
+	s.access.Store(now)
+}
+
+// Resident reports whether the stream's counter structures are in memory
+// (true) or offloaded to the store (false).
+func (s *Stream) Resident() bool {
+	s.life.RLock()
+	defer s.life.RUnlock()
+	return !s.offloaded
+}
+
+// LifecycleCounters are a stream's process-lifetime lifecycle and QoS
+// tallies, for observability. They are not part of the durable state: like
+// any Prometheus-style counters they restart from zero with the process.
+type LifecycleCounters struct {
+	Evictions         int64 // times this stream was offloaded
+	FaultIns          int64 // times this stream was faulted back in
+	ThrottledIngest   int64 // ingest calls refused by the rate ceiling
+	ThrottledReleases int64 // releases refused by the in-flight ceiling
+}
+
+// Lifecycle returns the stream's lifecycle and QoS counters. Reading them
+// does not touch the idle clock.
+func (s *Stream) Lifecycle() LifecycleCounters {
+	return LifecycleCounters{
+		Evictions:         s.evictions.Load(),
+		FaultIns:          s.faultIns.Load(),
+		ThrottledIngest:   s.throttledIngest.Load(),
+		ThrottledReleases: s.throttledReleases.Load(),
+	}
+}

@@ -4,14 +4,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpmg/internal/accountant"
 	"dpmg/internal/encoding"
 	"dpmg/internal/merge"
-	"dpmg/internal/mg"
+	"dpmg/internal/qos"
 	"dpmg/internal/registry"
 )
 
@@ -22,8 +24,9 @@ import (
 var ErrStreamEmpty = errors.New("dpmg: stream has no ingested data")
 
 // ErrStreamConflict is wrapped by CreateStream when the named stream
-// already exists with a different configuration; test with errors.Is.
-var ErrStreamConflict = errors.New("dpmg: stream exists with different config")
+// already exists with a different configuration, and by DeleteStream when
+// the named stream has operations in flight; test with errors.Is.
+var ErrStreamConflict = errors.New("dpmg: stream conflict")
 
 // StreamConfig fixes one managed stream's parameters at creation time. The
 // zero value of any field means "inherit the manager default" in
@@ -46,6 +49,28 @@ type StreamConfig struct {
 	// Budget is the stream's total privacy allowance. Each stream owns an
 	// independent Accountant: tenants never share an (eps, delta) account.
 	Budget Budget
+
+	// The QoS ceilings below are operational policy, not stream identity:
+	// they are never part of the durable snapshot (a restarted deployment
+	// re-applies its current configuration) and never conflict-checked by
+	// CreateStream. For each, zero inherits the manager default and a
+	// negative value means explicitly unlimited.
+
+	// MaxIngestRate caps the stream's raw-item ingest in items/second,
+	// enforced with a per-stream lock-free token bucket: one CAS on the
+	// batch path, so the zero-allocation ingest property is preserved.
+	// Rejected batches wrap ErrRateLimited and ingest nothing.
+	MaxIngestRate float64
+	// IngestBurst is the token bucket's tolerance in items. Zero inherits
+	// the manager default; if that is also unset the burst defaults to one
+	// second of MaxIngestRate. A single batch larger than the burst can
+	// never be admitted — size it to at least the largest batch accepted.
+	IngestBurst int
+	// MaxInflightReleases caps the stream's concurrently running release
+	// calls (each release folds shards and draws noise — a tenant looping
+	// releases must not monopolize the aggregator's cores). Rejected
+	// releases wrap ErrReleaseBusy and spend no budget.
+	MaxInflightReleases int
 }
 
 // withDefaults fills zero fields from d.
@@ -71,6 +96,15 @@ func (c StreamConfig) withDefaults(d StreamConfig) StreamConfig {
 	}
 	if c.Budget.Delta == 0 {
 		c.Budget.Delta = d.Budget.Delta
+	}
+	if c.MaxIngestRate == 0 {
+		c.MaxIngestRate = d.MaxIngestRate
+	}
+	if c.IngestBurst == 0 {
+		c.IngestBurst = d.IngestBurst
+	}
+	if c.MaxInflightReleases == 0 {
+		c.MaxInflightReleases = d.MaxInflightReleases
 	}
 	return c
 }
@@ -111,6 +145,9 @@ func (c StreamConfig) validate() error {
 		if _, ok := MechanismByName(c.Mechanism); !ok {
 			return fmt.Errorf("dpmg: unknown default mechanism %q (registered: %v)", c.Mechanism, Mechanisms())
 		}
+	}
+	if math.IsNaN(c.MaxIngestRate) || math.IsInf(c.MaxIngestRate, 0) {
+		return fmt.Errorf("dpmg: stream ingest rate must be finite, got %v", c.MaxIngestRate)
 	}
 	return nil
 }
@@ -166,6 +203,15 @@ func validateStreamName(name string) error {
 type Manager struct {
 	defaults StreamConfig
 	streams  *registry.Table[*Stream]
+
+	// nowFn is the lifecycle clock (nanoseconds, monotone enough for idle
+	// tracking); overridable in tests for deterministic eviction.
+	nowFn func() int64
+
+	// offMu guards the offload store attachment (set once, read rarely —
+	// only on evict/fault-in, never on the resident hot path).
+	offMu   sync.RWMutex
+	offload OffloadStore
 }
 
 // NewManager returns an empty manager. defaults supplies the per-stream
@@ -182,8 +228,21 @@ func NewManager(defaults StreamConfig) (*Manager, error) {
 	if err := defaults.Budget.valid(); err != nil {
 		return nil, fmt.Errorf("dpmg: manager defaults: %w", err)
 	}
-	return &Manager{defaults: defaults, streams: registry.New[*Stream](0)}, nil
+	// The lifecycle clock is monotone, not wall time: idle TTLs and token
+	// buckets must not jump on NTP steps (a backward step would blanket-
+	// refuse rate-limited streams; a forward step larger than the TTL
+	// would evict the whole fleet at once). time.Since reads the runtime's
+	// monotonic reading.
+	start := time.Now()
+	return &Manager{
+		defaults: defaults,
+		streams:  registry.New[*Stream](0),
+		nowFn:    func() int64 { return int64(time.Since(start)) },
+	}, nil
 }
+
+// now reads the manager's lifecycle clock.
+func (m *Manager) now() int64 { return m.nowFn() }
 
 // Defaults returns the manager's default stream config.
 func (m *Manager) Defaults() StreamConfig { return m.defaults }
@@ -206,7 +265,7 @@ func (m *Manager) CreateStream(name string, cfg StreamConfig) (st *Stream, creat
 		return nil, false, err
 	}
 	st, created, err = m.streams.GetOrCreate(name, func() (*Stream, error) {
-		return newStream(name, resolved)
+		return newStream(m, name, resolved)
 	})
 	if err != nil {
 		return nil, false, err
@@ -220,7 +279,9 @@ func (m *Manager) CreateStream(name string, cfg StreamConfig) (st *Stream, creat
 }
 
 // conflict reports how the explicitly requested fields of r contradict the
-// existing config c; zero fields of r never conflict (they inherit).
+// existing config c; zero fields of r never conflict (they inherit), and
+// the QoS ceilings never conflict at all — they are operational policy,
+// not stream identity.
 func (c StreamConfig) conflict(name string, r StreamConfig) error {
 	disagree := func(field string, want, have any) error {
 		return fmt.Errorf("%w: %q has %s=%v, requested %v", ErrStreamConflict, name, field, have, want)
@@ -257,14 +318,40 @@ func (m *Manager) Streams() []*Stream {
 	return out
 }
 
-// DeleteStream removes the named stream from the manager, reporting whether
-// it existed. The stream's state (and its spent budget record) is dropped;
-// in-flight operations holding the *Stream finish against the orphaned
-// state. Deleting and re-creating a name starts a fresh privacy account —
-// callers own the composition argument across that boundary.
-func (m *Manager) DeleteStream(name string) bool {
-	_, ok := m.streams.Delete(name)
-	return ok
+// DeleteStream removes the named stream from the manager, reporting
+// whether it was deleted. A stream with any operation in flight — a
+// release drawing noise, a batch mid-ingest, an eviction — is never
+// deleted out from under it: DeleteStream try-acquires the stream's
+// exclusive lifecycle lock atomically with the registry removal
+// (registry.DeleteIf holds the stripe lock across the attempt) and
+// deterministically returns an error wrapping ErrStreamConflict instead of
+// racing the in-flight view. Retry once the stream is quiet.
+//
+// Deletion drops the stream's state, its offload record (if any), and its
+// spent-budget record. A *Stream handle obtained before the delete keeps
+// operating on the orphaned state; deleting and re-creating a name starts
+// a fresh privacy account — callers own the composition argument across
+// that boundary.
+func (m *Manager) DeleteStream(name string) (bool, error) {
+	st, existed, deleted := m.streams.DeleteIf(name, func(st *Stream) bool {
+		return st.life.TryLock()
+	})
+	if !existed {
+		return false, nil
+	}
+	if !deleted {
+		return false, fmt.Errorf("%w: cannot delete %q with operations in flight", ErrStreamConflict, name)
+	}
+	// Tombstone under the held write lock: an eviction sweep that grabbed
+	// this *Stream before the removal must not offload it afterwards.
+	st.deleted = true
+	st.life.Unlock()
+	if store := m.store(); store != nil {
+		if err := store.Delete(name); err != nil {
+			return true, fmt.Errorf("dpmg: delete %q: removing offload record: %w", name, err)
+		}
+	}
+	return true, nil
 }
 
 // Len returns the number of managed streams.
@@ -284,11 +371,19 @@ func (m *Manager) Len() int { return m.streams.Len() }
 // began are always included; the snapshot of each stream is internally
 // consistent per shard. For a byte-exact quiescent image (the shutdown
 // flush), stop writers first.
+//
+// Offloaded streams are skipped: their offload records are the durable
+// truth, and including them would fault every idle tenant back into RAM on
+// each periodic flush. A full restart therefore restores in two steps —
+// RestoreManager for this snapshot, then RecoverOffloaded for the rest.
 func (m *Manager) Snapshot(w io.Writer) error {
 	entries := m.streams.Snapshot()
 	states := make([]encoding.StreamState, 0, len(entries))
 	for _, e := range entries {
 		st, err := e.Value.snapshotState()
+		if errors.Is(err, errStreamOffloaded) {
+			continue
+		}
 		if err != nil {
 			return fmt.Errorf("dpmg: snapshot stream %q: %w", e.Name, err)
 		}
@@ -315,7 +410,7 @@ func RestoreManager(r io.Reader, defaults StreamConfig) (*Manager, error) {
 		return nil, err
 	}
 	for i := range states {
-		st, err := restoreStream(&states[i])
+		st, err := restoreStream(m, &states[i])
 		if err != nil {
 			return nil, err
 		}
@@ -334,11 +429,17 @@ func RestoreManager(r io.Reader, defaults StreamConfig) (*Manager, error) {
 // A stream's releases carry merged (Corollary 18) sensitivity — raw items
 // and node summaries funnel through the same bounded-memory Agarwal et al.
 // aggregate — so the gaussian mechanism is the class default.
+//
+// A stream is either resident (counters in RAM) or offloaded (counters in
+// the manager's OffloadStore, stub in RAM); data operations on an
+// offloaded stream fault it back in transparently. See lifecycle.go for
+// the eviction/offload model and Resident, Lifecycle, and Manager.EvictIdle.
 type Stream struct {
 	name    string
 	cfg     StreamConfig
 	sharded *ShardedSketch
 	acct    *Accountant
+	mgr     *Manager
 
 	batches  atomic.Int64
 	ingested atomic.Int64
@@ -346,35 +447,91 @@ type Stream struct {
 	mu     sync.Mutex // guards merged + nodes
 	merged *merge.Summary
 	nodes  int64
+
+	// Lifecycle state. life is the residency interlock: data operations
+	// hold the read side, eviction/fault-in/deletion hold the write side.
+	// offloaded, deleted, offAgg, and offIngest are guarded by life;
+	// access is the idle clock (manager clock nanoseconds at last data
+	// access). deleted is the tombstone DeleteStream sets so an eviction
+	// sweep holding a stale handle can never write a fresh offload record
+	// for a stream the tenant just deleted (which the next recovery would
+	// resurrect, counters and all).
+	life      sync.RWMutex
+	offloaded bool
+	deleted   bool
+	offAgg    int // aggregate-tier live counters captured at offload
+	offIngest int // raw-tier live counters captured at offload
+	access    atomic.Int64
+
+	// QoS admission (nil = unlimited) and observability counters.
+	bucket            *qos.Bucket
+	gate              *qos.Gate
+	evictions         atomic.Int64
+	faultIns          atomic.Int64
+	throttledIngest   atomic.Int64
+	throttledReleases atomic.Int64
+}
+
+// qosBurst resolves a config's effective token-bucket burst: the
+// configured burst, defaulting to one second of the configured rate. A
+// negative burst means explicitly unlimited tolerance — any single batch
+// is admitted and only the long-run rate is enforced (the bucket's
+// window saturates rather than overflows).
+func (c StreamConfig) qosBurst() int {
+	if c.IngestBurst < 0 {
+		return math.MaxInt32
+	}
+	if c.IngestBurst > 0 {
+		return c.IngestBurst
+	}
+	if c.MaxIngestRate >= 1 {
+		return int(c.MaxIngestRate)
+	}
+	return 1
 }
 
 // newStream builds a fresh stream from a resolved, validated config.
-func newStream(name string, cfg StreamConfig) (*Stream, error) {
+func newStream(m *Manager, name string, cfg StreamConfig) (*Stream, error) {
 	acct, err := NewAccountant(cfg.Budget)
 	if err != nil {
 		return nil, err
 	}
-	return &Stream{
+	st := &Stream{
 		name:    name,
 		cfg:     cfg,
 		sharded: NewShardedSketch(cfg.Shards, cfg.K, cfg.Universe),
 		acct:    acct,
-	}, nil
+		mgr:     m,
+		bucket:  qos.NewBucket(cfg.MaxIngestRate, cfg.qosBurst()),
+		gate:    qos.NewGate(cfg.MaxInflightReleases),
+	}
+	st.access.Store(m.now())
+	return st, nil
 }
 
-// restoreStream rebuilds a stream from its snapshot record.
-func restoreStream(w *encoding.StreamState) (*Stream, error) {
+// restoredCfg rebuilds and validates a stream config from its snapshot
+// record, re-applying the manager's current QoS defaults — QoS ceilings
+// are operational policy and deliberately not persisted.
+func restoredCfg(m *Manager, w *encoding.StreamState) (StreamConfig, error) {
 	if err := validateStreamName(w.Name); err != nil {
-		return nil, err
+		return StreamConfig{}, err
 	}
 	cfg := StreamConfig{
 		K: w.K, Universe: w.Universe, Shards: w.Shards,
-		Mechanism: w.Mechanism,
-		Budget:    Budget{Eps: w.BudgetEps, Delta: w.BudgetDelta},
+		Mechanism:           w.Mechanism,
+		Budget:              Budget{Eps: w.BudgetEps, Delta: w.BudgetDelta},
+		MaxIngestRate:       m.defaults.MaxIngestRate,
+		IngestBurst:         m.defaults.IngestBurst,
+		MaxInflightReleases: m.defaults.MaxInflightReleases,
 	}
 	if err := cfg.validate(); err != nil {
-		return nil, fmt.Errorf("dpmg: restore stream %q: %w", w.Name, err)
+		return StreamConfig{}, fmt.Errorf("dpmg: restore stream %q: %w", w.Name, err)
 	}
+	return cfg, nil
+}
+
+// restoredAcct rebuilds a stream's accountant from its snapshot record.
+func restoredAcct(w *encoding.StreamState) (*Accountant, error) {
 	inner, err := accountant.Restore(
 		accountant.Budget{Eps: w.BudgetEps, Delta: w.BudgetDelta},
 		accountant.Budget{Eps: w.SpentEps, Delta: w.SpentDelta},
@@ -383,29 +540,86 @@ func restoreStream(w *encoding.StreamState) (*Stream, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dpmg: restore stream %q: %w", w.Name, err)
 	}
-	sharded := NewShardedSketch(cfg.Shards, cfg.K, cfg.Universe)
-	for i, sw := range w.ShardWires {
-		sk, err := mg.Restore(sw.K, sw.Universe, sw.N, sw.Decrements, sw.Counts)
-		if err != nil {
-			return nil, fmt.Errorf("dpmg: restore stream %q shard %d: %w", w.Name, i, err)
-		}
-		sharded.shards[i].sk = sk
+	return &Accountant{inner: inner}, nil
+}
+
+// restoreStream rebuilds a resident stream from its snapshot record.
+func restoreStream(m *Manager, w *encoding.StreamState) (*Stream, error) {
+	cfg, err := restoredCfg(m, w)
+	if err != nil {
+		return nil, err
+	}
+	acct, err := restoredAcct(w)
+	if err != nil {
+		return nil, err
+	}
+	sharded, err := shardedFromWires(cfg, w.ShardWires)
+	if err != nil {
+		return nil, fmt.Errorf("dpmg: restore stream %q: %w", w.Name, err)
 	}
 	st := &Stream{
 		name:    w.Name,
 		cfg:     cfg,
 		sharded: sharded,
-		acct:    &Accountant{inner: inner},
+		acct:    acct,
+		mgr:     m,
 		merged:  w.Merged,
 		nodes:   w.Nodes,
+		bucket:  qos.NewBucket(cfg.MaxIngestRate, cfg.qosBurst()),
+		gate:    qos.NewGate(cfg.MaxInflightReleases),
 	}
 	st.batches.Store(w.Batches)
 	st.ingested.Store(w.Ingested)
+	st.access.Store(m.now())
 	return st, nil
 }
 
-// snapshotState captures the stream's durable state for Snapshot.
+// restoreStreamStub rebuilds a stream from its offload record as an
+// offloaded stub: config, accountant, bookkeeping, and the captured
+// counter tallies stay in RAM; the counters themselves stay on disk until
+// first access faults them in.
+func restoreStreamStub(m *Manager, w *encoding.StreamState) (*Stream, error) {
+	cfg, err := restoredCfg(m, w)
+	if err != nil {
+		return nil, err
+	}
+	acct, err := restoredAcct(w)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stream{
+		name:      w.Name,
+		cfg:       cfg,
+		acct:      acct,
+		mgr:       m,
+		nodes:     w.Nodes,
+		offloaded: true,
+		offAgg:    w.AggCounters,
+		offIngest: w.IngestCounters,
+		bucket:    qos.NewBucket(cfg.MaxIngestRate, cfg.qosBurst()),
+		gate:      qos.NewGate(cfg.MaxInflightReleases),
+	}
+	st.batches.Store(w.Batches)
+	st.ingested.Store(w.Ingested)
+	st.access.Store(m.now())
+	return st, nil
+}
+
+// snapshotState captures the stream's durable state for Manager.Snapshot,
+// reporting errStreamOffloaded for streams whose durable truth is their
+// offload record.
 func (s *Stream) snapshotState() (encoding.StreamState, error) {
+	s.life.RLock()
+	defer s.life.RUnlock()
+	if s.offloaded {
+		return encoding.StreamState{}, errStreamOffloaded
+	}
+	return s.streamState()
+}
+
+// streamState captures the stream's durable state. The caller must hold
+// the lifecycle lock (either side) with the stream resident.
+func (s *Stream) streamState() (encoding.StreamState, error) {
 	shards, err := s.sharded.snapshotShards()
 	if err != nil {
 		return encoding.StreamState{}, err
@@ -454,11 +668,23 @@ func (s *Stream) Nodes() int64 {
 func (s *Stream) Accountant() *Accountant { return s.acct }
 
 // Update ingests one raw element, rejecting items outside [1, Universe]
-// (the universe bound is load-bearing: dummy keys live just above it).
+// (the universe bound is load-bearing: dummy keys live just above it) and
+// items beyond the stream's ingest rate ceiling (wrapping ErrRateLimited).
+// An offloaded stream is faulted back in first.
 func (s *Stream) Update(x Item) error {
 	if x == 0 || uint64(x) > s.cfg.Universe {
 		return fmt.Errorf("dpmg: stream %q: item %d outside universe [1, %d]", s.name, x, s.cfg.Universe)
 	}
+	now := s.mgr.now()
+	if !s.bucket.Allow(1, now) {
+		s.throttledIngest.Add(1)
+		return fmt.Errorf("%w: stream %q", ErrRateLimited, s.name)
+	}
+	if err := s.acquire(); err != nil {
+		return err
+	}
+	defer s.life.RUnlock()
+	s.touch(now)
 	s.sharded.Update(x)
 	s.ingested.Add(1)
 	return nil
@@ -466,9 +692,14 @@ func (s *Stream) Update(x Item) error {
 
 // UpdateBatch ingests a raw item batch: every item is validated against the
 // universe before any is applied (a bad item mid-batch cannot leave a
-// half-ingested batch), then the whole batch runs on the sharded sketch's
-// grouped hot path. Safe for concurrent use; batches on different streams
-// share no locks at all.
+// half-ingested batch), then the whole batch is admitted against the
+// stream's ingest rate ceiling as one unit — a rejected batch (wrapping
+// ErrRateLimited) consumes no tokens and ingests nothing — and finally the
+// batch runs on the sharded sketch's grouped hot path. An offloaded stream
+// is faulted back in first (after validation and admission, so throttled
+// tenants cause no disk traffic). Safe for concurrent use; batches on
+// different streams share no locks at all, and the admitted path performs
+// no allocation beyond the sketch's own pooled scratch.
 func (s *Stream) UpdateBatch(xs []Item) error {
 	for _, x := range xs {
 		if x == 0 || uint64(x) > s.cfg.Universe {
@@ -478,6 +709,16 @@ func (s *Stream) UpdateBatch(xs []Item) error {
 	if len(xs) == 0 {
 		return nil
 	}
+	now := s.mgr.now()
+	if !s.bucket.Allow(len(xs), now) {
+		s.throttledIngest.Add(1)
+		return fmt.Errorf("%w: stream %q: batch of %d items", ErrRateLimited, s.name, len(xs))
+	}
+	if err := s.acquire(); err != nil {
+		return err
+	}
+	defer s.life.RUnlock()
+	s.touch(now)
 	s.sharded.UpdateBatch(xs)
 	s.batches.Add(1)
 	s.ingested.Add(int64(len(xs)))
@@ -486,11 +727,18 @@ func (s *Stream) UpdateBatch(xs []Item) error {
 
 // IngestSummary folds one shipped node summary into the stream's bounded
 // aggregate with the Agarwal et al. merge: the stream never holds more than
-// 2k counters for its node tier, no matter how many edges report.
+// 2k counters for its node tier, no matter how many edges report. Node
+// summaries are not rate limited (the ceiling governs raw items); an
+// offloaded stream is faulted back in first.
 func (s *Stream) IngestSummary(sum *MergeableSummary) error {
 	if sum.K() != s.cfg.K {
 		return fmt.Errorf("dpmg: stream %q: summary k=%d, stream requires k=%d", s.name, sum.K(), s.cfg.K)
 	}
+	if err := s.acquire(); err != nil {
+		return err
+	}
+	defer s.life.RUnlock()
+	s.touch(s.mgr.now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.merged == nil {
@@ -530,12 +778,9 @@ func (s *Stream) combined() (*merge.Summary, error) {
 	return merge.Merge(base, shardSum.inner)
 }
 
-// ReleaseView snapshots the stream for the unified release path: the
-// combined (node aggregate ∪ raw shards) summary under merged
-// (Corollary 18) sensitivity, flat sorted columns in the input-independent
-// ascending-key order every release in this package draws in. An empty
-// stream wraps ErrStreamEmpty.
-func (s *Stream) ReleaseView() (*ReleaseView, error) {
+// releaseViewLocked builds the release view; the caller must hold the
+// lifecycle lock (either side) with the stream resident.
+func (s *Stream) releaseViewLocked() (*ReleaseView, error) {
 	sum, err := s.combined()
 	if err != nil {
 		return nil, err
@@ -550,26 +795,75 @@ func (s *Stream) ReleaseView() (*ReleaseView, error) {
 	}, nil
 }
 
+// lockedStreamView adapts an already-pinned stream to Releasable so
+// Stream.ReleaseDetailed can hold the stream resident across the whole
+// release (view, calibration, noise) without re-entering the lifecycle
+// lock.
+type lockedStreamView struct{ s *Stream }
+
+// ReleaseView implements Releasable on the pinned stream.
+func (v lockedStreamView) ReleaseView() (*ReleaseView, error) { return v.s.releaseViewLocked() }
+
+// ReleaseView snapshots the stream for the unified release path: the
+// combined (node aggregate ∪ raw shards) summary under merged
+// (Corollary 18) sensitivity, flat sorted columns in the input-independent
+// ascending-key order every release in this package draws in. An empty
+// stream wraps ErrStreamEmpty; an offloaded stream is faulted back in.
+//
+// Note that a release through dpmg.Release(stream, ...) pins the stream
+// only while the view is built; Stream.ReleaseDetailed pins it for the
+// whole release and is the only path metered by MaxInflightReleases.
+func (s *Stream) ReleaseView() (*ReleaseView, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.life.RUnlock()
+	s.touch(s.mgr.now())
+	return s.releaseViewLocked()
+}
+
 // ReleaseDetailed privatizes the stream through the unified release path,
 // metered against the stream's own Accountant and defaulting to the
 // stream's configured mechanism. Options are applied after the defaults, so
 // WithMechanism / WithSeed / WithTopK override per call. The ordering
 // guarantees of ReleaseDetailed hold: calibration failures and empty
 // streams never spend budget, and ErrBudgetExhausted releases nothing.
+//
+// The call counts against the stream's MaxInflightReleases ceiling for its
+// whole duration; beyond the ceiling it fails fast wrapping ErrReleaseBusy
+// with no budget spent. The stream is held resident (faulting it in if
+// offloaded) until the release completes.
 func (s *Stream) ReleaseDetailed(p Params, opts ...ReleaseOption) (*ReleaseResult, error) {
+	if !s.gate.Enter() {
+		s.throttledReleases.Add(1)
+		return nil, fmt.Errorf("%w: stream %q", ErrReleaseBusy, s.name)
+	}
+	defer s.gate.Leave()
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.life.RUnlock()
+	s.touch(s.mgr.now())
 	base := make([]ReleaseOption, 0, 2+len(opts))
 	base = append(base, WithAccountant(s.acct))
 	if s.cfg.Mechanism != "" {
 		base = append(base, WithMechanism(s.cfg.Mechanism))
 	}
-	return ReleaseDetailed(s, p, append(base, opts...)...)
+	return ReleaseDetailed(lockedStreamView{s}, p, append(base, opts...)...)
 }
 
 // Estimate returns the stream's non-private combined estimate for x: its
 // raw-shard estimate plus its node-aggregate estimate (the two tiers hold
-// disjoint data). Prefer ReleaseDetailed for anything leaving the trust
-// boundary.
+// disjoint data). An offloaded stream is faulted back in; if the fault-in
+// fails (for example the offload record was lost) Estimate returns 0 —
+// use ReleaseView or Stats for the error. Prefer ReleaseDetailed for
+// anything leaving the trust boundary.
 func (s *Stream) Estimate(x Item) int64 {
+	if err := s.acquire(); err != nil {
+		return 0
+	}
+	defer s.life.RUnlock()
+	s.touch(s.mgr.now())
 	s.mu.Lock()
 	var agg int64
 	if s.merged != nil {
@@ -583,7 +877,9 @@ func (s *Stream) Estimate(x Item) int64 {
 // Fields counting raw data (Ingested, IngestCounters) and the aggregate
 // tier (Nodes, AggregateCounters) are each internally consistent; under
 // concurrent writers the struct as a whole is a near-point snapshot, exact
-// once writers quiesce.
+// once writers quiesce. The lifecycle tallies (Evictions, FaultIns,
+// ThrottledIngest, ThrottledReleases) count since process start — they are
+// observability counters, not durable state.
 type StreamStats struct {
 	Name      string
 	K         int
@@ -598,22 +894,37 @@ type StreamStats struct {
 	IngestCounters    int   // positive counters in the merged raw-shard view (≤ k)
 
 	Remaining Budget // unspent privacy budget
+	Spent     Budget // privacy budget consumed so far
 	Releases  int    // releases admitted so far
+
+	Resident          bool  // counters in RAM (false: offloaded to the store)
+	Evictions         int64 // times offloaded since process start
+	FaultIns          int64 // times faulted back in since process start
+	ThrottledIngest   int64 // ingest calls refused by the rate ceiling
+	ThrottledReleases int64 // releases refused by the in-flight ceiling
 }
 
 // Stats returns the stream's current stats. When raw data has been
-// ingested, the shard summaries are merged (bounded, ≤ k counters) to count
-// the live raw-tier counters — the same fold a release performs.
+// ingested into a resident stream, the shard summaries are merged
+// (bounded, ≤ k counters) to count the live raw-tier counters — the same
+// fold a release performs. For an offloaded stream the counter tallies
+// captured at offload time are served instead (exact: nothing mutates an
+// offloaded stream), so reading stats never faults a stream in — and
+// deliberately does not touch the idle clock, so observability never keeps
+// a stream hot.
 func (s *Stream) Stats() (StreamStats, error) {
+	s.life.RLock()
+	defer s.life.RUnlock()
+	var aggCounters, ingestCounters int
 	s.mu.Lock()
 	nodes := s.nodes
-	aggCounters := 0
-	if s.merged != nil {
-		aggCounters = s.merged.Len()
+	if !s.offloaded && s.merged != nil {
+		aggCounters = s.merged.Len() // one critical section: nodes and aggregate agree
 	}
 	s.mu.Unlock()
-	ingestCounters := 0
-	if s.ingested.Load() > 0 {
+	if s.offloaded {
+		aggCounters, ingestCounters = s.offAgg, s.offIngest
+	} else if s.ingested.Load() > 0 {
 		sum, err := s.sharded.Summary()
 		if err != nil {
 			return StreamStats{}, err
@@ -628,7 +939,11 @@ func (s *Stream) Stats() (StreamStats, error) {
 		Batches: s.batches.Load(), Ingested: s.ingested.Load(),
 		IngestCounters: ingestCounters,
 		Remaining:      Budget{Eps: total.Eps - spent.Eps, Delta: total.Delta - spent.Delta},
+		Spent:          Budget{Eps: spent.Eps, Delta: spent.Delta},
 		Releases:       releases,
+		Resident:       !s.offloaded,
+		Evictions:      s.evictions.Load(), FaultIns: s.faultIns.Load(),
+		ThrottledIngest: s.throttledIngest.Load(), ThrottledReleases: s.throttledReleases.Load(),
 	}, nil
 }
 

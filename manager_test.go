@@ -54,8 +54,11 @@ func TestManagerCreateIdempotent(t *testing.T) {
 	if got := m.Len(); got != 2 { // tenant-a + eps-only
 		t.Errorf("Len = %d", got)
 	}
-	if !m.DeleteStream("tenant-a") || m.DeleteStream("tenant-a") {
-		t.Error("DeleteStream semantics")
+	if del, err := m.DeleteStream("tenant-a"); !del || err != nil {
+		t.Errorf("DeleteStream = %v, %v", del, err)
+	}
+	if del, err := m.DeleteStream("tenant-a"); del || err != nil {
+		t.Errorf("second DeleteStream = %v, %v", del, err)
 	}
 }
 

@@ -28,8 +28,11 @@ run ./internal/merge 'BenchmarkMergeAllWide$|BenchmarkReleaseBounded$'
 # multi-tenant pair — BenchmarkServerMultiStreamIngest (parallel workers on
 # distinct streams, no shared mutex) against BenchmarkServerSingleStreamIngest
 # (same load, one contended stream) — whose ratio tracks the manager's
-# cross-stream scaling.
-run ./cmd/dpmg-server 'BenchmarkServerBatchIngest$|BenchmarkServerRelease$|BenchmarkServerMultiStreamIngest$|BenchmarkServerSingleStreamIngest$|BenchmarkServerMultiStreamRelease$'
+# cross-stream scaling. The lifecycle rows: the QoS-enabled ingest variant
+# must stay at parity with the plain multi-stream row (token-bucket
+# admission is one CAS), and BenchmarkServerMetrics tracks the per-scrape
+# observability tax over 64 streams.
+run ./cmd/dpmg-server 'BenchmarkServerBatchIngest$|BenchmarkServerRelease$|BenchmarkServerMultiStreamIngest$|BenchmarkServerSingleStreamIngest$|BenchmarkServerMultiStreamRelease$|BenchmarkServerMultiStreamIngestQoS$|BenchmarkServerMetrics$'
 
 awk '
 /^Benchmark/ {

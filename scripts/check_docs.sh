@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# check_docs.sh — the repository's documentation gate.
+#
+# 1. Every exported identifier in the gated packages must carry a doc
+#    comment (scripts/checkdocs, an ST1000/ST1020-style check built on
+#    go/ast — no external linter needed).
+# 2. The README quickstart block (between the quickstart-begin/-end
+#    markers) is extracted and executed verbatim, so the first commands a
+#    new user runs can never rot.
+#
+# Usage: scripts/check_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== exported-identifier doc comments" >&2
+go run ./scripts/checkdocs
+
+echo "== README quickstart smoke" >&2
+QUICKSTART="$(awk '
+  /<!-- quickstart-begin -->/ { grab = 1; next }
+  /<!-- quickstart-end -->/   { grab = 0 }
+  grab && /^```/              { next }
+  grab                        { print }
+' README.md)"
+if [ -z "$QUICKSTART" ]; then
+  echo "check_docs: no quickstart block found in README.md" >&2
+  exit 1
+fi
+echo "$QUICKSTART" | sed 's/^/  > /' >&2
+bash -euo pipefail -c "$QUICKSTART"
+
+echo "check_docs: OK" >&2
