@@ -97,6 +97,27 @@ func (b *Bucket) Allow(n int, now int64) bool {
 	}
 }
 
+// Refund returns n previously admitted items to the bucket, undoing the
+// TAT advance of a matching Allow. Callers pair it with an Allow whose
+// operation could not proceed after admission (the manager's ingest path
+// refunds when a fault-in fails), so a tenant whose stream is broken is not
+// also spuriously rate-limited on retries. Refund must only be called to
+// undo an actual admission: each call walks the TAT back by exactly n
+// items' worth, and unpaired refunds would bank tokens that were never
+// spent. n <= 0 is a no-op.
+func (b *Bucket) Refund(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	inc := clampDebt(float64(n) * b.interval)
+	for {
+		tat := b.tat.Load()
+		if b.tat.CompareAndSwap(tat, tat-inc) {
+			return
+		}
+	}
+}
+
 // Gate bounds the number of concurrently admitted operations (the
 // manager's in-flight release ceiling). A nil *Gate admits everything.
 // All methods are safe for concurrent use.

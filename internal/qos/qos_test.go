@@ -174,3 +174,41 @@ func TestGateConcurrentNeverExceeds(t *testing.T) {
 		t.Fatalf("inflight %d after quiesce", g.Inflight())
 	}
 }
+
+func TestBucketRefund(t *testing.T) {
+	b := NewBucket(1, 1)
+	if !b.Allow(1, 0) {
+		t.Fatal("fresh bucket refused")
+	}
+	if b.Allow(1, 0) {
+		t.Fatal("drained bucket admitted")
+	}
+	b.Refund(1)
+	if !b.Allow(1, 0) {
+		t.Fatal("refunded token not honored")
+	}
+	b.Refund(0)
+	b.Refund(-2)
+	if b.Allow(1, 0) {
+		t.Fatal("n <= 0 refunds minted tokens")
+	}
+	var nb *Bucket
+	nb.Refund(3) // nil bucket: no-op, must not panic
+	if !nb.Allow(5, 0) {
+		t.Fatal("nil bucket refused")
+	}
+	// A refund after idle refill does not bank tokens beyond full: the
+	// walked-back TAT sits in the past, where Allow clamps base to now.
+	const second = int64(1e9)
+	b2 := NewBucket(1, 1)
+	if !b2.Allow(1, 0) {
+		t.Fatal("fresh bucket refused")
+	}
+	b2.Refund(1)
+	if !b2.Allow(1, 10*second) {
+		t.Fatal("idle bucket refused")
+	}
+	if b2.Allow(1, 10*second) {
+		t.Fatal("refund banked tokens beyond the burst")
+	}
+}

@@ -134,10 +134,13 @@ func (t *Table[T]) Delete(name string) (T, bool) {
 // delete deterministically while any operation is in flight instead of
 // racing it.
 //
-// pred runs under the stripe write lock: it must be non-blocking (try-lock
-// semantics, never a plain Lock) and must not call back into the table.
-// Returns the entry (whether or not removed), whether it existed, and
-// whether it was removed.
+// pred runs under the stripe write lock: it must never block on a lock (try-
+// lock semantics only — a plain Lock could deadlock against a lock holder
+// waiting on this stripe) and must not call back into the table. Side
+// effects that must be atomic with the removal (tombstoning the entry,
+// dropping its durable record) belong in pred for exactly that atomicity;
+// keep them brief, since the whole stripe waits. Returns the entry (whether
+// or not removed), whether it existed, and whether it was removed.
 func (t *Table[T]) DeleteIf(name string, pred func(T) bool) (v T, existed, deleted bool) {
 	s := t.stripeFor(name)
 	s.mu.Lock()

@@ -157,7 +157,12 @@ func (d *DirStore) Delete(name string) error {
 }
 
 // List implements OffloadStore. Stale temp files from interrupted saves
-// are ignored (and swept, so crash loops cannot accumulate them).
+// are ignored (and swept, so crash loops cannot accumulate them). The
+// record check runs first: dots and dashes are legal in stream names after
+// the first character, so a name like "a.stream.tmp-1" produces a record
+// file containing the temp-file marker — but only real temps end in
+// CreateTemp's random digits, never in the ".stream" suffix every record
+// carries, so the suffix cleanly separates the two.
 func (d *DirStore) List() ([]string, error) {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
@@ -169,12 +174,12 @@ func (d *DirStore) List() ([]string, error) {
 			continue
 		}
 		n := e.Name()
-		if strings.Contains(n, streamFileSuffix+".tmp-") {
-			os.Remove(filepath.Join(d.dir, n))
-			continue
-		}
 		if strings.HasSuffix(n, streamFileSuffix) {
 			names = append(names, strings.TrimSuffix(n, streamFileSuffix))
+			continue
+		}
+		if strings.Contains(n, streamFileSuffix+".tmp-") {
+			os.Remove(filepath.Join(d.dir, n))
 		}
 	}
 	return names, nil

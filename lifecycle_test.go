@@ -920,3 +920,185 @@ func TestEvictIdleConcurrentTouch(t *testing.T) {
 		}
 	}
 }
+
+// TestDirStoreTempLikeStreamName: dots and dashes are legal in stream
+// names after the first character, so a stream can be named such that its
+// record file contains the temp-file marker ("a.stream.tmp-1" →
+// "a.stream.tmp-1.stream"). List must treat it as the record it is — not
+// sweep it as a stale temp, which would silently destroy the stream's
+// durable counters and spent-budget record at the next recovery.
+func TestDirStoreTempLikeStreamName(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "streams")
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "a" + streamFileSuffix + ".tmp-1" // a.stream.tmp-1
+	if err := s.Save(name, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// A genuine stale temp for the same stream, as a crashed Save leaves it.
+	stale := filepath.Join(dir, name+streamFileSuffix+".tmp-123456")
+	if err := os.WriteFile(stale, []byte("junk"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != name {
+		t.Fatalf("List = %v, want [%s]", names, name)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("List did not sweep the genuine stale temp file")
+	}
+	if got, err := s.Load(name); err != nil || string(got) != "payload" {
+		t.Fatalf("record destroyed by List: Load = %q, %v", got, err)
+	}
+}
+
+// TestRecoverTempLikeStreamName is the end-to-end pin of the same hazard:
+// a stream whose name embeds the temp-file marker survives evict → restart
+// → RecoverOffloaded → fault-in with its data and budget intact.
+func TestRecoverTempLikeStreamName(t *testing.T) {
+	m, clk, _, dir := lifecycleManager(t)
+	const name = "tenant.stream.tmp-1"
+	st, _, err := m.CreateStream(name, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.UpdateBatch([]Item{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if evicted, err := m.Evict(name); !evicted || err != nil {
+		t.Fatalf("Evict = %v, %v", evicted, err)
+	}
+
+	m2, err := NewManager(m.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.nowFn = clk.now
+	store2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.SetOffloadStore(store2); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m2.RecoverOffloaded(); n != 1 || err != nil {
+		t.Fatalf("RecoverOffloaded = %d, %v, want 1 recovered", n, err)
+	}
+	st2, ok := m2.Stream(name)
+	if !ok {
+		t.Fatalf("stream %q not recovered", name)
+	}
+	if err := st2.Update(4); err != nil { // faults in
+		t.Fatalf("fault-in after recovery: %v", err)
+	}
+	if got := st2.Ingested(); got != 4 {
+		t.Fatalf("ingested = %d, want 4", got)
+	}
+}
+
+// TestDeleteRecreateEvictNoRecordLoss: DeleteStream's offload-record
+// removal is atomic with the registry removal, so a concurrent
+// recreate-then-evict of the same name can never have its fresh record
+// destroyed by a stale delete — which would strand the registered stream
+// offloaded with nothing to fault in from. Run with -race.
+func TestDeleteRecreateEvictNoRecordLoss(t *testing.T) {
+	m, _, _, _ := lifecycleManager(t)
+	const name = "tenant"
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := m.DeleteStream(name); err != nil && !errors.Is(err, ErrStreamConflict) {
+				t.Errorf("DeleteStream: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 300 && !t.Failed(); i++ {
+		if _, _, err := m.CreateStream(name, StreamConfig{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Evict(name); err != nil {
+			t.Fatal(err)
+		}
+		st, ok := m.Stream(name)
+		if !ok {
+			continue // deleter got there first; nothing to check
+		}
+		if err := st.Update(1); err != nil {
+			// An orphaned handle (deleted between the Get and the Update)
+			// may legitimately fail its fault-in — its record is gone with
+			// the stream. A handle that is still the registered instance
+			// must never fail: that is the destroyed-record bug.
+			if cur, ok := m.Stream(name); ok && cur == st {
+				t.Fatalf("registered stream lost its offload record: %v", err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestIngestRefundOnFaultInFailure: a failed fault-in ingests nothing, so
+// the tokens its admission consumed are refunded — a tenant whose offload
+// record is broken gets the real error on every retry, not a spurious
+// ErrRateLimited once the bucket drains.
+func TestIngestRefundOnFaultInFailure(t *testing.T) {
+	m, clk, store, _ := lifecycleManager(t)
+	st, _, err := m.CreateStream("tenant", StreamConfig{MaxIngestRate: 1, IngestBurst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Update(1); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second) // refill the one-token bucket
+	if evicted, err := m.Evict("tenant"); !evicted || err != nil {
+		t.Fatalf("Evict = %v, %v", evicted, err)
+	}
+	data, err := store.Load("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Delete("tenant"); err != nil {
+		t.Fatal(err)
+	}
+	// Broken record: repeated attempts all surface the fault-in error. At
+	// one token per two clock-frozen attempts, the second would be
+	// ErrRateLimited if the first had kept its token.
+	for i, ingest := range []func() error{
+		func() error { return st.Update(2) },
+		func() error { return st.UpdateBatch([]Item{3}) },
+	} {
+		err := ingest()
+		if err == nil {
+			t.Fatalf("attempt %d: ingest with missing record succeeded", i)
+		}
+		if errors.Is(err, ErrRateLimited) {
+			t.Fatalf("attempt %d: spuriously rate-limited instead of fault-in error: %v", i, err)
+		}
+	}
+	// Repair the record: the very next ingest must be admitted — a
+	// refund-less limiter would still be drained by the failed attempts.
+	if err := store.Save("tenant", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Update(4); err != nil {
+		t.Fatalf("ingest after repair: %v", err)
+	}
+	if lc := st.Lifecycle(); lc.ThrottledIngest != 0 {
+		t.Fatalf("ThrottledIngest = %d, want 0 (fault-in failures are not throttles)", lc.ThrottledIngest)
+	}
+}

@@ -333,8 +333,25 @@ func (m *Manager) Streams() []*Stream {
 // a fresh privacy account — callers own the composition argument across
 // that boundary.
 func (m *Manager) DeleteStream(name string) (bool, error) {
-	st, existed, deleted := m.streams.DeleteIf(name, func(st *Stream) bool {
-		return st.life.TryLock()
+	store := m.store()
+	var storeErr error
+	_, existed, deleted := m.streams.DeleteIf(name, func(st *Stream) bool {
+		if !st.life.TryLock() {
+			return false
+		}
+		// Tombstone under the held write lock: an eviction sweep that
+		// grabbed this *Stream before the removal must not offload it
+		// afterwards. The offload record is removed here too, while the
+		// stripe write lock still excludes CreateStream — deferring it past
+		// DeleteIf would let a recreate-then-evict of the same name slip a
+		// fresh record into the window and have this delete destroy it,
+		// stranding the new stream offloaded with nothing to fault in from.
+		st.deleted = true
+		if store != nil {
+			storeErr = store.Delete(name)
+		}
+		st.life.Unlock()
+		return true
 	})
 	if !existed {
 		return false, nil
@@ -342,14 +359,8 @@ func (m *Manager) DeleteStream(name string) (bool, error) {
 	if !deleted {
 		return false, fmt.Errorf("%w: cannot delete %q with operations in flight", ErrStreamConflict, name)
 	}
-	// Tombstone under the held write lock: an eviction sweep that grabbed
-	// this *Stream before the removal must not offload it afterwards.
-	st.deleted = true
-	st.life.Unlock()
-	if store := m.store(); store != nil {
-		if err := store.Delete(name); err != nil {
-			return true, fmt.Errorf("dpmg: delete %q: removing offload record: %w", name, err)
-		}
+	if storeErr != nil {
+		return true, fmt.Errorf("dpmg: delete %q: removing offload record: %w", name, storeErr)
 	}
 	return true, nil
 }
@@ -681,6 +692,9 @@ func (s *Stream) Update(x Item) error {
 		return fmt.Errorf("%w: stream %q", ErrRateLimited, s.name)
 	}
 	if err := s.acquire(); err != nil {
+		// Nothing was ingested: hand the admitted token back so a stream
+		// with a broken offload record is not also rate-limited on retry.
+		s.bucket.Refund(1)
 		return err
 	}
 	defer s.life.RUnlock()
@@ -697,7 +711,8 @@ func (s *Stream) Update(x Item) error {
 // ErrRateLimited) consumes no tokens and ingests nothing — and finally the
 // batch runs on the sharded sketch's grouped hot path. An offloaded stream
 // is faulted back in first (after validation and admission, so throttled
-// tenants cause no disk traffic). Safe for concurrent use; batches on
+// tenants cause no disk traffic; a failed fault-in refunds the admitted
+// tokens, since nothing was ingested). Safe for concurrent use; batches on
 // different streams share no locks at all, and the admitted path performs
 // no allocation beyond the sketch's own pooled scratch.
 func (s *Stream) UpdateBatch(xs []Item) error {
@@ -715,6 +730,9 @@ func (s *Stream) UpdateBatch(xs []Item) error {
 		return fmt.Errorf("%w: stream %q: batch of %d items", ErrRateLimited, s.name, len(xs))
 	}
 	if err := s.acquire(); err != nil {
+		// Nothing was ingested: hand the admitted tokens back so a stream
+		// with a broken offload record is not also rate-limited on retry.
+		s.bucket.Refund(len(xs))
 		return err
 	}
 	defer s.life.RUnlock()
