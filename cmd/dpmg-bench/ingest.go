@@ -1,0 +1,103 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpmg/internal/framing"
+	"dpmg/internal/workload"
+)
+
+// ingestConfig parameterizes the streaming-ingest load mode (-ingest).
+type ingestConfig struct {
+	addr   string
+	stream string
+	batch  int
+	frames int
+	conns  int
+	d      uint64
+	seed   uint64
+}
+
+// runIngest drives a dpmg-server streaming ingest listener (-ingest-addr)
+// with pipelined binary frames: each connection binds once, then a writer
+// pushes data frames while a reader drains acks concurrently, so the
+// offered load is bounded by the server, not by per-frame round trips.
+// Refused frames (rate limiting, lifecycle) are counted, not fatal — they
+// are the QoS behaving as configured.
+func runIngest(cfg ingestConfig) error {
+	if cfg.batch <= 0 || cfg.frames <= 0 || cfg.conns <= 0 {
+		return errors.New("-ingest-batch, -ingest-frames, and -ingest-conns must be positive")
+	}
+	var okItems, refused atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.conns)
+	start := time.Now()
+	for cn := 0; cn < cfg.conns; cn++ {
+		wg.Add(1)
+		go func(cn int) {
+			defer wg.Done()
+			c, err := framing.Dial(cfg.addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Bind(cfg.stream); err != nil {
+				errc <- fmt.Errorf("bind %q: %w", cfg.stream, err)
+				return
+			}
+			items := workload.Zipf(cfg.batch, int(cfg.d), 1.05, cfg.seed+uint64(cn))
+			acks := make(chan error, 1)
+			go func() {
+				for i := 0; i < cfg.frames; i++ {
+					ack, err := c.ReadAck()
+					if err != nil {
+						acks <- err
+						return
+					}
+					switch ack.Code {
+					case framing.AckOK:
+						okItems.Add(int64(cfg.batch))
+					case framing.AckRateLimited, framing.AckUnavailable:
+						refused.Add(1)
+					default:
+						acks <- &framing.AckError{Ack: ack}
+						return
+					}
+				}
+				acks <- nil
+			}()
+			for i := 0; i < cfg.frames; i++ {
+				if _, err := c.Push(items); err != nil {
+					errc <- err
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				errc <- err
+				return
+			}
+			if err := <-acks; err != nil {
+				errc <- err
+			}
+		}(cn)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stdout,
+		"streamed %d items over %d conn(s) in %v: %.0f items/s (%d frames refused)\n",
+		okItems.Load(), cfg.conns, elapsed.Round(time.Millisecond),
+		float64(okItems.Load())/elapsed.Seconds(), refused.Load())
+	return nil
+}

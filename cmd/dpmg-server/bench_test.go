@@ -2,16 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dpmg"
 	"dpmg/internal/encoding"
+	"dpmg/internal/framing"
 	"dpmg/internal/workload"
 )
 
@@ -255,4 +259,104 @@ func BenchmarkServerMultiStreamRelease(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServerStreamIngest drives the streaming binary ingest datapath
+// end to end over real loopback TCP: one persistent bound connection,
+// pipelined 4096-item data frames with a concurrent ack reader. Compare
+// with BenchmarkServerBatchIngest (the same batch size through HTTP): the
+// per-batch delta is the fixed per-request tax the streaming datapath
+// exists to remove — the acceptance bar is ≥4× lower overhead per batch.
+func BenchmarkServerStreamIngest(b *testing.B) {
+	const d = 1 << 16
+	s, err := newServer(256, d, dpmg.Budget{Eps: 1, Delta: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	is := newIngestServer(s, ln, time.Minute)
+	go is.serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		is.Shutdown(ctx) //nolint:errcheck // bench teardown
+	}()
+	c, err := framing.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Bind(defaultStreamName); err != nil {
+		b.Fatal(err)
+	}
+	items := workload.Zipf(4096, d, 1.05, 1)
+	b.SetBytes(int64(8 * len(items)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			ack, err := c.ReadAck()
+			if err != nil {
+				errc <- err
+				return
+			}
+			if ack.Code != framing.AckOK {
+				errc <- &framing.AckError{Ack: ack}
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Push(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N*len(items))/b.Elapsed().Seconds(), "items/s")
+}
+
+// BenchmarkServerHTTPIngestE2E is the real-network baseline the streaming
+// datapath is judged against: the same 4096-item batch as
+// BenchmarkServerBatchIngest, but through a real HTTP client and a real
+// TCP connection (keep-alive) instead of the in-process httptest mux.
+// The delta between this row and BenchmarkServerStreamIngest, after
+// subtracting the shared decode+sketch work both pay, is the per-batch
+// protocol overhead the binary datapath removes.
+func BenchmarkServerHTTPIngestE2E(b *testing.B) {
+	const d = 1 << 16
+	s, err := newServer(256, d, dpmg.Budget{Eps: 1, Delta: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	var body bytes.Buffer
+	if err := encoding.MarshalItems(&body, workload.Zipf(4096, d, 1.05, 1)); err != nil {
+		b.Fatal(err)
+	}
+	raw := body.Bytes()
+	client := ts.Client()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/batch", "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
 }

@@ -46,6 +46,20 @@
 // envelope {"error": "..."}; only net/http's router-level 405/404 replies
 // stay plain text.
 //
+// # Streaming binary ingest (-ingest-addr)
+//
+// Beside the HTTP API, -ingest-addr opens a plain-TCP listener carrying
+// length-prefixed binary item frames (wire format in internal/framing).
+// A connection binds to a stream once, then pushes data frames whose
+// payloads are the same consecutive 8-byte little-endian items as
+// POST .../batch; each frame gets a binary ack mirroring the HTTP status
+// classes, and all batch semantics (universe validation, QoS token
+// bucket, lifecycle fault-in, all-or-nothing refusal) apply per frame.
+// This removes the fixed per-request HTTP overhead for high-rate edges;
+// see PERFORMANCE.md. Connections idle past -ingest-idle-timeout are
+// closed, and the listener drains on SIGINT/SIGTERM under the same
+// -shutdown-grace window as the HTTP server, before the final snapshot.
+//
 // With -state set, the manager's full state (stream table, counters,
 // remaining budgets) is snapshotted to <dir>/manager.snapshot periodically
 // and on shutdown, and restored on the next start: a restarted server
@@ -81,9 +95,11 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -92,13 +108,16 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		k        = flag.Int("k", 256, "default summary size for new streams")
-		d        = flag.Uint64("d", 1<<20, "default universe bound for new streams")
-		eps      = flag.Float64("eps", 4, "default total epsilon budget per stream")
-		delta    = flag.Float64("delta", 1e-5, "default total delta budget per stream")
-		shards   = flag.Int("shards", 0, "default raw-ingest shards per stream (0 = min(GOMAXPROCS, 16))")
-		mech     = flag.String("mech", "", "default release mechanism for new streams (registry name; empty = per-class default)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		k          = flag.Int("k", 256, "default summary size for new streams")
+		d          = flag.Uint64("d", 1<<20, "default universe bound for new streams")
+		eps        = flag.Float64("eps", 4, "default total epsilon budget per stream")
+		delta      = flag.Float64("delta", 1e-5, "default total delta budget per stream")
+		shards     = flag.Int("shards", 0, "default raw-ingest shards per stream (0 = min(GOMAXPROCS, 16))")
+		mech       = flag.String("mech", "", "default release mechanism for new streams (registry name; empty = per-class default)")
+		ingestAddr = flag.String("ingest-addr", "", "listen address for the streaming binary ingest datapath (empty = disabled)")
+		ingestIdle = flag.Duration("ingest-idle-timeout", 2*time.Minute, "close a streaming ingest connection after this long without a frame")
+
 		stateDir = flag.String("state", "", "directory for durable manager snapshots (empty = no persistence)")
 		flushInt = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot interval when -state is set (<= 0 disables periodic flushes; the shutdown flush still runs)")
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may drain on shutdown")
@@ -166,6 +185,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Streaming binary ingest listener (see ingest.go): a persistent-TCP
+	// datapath beside the HTTP API for high-rate edges. It drains on the
+	// same signal, under the same grace window, as the HTTP server.
+	var ingest *ingestServer
+	if *ingestAddr != "" {
+		ln, err := net.Listen("tcp", *ingestAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ingest = newIngestServer(s, ln, *ingestIdle)
+		go ingest.serve()
+		log.Printf("streaming ingest listening on %s (idle timeout %s)", ln.Addr(), *ingestIdle)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("dpmg-server listening on %s (defaults: k=%d, d=%d, budget eps=%g delta=%g)",
@@ -227,9 +260,23 @@ func main() {
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
+	// Both datapaths drain concurrently under the same grace window; the
+	// final snapshot below must run after BOTH so streamed items land in
+	// the quiescent image.
+	var drain sync.WaitGroup
+	if ingest != nil {
+		drain.Add(1)
+		go func() {
+			defer drain.Done()
+			if err := ingest.Shutdown(shutdownCtx); err != nil {
+				log.Printf("ingest shutdown: %v", err)
+			}
+		}()
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
 	}
+	drain.Wait()
 	if *stateDir != "" {
 		// Final flush after the listener is closed: writers have drained, so
 		// this snapshot is the quiescent, byte-exact image of every stream.

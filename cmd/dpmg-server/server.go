@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"dpmg"
 	"dpmg/internal/encoding"
@@ -49,17 +50,57 @@ type server struct {
 	// flushMu serializes saveState calls: the periodic flusher and the
 	// shutdown flush may otherwise race on the snapshot file.
 	flushMu sync.Mutex
+
+	// ingest is the streaming binary ingest listener (see ingest.go),
+	// attached when -ingest-addr is set; nil otherwise. Atomic because
+	// /metrics may race the attachment in tests.
+	ingest atomic.Pointer[ingestServer]
 }
 
 // defaultStreamName is the stream the back-compat /v1/* aliases act on.
 const defaultStreamName = "default"
 
 // batchBufPool recycles batch decode buffers across requests (shared by all
-// streams: a pool entry carries no per-stream state).
+// streams: a pool entry carries no per-stream state). Return buffers with
+// putBatchBuf, never Put directly: one max-size batch (2²¹ items) would
+// otherwise grow a pool entry to ~16 MB that sync.Pool retains per-P
+// indefinitely. The streaming ingest datapath shares this pool (and its
+// retention policy) for frame decode buffers.
 var batchBufPool = sync.Pool{New: func() any { return new([]stream.Item) }}
 
-// respBufPool recycles release response buffers across requests.
+// maxPooledBatchItems caps the capacity a pooled batch buffer may retain:
+// 2¹⁶ items (512 KiB) covers every routine batch — the benchmark and
+// documented batch size is 4096 — while keeping worst-case pool residency
+// per P in the hundreds of KB instead of tens of MB. Larger buffers serve
+// their one oversized batch and are dropped for the GC.
+const maxPooledBatchItems = 1 << 16
+
+// putBatchBuf returns a decode buffer to the pool, dropping buffers grown
+// past maxPooledBatchItems so one giant batch cannot pin its memory.
+func putBatchBuf(bufp *[]stream.Item) {
+	if cap(*bufp) > maxPooledBatchItems {
+		return
+	}
+	batchBufPool.Put(bufp)
+}
+
+// maxPooledRespBytes caps the capacity a pooled response buffer
+// (release JSON, /metrics exposition) may retain, with the same rationale
+// as maxPooledBatchItems: routine responses are tens of KB; a one-off
+// giant response must not become a permanent per-P allocation.
+const maxPooledRespBytes = 1 << 20
+
+// respBufPool recycles release response buffers across requests. Return
+// buffers with putRespBuf.
 var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// putRespBuf returns a response buffer to pool, dropping oversized ones.
+func putRespBuf(pool *sync.Pool, buf *bytes.Buffer) {
+	if buf.Cap() > maxPooledRespBytes {
+		return
+	}
+	pool.Put(buf)
+}
 
 func newServer(k int, d uint64, budget dpmg.Budget) (*server, error) {
 	mgr, err := dpmg.NewManager(dpmg.StreamConfig{K: k, Universe: d, Budget: budget})
@@ -289,6 +330,13 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request, st *dpmg.
 		return
 	}
 	if err := st.IngestSummary(wrapped); err != nil {
+		if errors.Is(err, dpmg.ErrFaultIn) {
+			// Server-side offload-store trouble, not a client error: the
+			// summary was well-formed and nothing was merged. 503 so the
+			// edge retries instead of discarding its summary as "bad".
+			jsonError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -314,7 +362,7 @@ type batchResponse struct {
 // handler included.)
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
 	bufp := batchBufPool.Get().(*[]stream.Item)
-	defer batchBufPool.Put(bufp)
+	defer putBatchBuf(bufp)
 	items, err := encoding.AppendItems((*bufp)[:0], http.MaxBytesReader(w, r.Body, 1<<24), 1<<21, st.Config().Universe)
 	*bufp = items // keep the grown buffer even when the decode failed
 	if err != nil {
@@ -322,15 +370,21 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, st *dpmg.St
 		return
 	}
 	if err := st.UpdateBatch(items); err != nil {
-		if errors.Is(err, dpmg.ErrRateLimited) {
+		switch {
+		case errors.Is(err, dpmg.ErrRateLimited):
 			// Per-stream QoS ceiling: all-or-nothing refusal, nothing was
 			// ingested. Retry-After is a hint; the bucket refills
 			// continuously at the configured rate.
 			w.Header().Set("Retry-After", "1")
 			jsonError(w, http.StatusTooManyRequests, "%v", err)
-			return
+		case errors.Is(err, dpmg.ErrFaultIn):
+			// Offload-store I/O failure while faulting the stream in: the
+			// batch was valid and nothing was ingested. 503, never 400 —
+			// an edge that believed "bad batch" would drop the data.
+			jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			jsonError(w, http.StatusBadRequest, "%v", err)
 		}
-		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, batchResponse{Stream: st.Name(), Ingested: len(items), Total: st.Ingested()})
@@ -396,6 +450,12 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request, st *dpmg.
 		w.Header().Set("Retry-After", "1")
 		jsonError(w, http.StatusTooManyRequests, "%v", err)
 		return
+	case errors.Is(err, dpmg.ErrFaultIn):
+		// The stream could not be faulted in (offload-store I/O failure):
+		// a server-side condition, no budget spent. 503 so the analyst
+		// retries rather than reading "release not calibrated".
+		jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	default:
 		// Calibration failures (mechanism not applicable to merged
 		// sensitivity, infeasible parameters) reject the request before any
@@ -404,7 +464,7 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request, st *dpmg.
 		return
 	}
 	buf := respBufPool.Get().(*bytes.Buffer)
-	defer respBufPool.Put(buf)
+	defer putRespBuf(&respBufPool, buf)
 	buf.Reset()
 	writeReleaseJSON(buf, st.Name(), res, eps, delta)
 	w.Header().Set("Content-Type", "application/json")
@@ -503,6 +563,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request, st *dpmg.St
 }
 
 // metricsBufPool recycles /metrics response buffers across scrapes.
+// Return buffers with putRespBuf (oversized buffers are dropped).
 var metricsBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // streamSample is one stream's cheap metric reads, gathered in a single
@@ -550,7 +611,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	buf := metricsBufPool.Get().(*bytes.Buffer)
-	defer metricsBufPool.Put(buf)
+	defer putRespBuf(&metricsBufPool, buf)
 	buf.Reset()
 
 	writeHeaderFor := func(name, help, typ string) {
@@ -656,6 +717,57 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeInt(sm.lifecycle.ThrottledReleases)
 	}
 
+	// Streaming ingest listener (absent entirely when -ingest-addr is not
+	// set, so scrapes on HTTP-only deployments see no dead series). The
+	// addr label is a remote address, which may contain characters that
+	// need Prometheus label escaping — unlike stream names.
+	if is := s.ingest.Load(); is != nil {
+		writeHeaderFor("dpmg_ingest_connections", "Open streaming ingest connections.", "gauge")
+		buf.WriteString("dpmg_ingest_connections ")
+		writeInt(int64(is.connCount()))
+		writeHeaderFor("dpmg_ingest_accepted_total", "Streaming ingest connections accepted since start.", "counter")
+		buf.WriteString("dpmg_ingest_accepted_total ")
+		writeInt(is.accepted.Load())
+		writeHeaderFor("dpmg_ingest_frames_total", "Streaming ingest frames processed since start.", "counter")
+		buf.WriteString("dpmg_ingest_frames_total ")
+		writeInt(is.frames.Load())
+		writeHeaderFor("dpmg_ingest_items_total", "Items ingested over the streaming datapath since start.", "counter")
+		buf.WriteString("dpmg_ingest_items_total ")
+		writeInt(is.items.Load())
+		writeHeaderFor("dpmg_ingest_refusals_total", "Streaming ingest frames refused (non-OK acks) since start.", "counter")
+		buf.WriteString("dpmg_ingest_refusals_total ")
+		writeInt(is.refusals.Load())
+
+		conns := is.connSamples()
+		sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
+		connRow := func(name string, c *connSample, v int64) {
+			buf.WriteString(name)
+			buf.WriteString(`{conn="`)
+			b := strconv.AppendUint(buf.AvailableBuffer(), c.id, 10)
+			buf.Write(b)
+			buf.WriteString(`",stream=`)
+			b = strconv.AppendQuote(buf.AvailableBuffer(), c.streamName)
+			buf.Write(b)
+			buf.WriteString(`,addr=`)
+			b = strconv.AppendQuote(buf.AvailableBuffer(), c.addr)
+			buf.Write(b)
+			buf.WriteString("} ")
+			writeInt(v)
+		}
+		writeHeaderFor("dpmg_ingest_conn_frames_total", "Frames processed on this connection.", "counter")
+		for i := range conns {
+			connRow("dpmg_ingest_conn_frames_total", &conns[i], conns[i].frames)
+		}
+		writeHeaderFor("dpmg_ingest_conn_items_total", "Items ingested on this connection.", "counter")
+		for i := range conns {
+			connRow("dpmg_ingest_conn_items_total", &conns[i], conns[i].items)
+		}
+		writeHeaderFor("dpmg_ingest_conn_refusals_total", "Frames refused (non-OK acks) on this connection.", "counter")
+		for i := range conns {
+			connRow("dpmg_ingest_conn_refusals_total", &conns[i], conns[i].refusals)
+		}
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(buf.Bytes()) //nolint:errcheck // response already committed
 }
@@ -663,9 +775,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // stateFileName is the manager snapshot file inside the -state directory.
 const stateFileName = "manager.snapshot"
 
-// saveState writes the manager snapshot atomically: a uniquely named temp
-// file is written, synced, and renamed over the snapshot, so a crash
-// mid-flush never clobbers the previous good snapshot. Calls are
+// saveState writes the manager snapshot atomically and durably: a
+// uniquely named temp file is written, synced, and renamed over the
+// snapshot, then the directory itself is synced — rename alone is only
+// atomic, not durable, and a power cut could otherwise silently roll back
+// to the previous snapshot after saveState reported success. Calls are
 // serialized — the periodic flusher and the final shutdown flush can
 // otherwise overlap (the ticker goroutine may already be inside a flush
 // when the signal arrives) and must not interleave writes.
@@ -694,7 +808,23 @@ func (s *server) saveState(dir string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, stateFileName))
+	if err := os.Rename(tmp, filepath.Join(dir, stateFileName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename inside it survives a
+// crash (the dpmg.DirStore applies the same discipline to offload
+// records).
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
 }
 
 // loadOrNewManager restores the manager from dir's snapshot if one exists,

@@ -1,0 +1,275 @@
+// Package framing is the wire codec of the streaming binary ingest
+// datapath: length-prefixed frames over a persistent connection, the
+// raw-speed alternative to request-per-batch HTTP for the hot edge →
+// aggregator path of the paper's Section 7 distributed setting.
+//
+// A connection opens with a fixed 8-byte preamble (magic + protocol
+// version), then carries frames in both directions. Every client frame is
+// acknowledged by exactly one server ack frame, in order — TCP preserves
+// ordering, so the k-th ack answers the k-th frame, and the echoed
+// sequence number lets clients cross-check that invariant. A connection
+// binds to a stream once with a bind frame (sticky routing: the server
+// pre-resolves the stream handle and subsequent data frames skip the
+// registry lookup); data frames then carry raw items in the same 8-byte
+// little-endian layout as encoding.MarshalItems, so an edge can ship a
+// []uint64 with no per-item encoding work.
+//
+// Frame layout (all integers little-endian):
+//
+//	[1] type   (TypeBind | TypeData | TypeClose | TypeAck)
+//	[4] seq    (client-chosen; echoed verbatim in the matching ack)
+//	[4] len    (payload length in bytes)
+//	[len] payload
+//
+// Payloads by type:
+//
+//	TypeBind   stream name (UTF-8, at most MaxNameLen bytes)
+//	TypeData   items, 8 bytes each, little-endian (at most MaxDataItems)
+//	TypeClose  empty
+//	TypeAck    [1] code, [8] info, [rest] message (at most MaxAckMsgLen)
+//
+// Ack semantics are all-or-nothing, mirroring the HTTP batch endpoint: a
+// refused data frame (bad item, rate limit, fault-in failure) ingested
+// nothing, and AckOK means the whole frame was applied. The info field of
+// a data ack carries the stream's total ingested-item count, so a client
+// can audit that no frame was silently dropped.
+package framing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Preamble opens every connection: 4 magic bytes distinguishing this
+// protocol from stray HTTP or TLS traffic, a protocol version, and three
+// reserved zero bytes that round the prefix to 8 bytes.
+var Preamble = [8]byte{'D', 'P', 'M', 'G', 'S', Version, 0, 0}
+
+// Version is the streaming-ingest protocol version this package speaks.
+const Version = 1
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 9
+
+// Wire limits. They bound per-connection memory commitments on the server
+// (a frame header is read before its payload is believed) and keep the
+// protocol's DoS surface in line with the HTTP path's MaxBytesReader.
+const (
+	// MaxDataItems bounds one data frame's item count — the same ceiling
+	// the HTTP batch endpoint enforces.
+	MaxDataItems = 1 << 21
+	// MaxNameLen bounds a bind frame's stream name (the manager caps
+	// names at 128; the wire allows slack for forward compatibility).
+	MaxNameLen = 256
+	// MaxAckMsgLen bounds an ack frame's human-readable message.
+	MaxAckMsgLen = 512
+)
+
+// Type tags a frame.
+type Type byte
+
+// Frame types. Client-to-server types are low values; the server-to-client
+// ack has the high bit set so a desynchronized peer fails loudly.
+const (
+	// TypeBind binds the connection to the named stream (payload: name).
+	TypeBind Type = 1
+	// TypeData carries raw items for the bound stream.
+	TypeData Type = 2
+	// TypeClose announces a graceful client close; the server acks it and
+	// closes its side.
+	TypeClose Type = 3
+	// TypeAck is the server's per-frame acknowledgment.
+	TypeAck Type = 0x80
+)
+
+// String names the frame type for logs and errors.
+func (t Type) String() string {
+	switch t {
+	case TypeBind:
+		return "bind"
+	case TypeData:
+		return "data"
+	case TypeClose:
+		return "close"
+	case TypeAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("type(0x%02x)", byte(t))
+	}
+}
+
+// Header is the fixed-size frame prefix.
+type Header struct {
+	// Type tags the frame.
+	Type Type
+	// Seq is the client-chosen sequence number, echoed in the ack.
+	Seq uint32
+	// Len is the payload length in bytes.
+	Len uint32
+}
+
+// AppendHeader appends the encoded header to dst.
+func AppendHeader(dst []byte, h Header) []byte {
+	var b [HeaderSize]byte
+	b[0] = byte(h.Type)
+	binary.LittleEndian.PutUint32(b[1:5], h.Seq)
+	binary.LittleEndian.PutUint32(b[5:9], h.Len)
+	return append(dst, b[:]...)
+}
+
+// ReadHeader reads one frame header from r.
+func ReadHeader(r io.Reader) (Header, error) {
+	var b [HeaderSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return Header{}, err
+	}
+	return Header{
+		Type: Type(b[0]),
+		Seq:  binary.LittleEndian.Uint32(b[1:5]),
+		Len:  binary.LittleEndian.Uint32(b[5:9]),
+	}, nil
+}
+
+// WritePreamble writes the connection preamble to w.
+func WritePreamble(w io.Writer) error {
+	_, err := w.Write(Preamble[:])
+	return err
+}
+
+// ReadPreamble reads and validates the connection preamble, rejecting
+// foreign magic and protocol versions this package does not speak.
+func ReadPreamble(r io.Reader) error {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("framing: reading preamble: %w", err)
+	}
+	if b[0] != 'D' || b[1] != 'P' || b[2] != 'M' || b[3] != 'G' || b[4] != 'S' {
+		return fmt.Errorf("framing: bad preamble magic %q", b[:5])
+	}
+	if b[5] != Version {
+		return fmt.Errorf("framing: unsupported protocol version %d (want %d)", b[5], Version)
+	}
+	return nil
+}
+
+// AckCode classifies a per-frame acknowledgment. Codes mirror the HTTP
+// endpoint's status classes: client errors name what the client must fix,
+// AckUnavailable is the 503 analogue (server-side store trouble — retry
+// later, the frame was not applied), AckRateLimited the 429 analogue.
+type AckCode byte
+
+// Ack codes.
+const (
+	// AckOK: the frame was applied in full.
+	AckOK AckCode = 0
+	// AckBadFrame: the frame was malformed (unknown type, oversized
+	// payload, preamble violation). The server closes the connection —
+	// framing can no longer be trusted.
+	AckBadFrame AckCode = 1
+	// AckUnknownStream: a bind named a stream the manager does not hold.
+	AckUnknownStream AckCode = 2
+	// AckNotBound: a data frame arrived before any successful bind.
+	AckNotBound AckCode = 3
+	// AckBadItem: a data frame carried an item outside the stream's
+	// universe (or a truncated item). Nothing was ingested.
+	AckBadItem AckCode = 4
+	// AckRateLimited: the stream's QoS ceiling refused the frame; nothing
+	// was ingested and no tokens were consumed. Retry after backing off.
+	AckRateLimited AckCode = 5
+	// AckUnavailable: a server-side failure (offload-store I/O during
+	// fault-in) prevented ingest. The client did nothing wrong; retry
+	// later. The HTTP analogue is 503.
+	AckUnavailable AckCode = 6
+	// AckStreamGone: the bound stream was deleted; the binding is dropped
+	// and the client must bind again (or to another stream).
+	AckStreamGone AckCode = 7
+	// AckShuttingDown: the server is draining; re-connect elsewhere.
+	AckShuttingDown AckCode = 8
+)
+
+// String names the ack code for logs and errors.
+func (c AckCode) String() string {
+	switch c {
+	case AckOK:
+		return "ok"
+	case AckBadFrame:
+		return "bad-frame"
+	case AckUnknownStream:
+		return "unknown-stream"
+	case AckNotBound:
+		return "not-bound"
+	case AckBadItem:
+		return "bad-item"
+	case AckRateLimited:
+		return "rate-limited"
+	case AckUnavailable:
+		return "unavailable"
+	case AckStreamGone:
+		return "stream-gone"
+	case AckShuttingDown:
+		return "shutting-down"
+	default:
+		return fmt.Sprintf("code(0x%02x)", byte(c))
+	}
+}
+
+// ackFixedLen is the fixed part of an ack payload: code + info.
+const ackFixedLen = 1 + 8
+
+// Ack is one server acknowledgment: the echoed sequence number, a result
+// code, a code-dependent counter (for AckOK data frames: the stream's
+// total ingested items), and an optional human-readable message for
+// refusals.
+type Ack struct {
+	// Seq echoes the acknowledged frame's sequence number.
+	Seq uint32
+	// Code classifies the outcome.
+	Code AckCode
+	// Info is a code-dependent counter (data AckOK: total items ingested
+	// into the stream; otherwise 0 unless documented).
+	Info uint64
+	// Msg is an optional human-readable detail for refusals, truncated to
+	// MaxAckMsgLen bytes on the wire.
+	Msg string
+}
+
+// AppendAck appends a complete ack frame (header + payload) to dst,
+// truncating Msg to MaxAckMsgLen.
+func AppendAck(dst []byte, a Ack) []byte {
+	msg := a.Msg
+	if len(msg) > MaxAckMsgLen {
+		msg = msg[:MaxAckMsgLen]
+	}
+	dst = AppendHeader(dst, Header{Type: TypeAck, Seq: a.Seq, Len: uint32(ackFixedLen + len(msg))})
+	dst = append(dst, byte(a.Code))
+	var info [8]byte
+	binary.LittleEndian.PutUint64(info[:], a.Info)
+	dst = append(dst, info[:]...)
+	return append(dst, msg...)
+}
+
+// ReadAck reads one complete ack frame from r, rejecting frames of any
+// other type and oversized messages.
+func ReadAck(r io.Reader) (Ack, error) {
+	h, err := ReadHeader(r)
+	if err != nil {
+		return Ack{}, err
+	}
+	if h.Type != TypeAck {
+		return Ack{}, fmt.Errorf("framing: expected ack frame, got %v", h.Type)
+	}
+	if h.Len < ackFixedLen || h.Len > ackFixedLen+MaxAckMsgLen {
+		return Ack{}, fmt.Errorf("framing: ack payload length %d outside [%d, %d]", h.Len, ackFixedLen, ackFixedLen+MaxAckMsgLen)
+	}
+	payload := make([]byte, h.Len)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Ack{}, fmt.Errorf("framing: reading ack payload: %w", err)
+	}
+	return Ack{
+		Seq:  h.Seq,
+		Code: AckCode(payload[0]),
+		Info: binary.LittleEndian.Uint64(payload[1:9]),
+		Msg:  string(payload[ackFixedLen:]),
+	}, nil
+}

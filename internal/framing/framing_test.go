@@ -1,0 +1,151 @@
+package framing
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"dpmg/internal/stream"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []Header{
+		{Type: TypeBind, Seq: 0, Len: 0},
+		{Type: TypeData, Seq: 1, Len: 8 * 4096},
+		{Type: TypeClose, Seq: ^uint32(0), Len: 0},
+		{Type: TypeAck, Seq: 7, Len: ackFixedLen},
+	}
+	for _, h := range cases {
+		b := AppendHeader(nil, h)
+		if len(b) != HeaderSize {
+			t.Fatalf("header %+v encoded to %d bytes, want %d", h, len(b), HeaderSize)
+		}
+		got, err := ReadHeader(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("ReadHeader(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	cases := []Ack{
+		{Seq: 0, Code: AckOK, Info: 0},
+		{Seq: 3, Code: AckOK, Info: 1 << 40},
+		{Seq: 9, Code: AckBadItem, Info: 0, Msg: "item 99 outside universe [1,16]"},
+		{Seq: 10, Code: AckRateLimited, Msg: strings.Repeat("x", MaxAckMsgLen)},
+	}
+	for _, a := range cases {
+		b := AppendAck(nil, a)
+		got, err := ReadAck(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("ReadAck(%+v): %v", a, err)
+		}
+		if got != a {
+			t.Fatalf("round trip: got %+v, want %+v", got, a)
+		}
+	}
+}
+
+func TestAckMsgTruncated(t *testing.T) {
+	a := Ack{Seq: 1, Code: AckBadFrame, Msg: strings.Repeat("m", MaxAckMsgLen+100)}
+	got, err := ReadAck(bytes.NewReader(AppendAck(nil, a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Msg) != MaxAckMsgLen {
+		t.Fatalf("message length %d, want truncation to %d", len(got.Msg), MaxAckMsgLen)
+	}
+}
+
+func TestReadAckRejectsForeignFrame(t *testing.T) {
+	b := AppendHeader(nil, Header{Type: TypeData, Seq: 1, Len: 8})
+	b = append(b, make([]byte, 8)...)
+	if _, err := ReadAck(bytes.NewReader(b)); err == nil {
+		t.Fatal("ReadAck accepted a data frame")
+	}
+}
+
+func TestPreamble(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePreamble(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadPreamble(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("valid preamble rejected: %v", err)
+	}
+	bad := buf.Bytes()
+	bad[0] = 'X'
+	if err := ReadPreamble(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	good := Preamble // array copy; the package-level Preamble stays intact
+	good[5] = Version + 1
+	if err := ReadPreamble(bytes.NewReader(good[:])); err == nil {
+		t.Fatal("future protocol version accepted")
+	}
+	if err := ReadPreamble(bytes.NewReader(nil)); !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("empty preamble: got %v, want EOF-ish", err)
+	}
+}
+
+// TestClientFrameBytes pins the client's data-frame encoding to the wire
+// contract: header then consecutive 8-byte little-endian items — the exact
+// body bytes encoding.MarshalItems would produce for the same batch.
+func TestClientFrameBytes(t *testing.T) {
+	cl, srv := net.Pipe()
+	defer srv.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(srv)
+		done <- b
+	}()
+
+	c, err := NewClient(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []stream.Item{1, 2, 1 << 40}
+	seq, err := c.Push(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	raw := <-done
+
+	want := append([]byte{}, Preamble[:]...)
+	want = AppendHeader(want, Header{Type: TypeData, Seq: seq, Len: 24})
+	want = append(want,
+		1, 0, 0, 0, 0, 0, 0, 0,
+		2, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 1, 0, 0)
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("wire bytes\n got %x\nwant %x", raw, want)
+	}
+}
+
+func TestClientLimits(t *testing.T) {
+	cl, srv := net.Pipe()
+	defer srv.Close()
+	go io.Copy(io.Discard, srv) //nolint:errcheck // drain
+	c, err := NewClient(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := c.Bind(strings.Repeat("n", MaxNameLen+1)); err == nil {
+		t.Fatal("oversized bind name accepted")
+	}
+	if _, err := c.Push(make([]stream.Item, MaxDataItems+1)); err == nil {
+		t.Fatal("oversized data frame accepted")
+	}
+}

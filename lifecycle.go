@@ -53,6 +53,30 @@ import (
 // eviction and shadowed by the registry while the stream is resident), so
 // a crash right after a fault-in degrades to the usual at-most-one-
 // snapshot-interval durability window instead of losing the stream.
+//
+// Both durable writers — DirStore.Save here and the server's snapshot
+// flush — follow write-temp, fsync file, rename, fsync directory. The
+// final directory fsync is what makes the rename itself crash-durable:
+// without it a power cut can roll the directory back to a state where the
+// freshly renamed record never existed, which for an offloaded stream
+// means silent, total loss (the in-memory counters were already dropped).
+// Once Save returns, the record is guaranteed to survive a crash.
+//
+// Fault-in failures are a distinct error class from bad client input:
+// every path out of faultInLocked wraps ErrFaultIn, and serving layers
+// must translate it to an "unavailable, retry later" response (HTTP 503,
+// streaming AckUnavailable) rather than blaming the client.
+
+// ErrFaultIn is wrapped by every fault-in failure: the offload store
+// cannot be read (I/O error, lost record), the record fails validation, or
+// the manager has no store attached while a stream is offloaded. Test with
+// errors.Is. It is a *server-side* error class — the caller's request was
+// well-formed and nothing about it needs fixing — so request-serving
+// layers must map it to a 5xx/unavailable response, never to a
+// client-error one, and the caller should retry once the store recovers.
+// (Stream.Estimate keeps its documented 0-on-error behavior; use
+// ReleaseView or UpdateBatch to observe the error itself.)
+var ErrFaultIn = errors.New("dpmg: stream fault-in failed (offload store unavailable or record unusable)")
 
 // ErrRateLimited is wrapped by ingest rejections on a stream whose
 // configured MaxIngestRate cannot admit the batch right now; test with
@@ -119,7 +143,13 @@ func (d *DirStore) path(name string) string {
 	return filepath.Join(d.dir, name+streamFileSuffix)
 }
 
-// Save implements OffloadStore with write-to-temp, sync, rename.
+// Save implements OffloadStore with write-to-temp, sync, rename, and a
+// final fsync of the directory itself. The directory sync is load-bearing
+// for eviction durability: rename alone only updates the in-memory dentry
+// cache, so a power cut shortly after an offload could silently lose the
+// record — fatal for an evicted stream whose in-memory counters were
+// already dropped. Syncing the parent directory persists the rename, so
+// once Save returns the record survives a crash.
 func (d *DirStore) Save(name string, data []byte) error {
 	f, err := os.CreateTemp(d.dir, name+streamFileSuffix+".tmp-*")
 	if err != nil {
@@ -140,7 +170,23 @@ func (d *DirStore) Save(name string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, d.path(name))
+	if err := os.Rename(tmp, d.path(name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(d.dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it is
+// durable, not merely visible. Shared by DirStore.Save and the server's
+// snapshot flush.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
 }
 
 // Load implements OffloadStore.
@@ -420,23 +466,23 @@ func (s *Stream) offloadLocked(store OffloadStore) error {
 func (s *Stream) faultInLocked() error {
 	store := s.mgr.store()
 	if store == nil {
-		return fmt.Errorf("dpmg: stream %q is offloaded but the manager has no offload store", s.name)
+		return fmt.Errorf("%w: stream %q is offloaded but the manager has no offload store", ErrFaultIn, s.name)
 	}
 	data, err := store.Load(s.name)
 	if err != nil {
-		return fmt.Errorf("dpmg: fault-in %q: %w", s.name, err)
+		return fmt.Errorf("%w: %q: %w", ErrFaultIn, s.name, err)
 	}
 	w, err := encoding.UnmarshalStream(bytes.NewReader(data))
 	if err != nil {
-		return fmt.Errorf("dpmg: fault-in %q: %w", s.name, err)
+		return fmt.Errorf("%w: %q: %w", ErrFaultIn, s.name, err)
 	}
 	if w.Name != s.name || w.K != s.cfg.K || w.Universe != s.cfg.Universe || w.Shards != s.cfg.Shards {
-		return fmt.Errorf("dpmg: fault-in %q: record is for stream %q (k=%d, d=%d, shards=%d), want (k=%d, d=%d, shards=%d)",
-			s.name, w.Name, w.K, w.Universe, w.Shards, s.cfg.K, s.cfg.Universe, s.cfg.Shards)
+		return fmt.Errorf("%w: %q: record is for stream %q (k=%d, d=%d, shards=%d), want (k=%d, d=%d, shards=%d)",
+			ErrFaultIn, s.name, w.Name, w.K, w.Universe, w.Shards, s.cfg.K, s.cfg.Universe, s.cfg.Shards)
 	}
 	sharded, err := shardedFromWires(s.cfg, w.ShardWires)
 	if err != nil {
-		return fmt.Errorf("dpmg: fault-in %q: %w", s.name, err)
+		return fmt.Errorf("%w: %q: %w", ErrFaultIn, s.name, err)
 	}
 	s.mu.Lock()
 	s.merged = w.Merged
@@ -476,6 +522,20 @@ func (s *Stream) Resident() bool {
 	s.life.RLock()
 	defer s.life.RUnlock()
 	return !s.offloaded
+}
+
+// Deleted reports whether the stream has been removed from its manager.
+// A *Stream handle obtained before a DeleteStream keeps operating on the
+// orphaned state (see DeleteStream); holders of long-lived handles — the
+// streaming ingest path's sticky per-connection binding — use this to
+// detect the tombstone and stop routing data into state nobody can ever
+// release from. Because DeleteStream sets the tombstone under the
+// exclusive lifecycle lock, a data operation that completed before a
+// Deleted()==false read cannot have run after the delete.
+func (s *Stream) Deleted() bool {
+	s.life.RLock()
+	defer s.life.RUnlock()
+	return s.deleted
 }
 
 // LifecycleCounters are a stream's process-lifetime lifecycle and QoS

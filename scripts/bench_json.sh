@@ -33,17 +33,32 @@ run ./internal/merge 'BenchmarkMergeAllWide$|BenchmarkReleaseBounded$'
 # admission is one CAS), and BenchmarkServerMetrics tracks the per-scrape
 # observability tax over 64 streams.
 run ./cmd/dpmg-server 'BenchmarkServerBatchIngest$|BenchmarkServerRelease$|BenchmarkServerMultiStreamIngest$|BenchmarkServerSingleStreamIngest$|BenchmarkServerMultiStreamRelease$|BenchmarkServerMultiStreamIngestQoS$|BenchmarkServerMetrics$'
+# Streaming-datapath tier: the binary ingest datapath against the real-TCP
+# HTTP baseline. Subtracting the shared decode+sketch floor, the pair is
+# the per-batch protocol overhead comparison the datapath exists to win.
+run ./cmd/dpmg-server 'BenchmarkServerStreamIngest$|BenchmarkServerHTTPIngestE2E$'
+
+# The streaming-datapath rows are the acceptance evidence for the binary
+# ingest path; a refactor that silently drops either benchmark must fail
+# the bench job, not produce a quietly thinner artifact.
+for required in BenchmarkServerStreamIngest BenchmarkServerHTTPIngestE2E BenchmarkServerBatchIngest; do
+  if ! grep -q "^${required}" "$TMP"; then
+    echo "bench_json.sh: required benchmark ${required} missing from output" >&2
+    exit 1
+  fi
+done
 
 awk '
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
-  ns = ""; bytes = ""; allocs = ""; mbs = ""
+  ns = ""; bytes = ""; allocs = ""; mbs = ""; items = ""
   for (i = 2; i < NF; i++) {
     if ($(i + 1) == "ns/op") ns = $i
     if ($(i + 1) == "B/op") bytes = $i
     if ($(i + 1) == "allocs/op") allocs = $i
     if ($(i + 1) == "MB/s") mbs = $i
+    if ($(i + 1) == "items/s") items = $i
   }
   if (ns == "") next
   if (n++) printf ",\n"
@@ -51,6 +66,7 @@ awk '
   if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
   if (mbs != "") printf ", \"mb_per_s\": %s", mbs
+  if (items != "") printf ", \"items_per_s\": %s", items
   printf "}"
 }
 BEGIN { printf "[\n" }

@@ -37,6 +37,7 @@ var defaultGate = []string{
 	"internal/continual",
 	"internal/core",
 	"internal/encoding",
+	"internal/framing",
 	"internal/gshm",
 	"internal/hist",
 	"internal/merge",
