@@ -104,6 +104,7 @@ import (
 	"time"
 
 	"dpmg"
+	"dpmg/internal/cluster"
 )
 
 func main() {
@@ -122,6 +123,13 @@ func main() {
 		flushInt = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot interval when -state is set (<= 0 disables periodic flushes; the shutdown flush still runs)")
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may drain on shutdown")
 
+		role         = flag.String("role", "standalone", "server role: standalone, edge (ship summaries upstream), or root (accept edge fan-in)")
+		clusterAddr  = flag.String("cluster-addr", "", "root: listen address for the edge fan-in listener (required with -role=root)")
+		upstream     = flag.String("upstream", "", "edge: the root's -cluster-addr to ship summaries to (required with -role=edge)")
+		edgeID       = flag.String("edge-id", "", "edge: stable identity at the root; MUST survive restarts (required with -role=edge)")
+		shipInterval = flag.Duration("ship-interval", 5*time.Second, "edge: how often local streams are cut and shipped upstream")
+		spoolDir     = flag.String("spool", "", "edge: directory for the durable cut spool (required with -role=edge)")
+
 		ttl       = flag.Duration("ttl", 0, "idle TTL before a stream is offloaded to disk (0 = never evict; requires -state)")
 		evictInt  = flag.Duration("evict-interval", time.Minute, "how often the idle-eviction sweep runs when -ttl is set")
 		qosRate   = flag.Float64("max-ingest-rate", 0, "default per-stream ingest ceiling in items/second (0 = unlimited)")
@@ -132,6 +140,27 @@ func main() {
 
 	if *ttl > 0 && *stateDir == "" {
 		log.Fatal("-ttl requires -state: evicted streams offload to <state>/streams")
+	}
+	switch *role {
+	case "standalone":
+	case "edge":
+		if *upstream == "" || *edgeID == "" || *spoolDir == "" {
+			log.Fatal("-role=edge requires -upstream, -edge-id, and -spool")
+		}
+		if *stateDir != "" {
+			// Stateless-edge doctrine: a manager snapshot restored from
+			// before a cut would resurrect traffic the cut already shipped
+			// (cuts preserve the monotone counters, so snapshot age cannot
+			// detect it) and the root would double-count. The spool is the
+			// edge's only durable state.
+			log.Fatal("-role=edge refuses -state: the spool is the edge's only durable state; a restored snapshot predating a cut would double-count shipped traffic at the root")
+		}
+	case "root":
+		if *clusterAddr == "" {
+			log.Fatal("-role=root requires -cluster-addr")
+		}
+	default:
+		log.Fatalf("unknown -role %q (standalone, edge, or root)", *role)
 	}
 	defaults := dpmg.StreamConfig{
 		K: *k, Universe: *d, Shards: *shards, Mechanism: *mech,
@@ -169,6 +198,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	s.stateDir = *stateDir
+	s.hasStore = *stateDir != ""
+	s.drainGrace = *grace
 	if restored {
 		log.Printf("restored %d stream(s) from %s", mgr.Len(), *stateDir)
 	}
@@ -184,6 +216,48 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Aggregation-tier wiring (see cluster.go and internal/cluster).
+	var clusterLn net.Listener
+	switch *role {
+	case "edge":
+		sp, err := cluster.OpenSpool(*spoolDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shipper, err := cluster.NewShipper(cluster.ShipperConfig{
+			Manager: mgr, EdgeID: *edgeID, Upstream: *upstream, Spool: sp,
+			Interval: *shipInterval, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.attachEdge(shipper, sp)
+		go shipper.Run(ctx) //nolint:errcheck // returns ctx.Err() on shutdown
+		log.Printf("edge %q shipping to %s every %s (spool: %s, %d record(s) pending)",
+			*edgeID, *upstream, *shipInterval, *spoolDir, sp.Pending())
+	case "root":
+		root, err := cluster.NewRoot(cluster.RootConfig{Manager: mgr, AutoCreate: true, Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *stateDir != "" {
+			if err := loadClusterSeqs(root, *stateDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		clusterLn, err = net.Listen("tcp", *clusterAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.attachRoot(root)
+		go func() {
+			if err := root.Serve(clusterLn); err != nil {
+				log.Printf("cluster listener: %v", err)
+			}
+		}()
+		log.Printf("root fan-in listening on %s", clusterLn.Addr())
+	}
 
 	// Streaming binary ingest listener (see ingest.go): a persistent-TCP
 	// datapath beside the HTTP API for high-rate edges. It drains on the
@@ -277,6 +351,19 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	drain.Wait()
+	switch {
+	case s.clusterShipper != nil:
+		// Final upstream flush: ship the spool backlog and one last cut of
+		// every stream. Failure is not fatal — the spool survives the
+		// process, and the restarted edge re-ships idempotently.
+		if err := s.clusterShipper.Flush(shutdownCtx); err != nil {
+			log.Printf("upstream flush incomplete (spool records will re-ship on restart): %v", err)
+		}
+	case s.clusterRoot != nil:
+		// Quiesce the fan-in before the final snapshot so the snapshot and
+		// the dedup table capture the same fold set.
+		s.clusterRoot.Shutdown()
+	}
 	if *stateDir != "" {
 		// Final flush after the listener is closed: writers have drained, so
 		// this snapshot is the quiescent, byte-exact image of every stream.

@@ -13,8 +13,10 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpmg"
+	"dpmg/internal/cluster"
 	"dpmg/internal/encoding"
 	"dpmg/internal/stream"
 )
@@ -55,6 +57,24 @@ type server struct {
 	// attached when -ingest-addr is set; nil otherwise. Atomic because
 	// /metrics may race the attachment in tests.
 	ingest atomic.Pointer[ingestServer]
+
+	// Aggregation-tier state (see cluster.go). role is "" for standalone;
+	// exactly one of clusterShipper (edge) / clusterRoot (root) is set for
+	// the cluster roles, attached before the server starts serving.
+	role           string
+	clusterShipper *cluster.Shipper
+	clusterSpool   *cluster.Spool
+	clusterRoot    *cluster.Root
+
+	// hasStore records whether an offload store is attached (-state);
+	// stateDir is where admin drain snapshots land ("" = no persistence).
+	hasStore bool
+	stateDir string
+
+	// draining refuses further ingest on every datapath once the admin
+	// drain has run; drainGrace bounds the drain's upstream flush.
+	draining   atomic.Bool
+	drainGrace time.Duration
 }
 
 // defaultStreamName is the stream the back-compat /v1/* aliases act on.
@@ -135,6 +155,10 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/streams/{stream}/release", s.perStream(s.handleRelease))
 	mux.HandleFunc("GET /v1/streams/{stream}/stats", s.perStream(s.handleStats))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Admin ops surface (cluster.go): lifecycle levers and the drain.
+	mux.HandleFunc("POST /v1/admin/streams/{stream}/evict", s.handleAdminEvict)
+	mux.HandleFunc("POST /v1/admin/streams/{stream}/faultin", s.handleAdminFaultIn)
+	mux.HandleFunc("POST /v1/admin/drain", s.handleAdminDrain)
 	// Back-compat: the original single-tenant routes alias the default
 	// stream — same paths, methods, status codes, and binary wire formats.
 	// (Success ack bodies are now JSON documents instead of the old plain
@@ -317,6 +341,10 @@ type summaryResponse struct {
 // folds it into the stream's running aggregate with the Agarwal et al.
 // merge, so the server never stores more than 2k counters per stream.
 func (s *server) handleSummary(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
+	if s.draining.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	sum, err := encoding.UnmarshalSummary(http.MaxBytesReader(w, r.Body, 1<<24))
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "bad summary: %v", err)
@@ -361,6 +389,10 @@ type batchResponse struct {
 // dummy-key region, so the manager facade never trusts its caller, this
 // handler included.)
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
+	if s.draining.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	bufp := batchBufPool.Get().(*[]stream.Item)
 	defer putBatchBuf(bufp)
 	items, err := encoding.AppendItems((*bufp)[:0], http.MaxBytesReader(w, r.Body, 1<<24), 1<<21, st.Config().Universe)
@@ -412,6 +444,13 @@ type releaseResponse struct {
 // is spent, so an unknown mechanism, invalid parameters, or an infeasible
 // calibration rejects the request with the budget untouched.
 func (s *server) handleRelease(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
+	if s.role == roleEdge {
+		// Edges hold raw, un-noised counters and own no privacy budget;
+		// only the root may account and noise a release. Refusing here is
+		// what makes the root the sole budget owner.
+		jsonError(w, http.StatusForbidden, "releases are served by the root, not edges: this edge ships summaries upstream and owns no privacy budget")
+		return
+	}
 	eps, err := strconv.ParseFloat(r.URL.Query().Get("eps"), 64)
 	if err != nil || eps <= 0 {
 		jsonError(w, http.StatusBadRequest, "eps must be a positive float")
@@ -768,6 +807,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	appendClusterMetrics(s, buf)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(buf.Bytes()) //nolint:errcheck // response already committed
 }
@@ -788,6 +829,21 @@ func (s *server) saveState(dir string) error {
 	defer s.flushMu.Unlock()
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return err
+	}
+	// On a root, capture the cluster dedup table BEFORE the snapshot. The
+	// table must never be newer than the snapshot it rides with: a fold
+	// landing between the snapshot and a later table capture would be
+	// marked folded without its data, and the edge's re-ship would be
+	// refused as a duplicate — silent loss. The older-table direction is
+	// safe: a fold in the snapshot but not the table was acked, so its edge
+	// already discarded the record and never re-ships it.
+	var seqsTable []byte
+	if s.clusterRoot != nil {
+		var tbuf bytes.Buffer
+		if err := s.clusterRoot.SaveSeqs(&tbuf); err != nil {
+			return err
+		}
+		seqsTable = tbuf.Bytes()
 	}
 	f, err := os.CreateTemp(dir, stateFileName+".tmp-*")
 	if err != nil {
@@ -812,7 +868,13 @@ func (s *server) saveState(dir string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	if seqsTable != nil {
+		return writeClusterSeqs(dir, seqsTable)
+	}
+	return nil
 }
 
 // syncDir fsyncs a directory so a completed rename inside it survives a

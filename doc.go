@@ -105,6 +105,28 @@
 // the remaining budget. The dpmg-server command serves this layer over
 // HTTP (/v1/streams).
 //
+// # Distributed aggregation
+//
+// The Section 7 deployment at fleet scale is the edge→root tier
+// (internal/cluster, dpmg-server -role=edge / -role=root): every edge
+// ingests its local traffic into a full sketch stack, periodically cuts
+// each stream into a flat mergeable summary, and ships it upstream; the
+// root folds the summaries with the Agarwal et al. merge into one
+// per-stream aggregate and is the only node holding a privacy budget.
+// Corollary 18 is what makes the tier sound AND cheap: a merged summary's
+// L2-sensitivity is bounded by sqrt(k+1) regardless of how many summaries
+// were folded into it, so the root's single Gaussian release is calibrated
+// identically whether eight edges shipped or eight thousand — the noise
+// does not grow with the fleet, and no per-edge budget splitting is
+// needed. (Contrast the untrusted-aggregator alternative, one Algorithm 2
+// release per edge merged after noising, where error grows with the edge
+// count; examples/distributed runs both side by side.) Failover rides
+// sequence-numbered re-shipping from a durable edge spool with
+// deduplication at the root, so crashes and restarts never double-count a
+// summary — which matters for privacy accounting as much as for accuracy,
+// since a double-fold would distort the very counters the sensitivity
+// argument is about.
+//
 // # Stream lifecycle and QoS
 //
 // Managed streams have a residency lifecycle: an idle stream can be

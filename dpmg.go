@@ -225,6 +225,16 @@ func (s *MergeableSummary) Len() int { return s.inner.Len() }
 // Estimate returns the summarized frequency of x (0 if absent).
 func (s *MergeableSummary) Estimate(x Item) int64 { return s.inner.Estimate(x) }
 
+// Keys returns the summary's keys in strictly ascending order. The slice is
+// borrowed — callers must not mutate it. Together with Counts it is the
+// flat wire view shippers serialize (encoding.MarshalSummary) without
+// copying.
+func (s *MergeableSummary) Keys() []Item { return s.inner.Keys() }
+
+// Counts returns the positive counts parallel to Keys. The slice is
+// borrowed — callers must not mutate it.
+func (s *MergeableSummary) Counts() []int64 { return s.inner.Counts() }
+
 // ReleaseView snapshots the summary for the unified release path: positive
 // counters only, under merged (Corollary 18) sensitivity. The view is flat
 // — it borrows the summary's already-sorted columns, so no map is rebuilt

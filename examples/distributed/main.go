@@ -1,38 +1,46 @@
-// Distributed aggregation (Section 7): eight servers each sketch their
-// local traffic; an aggregator combines them. Two trust models:
+// Distributed aggregation (Section 7): eight edges each sketch their
+// local traffic; a root combines them. Two trust models:
 //
-//   - trusted aggregator: servers ship raw mergeable summaries, the
-//     aggregator merges with the Agarwal et al. algorithm and privatizes
-//     once — noise independent of the number of servers;
+//   - trusted root (the real aggregation tier, internal/cluster): every
+//     edge runs a full local sketch, cuts it into a flat mergeable
+//     summary, spools it, and ships it upstream over the framing
+//     protocol; the root folds the summaries with the Agarwal et al.
+//     merge and privatizes once. Corollary 18 makes the merged
+//     sensitivity independent of the number of edges, so the noise does
+//     not grow with the fleet;
 //
-//   - untrusted aggregator: each server privatizes before shipping
-//     (Algorithm 2), the aggregator merges noisy releases — privacy holds
-//     against the aggregator itself, but error grows with the server count.
+//   - untrusted root: each edge privatizes before shipping (Algorithm 2),
+//     the root merges noisy releases — privacy holds against the root
+//     itself, but error grows with the edge count.
 //
 //     go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"os"
 
 	"dpmg"
+	"dpmg/internal/cluster"
 	"dpmg/internal/hist"
 	"dpmg/internal/stream"
 	"dpmg/internal/workload"
 )
 
 const (
-	servers = 8
-	perSrv  = 250_000
-	d       = 100_000
-	k       = 256
+	edges  = 8
+	perSrv = 250_000
+	d      = 100_000
+	k      = 256
 )
 
 var p = dpmg.Params{Eps: 1.0, Delta: 1e-6}
 
 func main() {
-	// Each server sees the same heavy hitters plus local noise traffic.
-	local := make([]stream.Stream, servers)
+	// Each edge sees the same heavy hitters plus local noise traffic.
+	local := make([]stream.Stream, edges)
 	var all stream.Stream
 	for i := range local {
 		local[i] = workload.HeavyTail(perSrv, d, 8, 0.5, uint64(100+i))
@@ -44,33 +52,68 @@ func main() {
 	untrusted(local, truth)
 }
 
-func trusted(local []stream.Stream, truth map[stream.Item]int64) {
-	sums := make([]*dpmg.MergeableSummary, servers)
-	for i, str := range local {
-		sk := dpmg.NewSketch(k, d)
-		for _, x := range str {
-			sk.Update(x)
-		}
-		s, err := sk.Summary()
-		if err != nil {
-			panic(err)
-		}
-		sums[i] = s
-	}
-	merged, err := dpmg.MergeSummaries(sums...)
-	if err != nil {
-		panic(err)
-	}
-	// Gaussian release scales with sqrt(k) instead of k — preferred at this
-	// size (Corollary 18 qualifies merged summaries for the GSHM), and the
-	// default mechanism for merged sensitivity, so no WithMechanism needed.
-	rel, err := dpmg.Release(merged, p, dpmg.WithSeed(11))
-	if err != nil {
-		panic(err)
-	}
-	report("trusted aggregator (merge, then one sqrt(k) Gaussian release)", rel, truth)
+// cfg is the stream config the whole tier shares: folds compose only when
+// (k, universe) agree between edges and root.
+func cfg() dpmg.StreamConfig {
+	return dpmg.StreamConfig{K: k, Universe: d, Budget: dpmg.Budget{Eps: 4, Delta: 1e-5}}
 }
 
+// trusted runs the real aggregation tier in-process: a cluster.Root on a
+// loopback TCP listener, one cluster.Shipper per edge cutting and shipping
+// its local sketch upstream, and a single Gaussian release at the root —
+// the only place a privacy budget exists.
+func trusted(local []stream.Stream, truth map[stream.Item]int64) {
+	rootMgr, err := dpmg.NewManager(cfg())
+	check(err)
+	root, err := cluster.NewRoot(cluster.RootConfig{Manager: rootMgr, AutoCreate: true})
+	check(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go root.Serve(ln) //nolint:errcheck // Shutdown closes the listener
+
+	ctx := context.Background()
+	for i, str := range local {
+		// An edge's full local stack: manager, sketch tier, durable spool.
+		// The spool is the edge's only durable state — a cut is persisted
+		// there before the in-memory reset commits, so a crashed edge
+		// re-ships it idempotently (the root dedups by sequence number).
+		mgr, err := dpmg.NewManager(cfg())
+		check(err)
+		st, _, err := mgr.CreateStream("pods", dpmg.StreamConfig{})
+		check(err)
+		check(st.UpdateBatch(str))
+
+		spoolDir, err := os.MkdirTemp("", "dpmg-example-spool-*")
+		check(err)
+		defer os.RemoveAll(spoolDir)
+		spool, err := cluster.OpenSpool(spoolDir)
+		check(err)
+		shipper, err := cluster.NewShipper(cluster.ShipperConfig{
+			Manager: mgr, EdgeID: fmt.Sprintf("edge-%d", i),
+			Upstream: ln.Addr().String(), Spool: spool,
+		})
+		check(err)
+		// Flush = drain: cut every stream, ship the spool empty.
+		check(shipper.Flush(ctx))
+		shipper.Close()
+	}
+	root.Shutdown()
+
+	// One release at the root, over the fold of all eight edges. The
+	// Gaussian mechanism scales with sqrt(k) instead of k (Corollary 18
+	// qualifies merged summaries for the GSHM) and, per the corollary, the
+	// calibration is the same whether 8 edges shipped or 8000.
+	st, _ := rootMgr.Stream("pods")
+	rel, err := st.ReleaseDetailed(p, dpmg.WithSeed(11))
+	check(err)
+	report("trusted root (edge fan-in, one sqrt(k) Gaussian release)", rel.Histogram, truth)
+}
+
+// untrusted keeps every edge's data private from the root itself: each
+// edge privatizes locally (Algorithm 2) and ships only noisy releases,
+// which the root merges. No cluster tier is involved — there is nothing
+// sensitive left to protect in transit — but the error grows with the
+// edge count.
 func untrusted(local []stream.Stream, truth map[stream.Item]int64) {
 	var agg dpmg.Histogram
 	for i, str := range local {
@@ -78,19 +121,17 @@ func untrusted(local []stream.Stream, truth map[stream.Item]int64) {
 		for _, x := range str {
 			sk.Update(x)
 		}
-		// Privatized before leaving the server (Algorithm 2 via the
-		// unified path).
+		// Privatized before leaving the edge (Algorithm 2 via the unified
+		// path).
 		rel, err := dpmg.Release(sk, p, dpmg.WithSeed(uint64(200+i)))
-		if err != nil {
-			panic(err)
-		}
+		check(err)
 		if agg == nil {
 			agg = rel
 		} else {
 			agg = dpmg.MergeReleased(agg, rel, k)
 		}
 	}
-	report("untrusted aggregator (privatize per server, merge releases)", agg, truth)
+	report("untrusted root (privatize per edge, merge releases)", agg, truth)
 }
 
 func report(name string, rel dpmg.Histogram, truth map[stream.Item]int64) {
@@ -103,4 +144,10 @@ func report(name string, rel dpmg.Histogram, truth map[stream.Item]int64) {
 	}
 	fmt.Printf("%s:\n  heavy hitters recovered: %d/8, worst-case count error: %.0f\n",
 		name, hits, worst)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

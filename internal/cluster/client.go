@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dpmg/internal/framing"
+	"dpmg/internal/merge"
+)
+
+// Conn is an edge's upstream connection: a framing.Client that has
+// identified itself with a hello frame and speaks the aggregation-tier
+// frames (summary, seq-query). Not safe for concurrent use — the Shipper
+// serializes all upstream traffic on one goroutine.
+type Conn struct {
+	c       *framing.Client
+	scratch []byte
+}
+
+// NewConn identifies the edge on an established framing client (the hello
+// frame must precede every other aggregation-tier frame) and returns the
+// ready connection. On error the client is closed.
+func NewConn(c *framing.Client, edgeID string) (*Conn, error) {
+	if edgeID == "" || len(edgeID) > framing.MaxNameLen {
+		c.Close()
+		return nil, fmt.Errorf("cluster: edge id length %d outside [1, %d]", len(edgeID), framing.MaxNameLen)
+	}
+	ack, err := c.Exchange(framing.TypeHello, []byte(edgeID))
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cluster: hello: %w", err)
+	}
+	if ack.Code != framing.AckOK {
+		c.Close()
+		return nil, fmt.Errorf("cluster: hello refused: %w", &framing.AckError{Ack: ack})
+	}
+	return &Conn{c: c}, nil
+}
+
+// ShipSummary ships one (stream, seq, summary) upstream and returns the
+// root's ack unclassified: AckOK means folded, AckDuplicate means the root
+// had already folded this sequence (success — discard the spool record),
+// and everything else is a refusal the caller classifies.
+func (c *Conn) ShipSummary(stream string, seq uint64, sum *merge.Summary) (framing.Ack, error) {
+	payload, err := AppendSummaryPayload(c.scratch[:0], stream, seq, sum)
+	if err != nil {
+		return framing.Ack{}, err
+	}
+	c.scratch = payload
+	return c.c.Exchange(framing.TypeSummary, payload)
+}
+
+// ShipPayload ships an already-encoded summary payload (a spool record's
+// bytes) verbatim. Re-shipping spooled bytes rather than re-encoding keeps
+// the retry path byte-identical to the original attempt.
+func (c *Conn) ShipPayload(payload []byte) (framing.Ack, error) {
+	return c.c.Exchange(framing.TypeSummary, payload)
+}
+
+// LastSeq asks the root for the highest ship sequence number it has folded
+// for this edge and the named stream (0 when it has folded none) — the
+// baseline a restarted edge must resume above.
+func (c *Conn) LastSeq(stream string) (uint64, error) {
+	ack, err := c.c.Exchange(framing.TypeSeqQuery, []byte(stream))
+	if err != nil {
+		return 0, err
+	}
+	if ack.Code != framing.AckOK {
+		return 0, &framing.AckError{Ack: ack}
+	}
+	return ack.Info, nil
+}
+
+// Close closes the underlying connection with the graceful goodbye frame.
+func (c *Conn) Close() error { return c.c.Close() }

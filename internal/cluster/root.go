@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpmg"
+	"dpmg/internal/framing"
+)
+
+// FoldHook observes every successful fold in the root's global fold order,
+// called with the root's fold mutex held. It exists for differential
+// testing — replaying the hook's exact sequence into a single-process
+// stream must reproduce the root's state — and must not call back into the
+// root or mutate the summary.
+type FoldHook func(edge, stream string, seq uint64, sum *dpmg.MergeableSummary)
+
+// RootConfig configures a Root.
+type RootConfig struct {
+	// Manager is the root's stream layer: folds land in its per-stream
+	// node tiers, and it solely owns every release budget.
+	Manager *dpmg.Manager
+	// AutoCreate makes the root create a stream (manager defaults, k taken
+	// from the incoming summary) when an edge ships to an unknown name.
+	// Without it, unknown streams refuse with AckUnknownStream until the
+	// operator creates them.
+	AutoCreate bool
+	// Logf, when set, observes per-connection errors (log.Printf-shaped).
+	Logf func(format string, args ...any)
+	// FoldHook, when set, observes every successful fold (tests).
+	FoldHook FoldHook
+}
+
+// Root is the fan-in server: it accepts edge connections on the
+// aggregation-tier protocol (hello, summary, seq-query) and folds shipped
+// summaries into its manager's per-stream node tiers.
+//
+// All folds serialize on one mutex. That is deliberate, not incidental: it
+// makes the per-(edge, stream) high-water sequence check and the fold it
+// guards atomic (the exactly-once invariant), and it gives the root a
+// total fold order — the order the differential twin replays. Folding is
+// cheap (a bounded ≤2k-counter merge), so the mutex is not the throughput
+// ceiling; the benchmark pins that.
+type Root struct {
+	cfg RootConfig
+
+	// mu guards seqs, edges, and every fold.
+	mu    sync.Mutex
+	seqs  map[string]map[string]uint64 // edge → stream → last folded seq
+	edges map[string]*edgeState
+
+	folded   atomic.Int64
+	deduped  atomic.Int64
+	draining atomic.Bool
+
+	lnMu  sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// edgeState is one edge's fan-in bookkeeping.
+type edgeState struct {
+	connected int
+	folded    int64
+	deduped   int64
+	lastFold  time.Time
+}
+
+// NewRoot returns a Root folding into cfg.Manager.
+func NewRoot(cfg RootConfig) (*Root, error) {
+	if cfg.Manager == nil {
+		return nil, fmt.Errorf("cluster: root requires a manager")
+	}
+	return &Root{
+		cfg:   cfg,
+		seqs:  make(map[string]map[string]uint64),
+		edges: make(map[string]*edgeState),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// logf logs through the configured sink, if any.
+func (r *Root) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts edge connections on ln until Shutdown closes it. Each
+// connection is handled on its own goroutine.
+func (r *Root) Serve(ln net.Listener) error {
+	r.lnMu.Lock()
+	r.ln = ln
+	r.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if r.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		r.lnMu.Lock()
+		if r.draining.Load() {
+			// Shutdown won the race between Accept and registration; it will
+			// never see this connection, so refuse it here.
+			r.lnMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		r.conns[conn] = struct{}{}
+		r.lnMu.Unlock()
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer func() {
+				r.lnMu.Lock()
+				delete(r.conns, conn)
+				r.lnMu.Unlock()
+			}()
+			r.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting, marks the root draining, force-closes live
+// edge connections, and waits for connection goroutines to finish. Closing
+// mid-exchange is safe: the protocol is synchronous request/ack, so an
+// interrupted ack is a transport error to the edge, which keeps its spool
+// record and re-ships it later — the dedup table absorbs the replay.
+func (r *Root) Shutdown() {
+	r.draining.Store(true)
+	r.lnMu.Lock()
+	if r.ln != nil {
+		r.ln.Close()
+	}
+	for conn := range r.conns {
+		conn.Close()
+	}
+	r.lnMu.Unlock()
+	r.wg.Wait()
+}
+
+// handleConn speaks the aggregation-tier protocol on one edge connection.
+func (r *Root) handleConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if err := framing.ReadPreamble(br); err != nil {
+		r.logf("cluster: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	var edge string
+	var ackBuf, payload []byte
+	defer func() {
+		if edge != "" {
+			r.mu.Lock()
+			if st := r.edges[edge]; st != nil {
+				st.connected--
+			}
+			r.mu.Unlock()
+		}
+	}()
+	for {
+		h, err := framing.ReadHeader(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				r.logf("cluster: %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if h.Len > framing.MaxSummaryFrameLen {
+			r.refuse(bw, h.Seq, framing.AckBadFrame, fmt.Sprintf("frame of %d bytes exceeds %d", h.Len, framing.MaxSummaryFrameLen))
+			return
+		}
+		if cap(payload) < int(h.Len) {
+			payload = make([]byte, h.Len)
+		}
+		payload = payload[:h.Len]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			r.logf("cluster: %s: reading payload: %v", conn.RemoteAddr(), err)
+			return
+		}
+		ack := framing.Ack{Seq: h.Seq}
+		fatal := false
+		switch {
+		case r.draining.Load() && h.Type != framing.TypeClose:
+			ack.Code, ack.Msg = framing.AckShuttingDown, "root is draining"
+		case h.Type == framing.TypeHello:
+			edge, ack = r.hello(edge, string(payload), h.Seq)
+		case h.Type == framing.TypeClose:
+			fatal = true // acked below, then the connection closes
+		case edge == "":
+			ack.Code, ack.Msg = framing.AckNotHello, "hello must precede aggregation-tier frames"
+		case h.Type == framing.TypeSummary:
+			ack = r.fold(edge, payload, h.Seq)
+		case h.Type == framing.TypeSeqQuery:
+			ack = r.lastSeq(edge, string(payload), h.Seq)
+		default:
+			ack.Code = framing.AckBadFrame
+			ack.Msg = fmt.Sprintf("frame type %v not part of the aggregation tier", h.Type)
+			fatal = true
+		}
+		ackBuf = framing.AppendAck(ackBuf[:0], ack)
+		if _, err := bw.Write(ackBuf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if fatal || ack.Code == framing.AckBadFrame {
+			return
+		}
+	}
+}
+
+// refuse writes one refusal ack, best-effort (the caller closes anyway).
+func (r *Root) refuse(bw *bufio.Writer, seq uint32, code framing.AckCode, msg string) {
+	if _, err := bw.Write(framing.AppendAck(nil, framing.Ack{Seq: seq, Code: code, Msg: msg})); err == nil {
+		bw.Flush() //nolint:errcheck // best-effort refusal
+	}
+}
+
+// hello registers the connection's edge identity.
+func (r *Root) hello(current, id string, seq uint32) (string, framing.Ack) {
+	ack := framing.Ack{Seq: seq}
+	if id == "" || len(id) > framing.MaxNameLen {
+		ack.Code = framing.AckBadFrame
+		ack.Msg = fmt.Sprintf("edge id length %d outside [1, %d]", len(id), framing.MaxNameLen)
+		return current, ack
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if current != "" {
+		if st := r.edges[current]; st != nil {
+			st.connected--
+		}
+	}
+	st := r.edges[id]
+	if st == nil {
+		st = &edgeState{}
+		r.edges[id] = st
+	}
+	st.connected++
+	return id, ack
+}
+
+// fold decodes and folds one shipped summary, advancing the (edge, stream)
+// high-water sequence exactly when the fold succeeds.
+func (r *Root) fold(edge string, payload []byte, frameSeq uint32) framing.Ack {
+	ack := framing.Ack{Seq: frameSeq}
+	name, seq, sum, err := DecodeSummaryPayload(payload)
+	if err != nil {
+		ack.Code, ack.Msg = framing.AckBadFrame, err.Error()
+		return ack
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.edges[edge]
+	last := r.seqs[edge][name]
+	if seq <= last {
+		// Already folded (a re-ship after an edge restart, or a retry whose
+		// original ack was lost). Success-class: the shipper discards its
+		// record.
+		ack.Code, ack.Info = framing.AckDuplicate, last
+		r.deduped.Add(1)
+		if st != nil {
+			st.deduped++
+		}
+		return ack
+	}
+	stream, ok := r.cfg.Manager.Stream(name)
+	if !ok {
+		if !r.cfg.AutoCreate {
+			ack.Code, ack.Msg = framing.AckUnknownStream, fmt.Sprintf("stream %q does not exist on the root", name)
+			return ack
+		}
+		stream, _, err = r.cfg.Manager.CreateStream(name, dpmg.StreamConfig{K: sum.K})
+		if err != nil {
+			ack.Code, ack.Msg = framing.AckBadItem, err.Error()
+			return ack
+		}
+	}
+	wrapped, err := dpmg.NewMergeableSummarySorted(sum.K, sum.Keys(), sum.Counts())
+	if err != nil {
+		ack.Code, ack.Msg = framing.AckBadItem, err.Error()
+		return ack
+	}
+	if err := stream.IngestSummary(wrapped); err != nil {
+		if errors.Is(err, dpmg.ErrFaultIn) {
+			ack.Code, ack.Msg = framing.AckUnavailable, err.Error()
+		} else {
+			ack.Code, ack.Msg = framing.AckBadItem, err.Error()
+		}
+		return ack
+	}
+	seqs := r.seqs[edge]
+	if seqs == nil {
+		seqs = make(map[string]uint64)
+		r.seqs[edge] = seqs
+	}
+	seqs[name] = seq
+	r.folded.Add(1)
+	if st != nil {
+		st.folded++
+		st.lastFold = time.Now()
+	}
+	if r.cfg.FoldHook != nil {
+		r.cfg.FoldHook(edge, name, seq, wrapped)
+	}
+	ack.Info = seq
+	return ack
+}
+
+// lastSeq answers a seq-query: the highest folded sequence for (edge,
+// stream), in the ack's info field.
+func (r *Root) lastSeq(edge, stream string, frameSeq uint32) framing.Ack {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return framing.Ack{Seq: frameSeq, Info: r.seqs[edge][stream]}
+}
+
+// RootStats is a point-in-time description of the fan-in tier.
+type RootStats struct {
+	// Folded and Deduped count summaries folded and duplicate sequences
+	// refused since process start.
+	Folded, Deduped int64
+	// Edges describes every edge that has ever said hello, sorted by name.
+	Edges []EdgeStats
+}
+
+// EdgeStats is one edge's fan-in bookkeeping.
+type EdgeStats struct {
+	// Edge is the edge's hello identity.
+	Edge string
+	// Connected counts the edge's live connections.
+	Connected int
+	// Folded and Deduped count this edge's folded summaries and refused
+	// duplicates.
+	Folded, Deduped int64
+	// LastFold is the wall-clock time of the edge's most recent fold (zero
+	// when it has folded nothing) — the numerator of the fan-in lag gauge.
+	LastFold time.Time
+}
+
+// Stats returns the root's current fan-in stats.
+func (r *Root) Stats() RootStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := RootStats{Folded: r.folded.Load(), Deduped: r.deduped.Load()}
+	for name, st := range r.edges {
+		out.Edges = append(out.Edges, EdgeStats{
+			Edge: name, Connected: st.connected,
+			Folded: st.folded, Deduped: st.deduped, LastFold: st.lastFold,
+		})
+	}
+	sort.Slice(out.Edges, func(i, j int) bool { return out.Edges[i].Edge < out.Edges[j].Edge })
+	return out
+}
+
+// seqTable is the JSON shape of the persisted dedup table.
+type seqTable struct {
+	Seqs map[string]map[string]uint64 `json:"seqs"`
+}
+
+// SaveSeqs writes the (edge, stream) → last-folded-seq table as JSON. The
+// server persists it next to the manager snapshot: restoring both together
+// resumes the exactly-once contract across a root restart (the table must
+// never be newer than the snapshot it rides with, or re-ships would be
+// refused as duplicates after their folds were lost — snapshot first, then
+// the table captured at the same quiesce point).
+func (r *Root) SaveSeqs(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return json.NewEncoder(w).Encode(seqTable{Seqs: r.seqs})
+}
+
+// LoadSeqs restores a SaveSeqs table, replacing the in-memory one. Call it
+// at startup, before Serve.
+func (r *Root) LoadSeqs(rd io.Reader) error {
+	var t seqTable
+	if err := json.NewDecoder(rd).Decode(&t); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seqs = t.Seqs
+	if r.seqs == nil {
+		r.seqs = make(map[string]map[string]uint64)
+	}
+	return nil
+}

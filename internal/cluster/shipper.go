@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dpmg"
+	"dpmg/internal/framing"
+	"dpmg/internal/merge"
+)
+
+// ShipperConfig configures a Shipper.
+type ShipperConfig struct {
+	// Manager is the edge's local stream layer; every stream it holds is
+	// cut and shipped.
+	Manager *dpmg.Manager
+	// EdgeID is this edge's stable identity at the root. The root's dedup
+	// table is keyed by it, so a restarted edge MUST come back with the
+	// same id — a fresh id makes re-shipped spool records fold twice.
+	EdgeID string
+	// Upstream is the root's aggregation-tier listener address.
+	Upstream string
+	// Spool is the edge's durable cut log.
+	Spool *Spool
+	// Interval is the ship cadence (default 5s).
+	Interval time.Duration
+	// DialTimeout, BackoffMin, BackoffMax tune the reconnect loop
+	// (framing.Redialer defaults apply when zero).
+	DialTimeout, BackoffMin, BackoffMax time.Duration
+	// Logf, when set, observes ship errors (log.Printf-shaped).
+	Logf func(format string, args ...any)
+}
+
+// Shipper is the edge-side pump of the aggregation tier: on every tick it
+// re-ships the spool backlog (per stream, in sequence order) and then cuts
+// each local stream, persisting the cut to the spool inside the cut's
+// critical section before shipping it upstream. One goroutine owns all
+// upstream traffic; there is deliberately no pipelining — per-stream
+// in-order shipping that stops on refusal is what keeps the root's folded
+// sequences a prefix, which is what makes its high-water dedup exact.
+//
+// While the root is unreachable the shipper does not cut: traffic keeps
+// absorbing into the stream's bounded (≤ 2k counters per tier) sketch, so
+// an arbitrarily long outage costs bounded edge memory and exactly one
+// summary per stream when the link returns.
+type Shipper struct {
+	cfg      ShipperConfig
+	redialer framing.Redialer
+	conn     *Conn
+
+	// nextSeq is each stream's next ship sequence; synced marks streams
+	// whose baseline has been reconciled with the root (LastSeq) since
+	// startup, which must happen before their first cut — a restarted edge
+	// with a lost spool must not reuse sequences the root already folded.
+	nextSeq map[string]uint64
+	synced  map[string]bool
+
+	shipped   atomic.Int64 // summaries folded by the root (AckOK)
+	failures  atomic.Int64 // retryable ship failures (refusals + broken links)
+	cuts      atomic.Int64 // successful local cuts
+	connected atomic.Bool
+}
+
+// NewShipper validates the config and seeds the sequence counters from the
+// spool's surviving records.
+func NewShipper(cfg ShipperConfig) (*Shipper, error) {
+	if cfg.Manager == nil || cfg.Spool == nil {
+		return nil, fmt.Errorf("cluster: shipper requires a manager and a spool")
+	}
+	if cfg.EdgeID == "" || len(cfg.EdgeID) > framing.MaxNameLen {
+		return nil, fmt.Errorf("cluster: edge id length %d outside [1, %d]", len(cfg.EdgeID), framing.MaxNameLen)
+	}
+	if cfg.Upstream == "" {
+		return nil, fmt.Errorf("cluster: shipper requires an upstream address")
+	}
+	maxSeqs, err := cfg.Spool.MaxSeqs()
+	if err != nil {
+		return nil, err
+	}
+	s := &Shipper{
+		cfg: cfg,
+		redialer: framing.Redialer{
+			Addr: cfg.Upstream, Timeout: cfg.DialTimeout,
+			Min: cfg.BackoffMin, Max: cfg.BackoffMax,
+		},
+		nextSeq: make(map[string]uint64),
+		synced:  make(map[string]bool),
+	}
+	s.redialer.OnError = func(err error) { s.logf("cluster: dialing %s: %v", cfg.Upstream, err) }
+	for stream, max := range maxSeqs {
+		s.nextSeq[stream] = max + 1
+	}
+	return s, nil
+}
+
+// logf logs through the configured sink, if any.
+func (s *Shipper) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Run ships on the configured cadence until ctx ends, surviving root
+// restarts through the redialer's backoff. It returns ctx's error.
+func (s *Shipper) Run(ctx context.Context) error {
+	interval := s.cfg.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	defer s.Close()
+	for {
+		if err := s.ShipCycle(ctx); err != nil && ctx.Err() == nil {
+			s.logf("cluster: ship cycle: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// ensureConn establishes the upstream connection if absent, blocking with
+// backoff until it succeeds or ctx ends.
+func (s *Shipper) ensureConn(ctx context.Context) error {
+	if s.conn != nil {
+		return nil
+	}
+	c, err := s.redialer.Dial(ctx)
+	if err != nil {
+		return err
+	}
+	conn, err := NewConn(c, s.cfg.EdgeID)
+	if err != nil {
+		s.failures.Add(1)
+		return err
+	}
+	s.conn = conn
+	s.connected.Store(true)
+	return nil
+}
+
+// dropConn discards a broken connection; the next cycle redials.
+func (s *Shipper) dropConn() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	s.connected.Store(false)
+}
+
+// ShipCycle performs one ship pass: connect if needed, drain the spool
+// backlog per stream in sequence order, then cut and ship every local
+// stream whose pipeline is clear. A transport error aborts the cycle (the
+// rest retries next tick); a per-stream refusal blocks only that stream.
+func (s *Shipper) ShipCycle(ctx context.Context) error {
+	if err := s.ensureConn(ctx); err != nil {
+		return err
+	}
+	blocked := make(map[string]bool)
+	recs, err := s.cfg.Spool.List()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if blocked[rec.Stream] {
+			continue
+		}
+		payload, err := s.cfg.Spool.Load(rec)
+		if err != nil {
+			s.logf("cluster: spool %s/%d: %v", rec.Stream, rec.Seq, err)
+			blocked[rec.Stream] = true
+			continue
+		}
+		if !s.shipRecord(rec, func() (framing.Ack, error) { return s.conn.ShipPayload(payload) }, blocked) {
+			return fmt.Errorf("cluster: upstream link failed re-shipping %s/%d", rec.Stream, rec.Seq)
+		}
+	}
+	for _, st := range s.cfg.Manager.Streams() {
+		name := st.Name()
+		if blocked[name] {
+			continue
+		}
+		if !s.synced[name] {
+			last, err := s.conn.LastSeq(name)
+			if err != nil {
+				s.failures.Add(1)
+				s.dropConn()
+				return fmt.Errorf("cluster: syncing seq baseline for %q: %w", name, err)
+			}
+			if last+1 > s.nextSeq[name] {
+				s.nextSeq[name] = last + 1
+			}
+			if s.nextSeq[name] == 0 {
+				s.nextSeq[name] = 1
+			}
+			s.synced[name] = true
+		}
+		seq := s.nextSeq[name]
+		var msum *merge.Summary
+		cut, err := st.CutSummary(func(out *dpmg.MergeableSummary) error {
+			var ferr error
+			msum, ferr = merge.FromSorted(out.K(), out.Keys(), out.Counts())
+			if ferr != nil {
+				return ferr
+			}
+			return s.cfg.Spool.Save(name, seq, msum)
+		})
+		if err != nil {
+			s.logf("cluster: cutting %q: %v", name, err)
+			continue
+		}
+		if cut == nil {
+			continue
+		}
+		s.cuts.Add(1)
+		s.nextSeq[name] = seq + 1
+		rec := s.cfg.Spool.Record(name, seq)
+		if !s.shipRecord(rec, func() (framing.Ack, error) { return s.conn.ShipSummary(name, seq, msum) }, blocked) {
+			return fmt.Errorf("cluster: upstream link failed shipping %s/%d", name, seq)
+		}
+	}
+	return nil
+}
+
+// shipRecord ships one spooled record through ship and applies the ack
+// policy: fold and duplicate both discard the record (the root holds the
+// data either way), retryable refusals block the stream's pipeline for
+// this cycle, and malformed-payload refusals quarantine the record so it
+// cannot wedge the stream forever. Returns false when the transport died
+// (the caller aborts the cycle).
+func (s *Shipper) shipRecord(rec Record, ship func() (framing.Ack, error), blocked map[string]bool) bool {
+	ack, err := ship()
+	if err != nil {
+		s.failures.Add(1)
+		s.dropConn()
+		return false
+	}
+	switch ack.Code {
+	case framing.AckOK:
+		s.shipped.Add(1)
+		if err := s.cfg.Spool.Delete(rec); err != nil {
+			s.logf("cluster: deleting acked record %s/%d: %v", rec.Stream, rec.Seq, err)
+		}
+	case framing.AckDuplicate:
+		if err := s.cfg.Spool.Delete(rec); err != nil {
+			s.logf("cluster: deleting duplicate record %s/%d: %v", rec.Stream, rec.Seq, err)
+		}
+	case framing.AckBadFrame, framing.AckBadItem:
+		s.failures.Add(1)
+		s.logf("cluster: root refused %s/%d permanently (%s: %s); quarantining", rec.Stream, rec.Seq, ack.Code, ack.Msg)
+		if err := s.cfg.Spool.Quarantine(rec); err != nil {
+			s.logf("cluster: quarantining %s/%d: %v", rec.Stream, rec.Seq, err)
+		}
+		blocked[rec.Stream] = true
+		if ack.Code == framing.AckBadFrame {
+			// The root closes the connection after a bad frame.
+			s.dropConn()
+			return false
+		}
+	case framing.AckShuttingDown:
+		// The root is draining; back off entirely and redial later.
+		s.failures.Add(1)
+		s.dropConn()
+		return false
+	default:
+		// Retryable (AckUnavailable, AckUnknownStream without auto-create,
+		// rate limiting): keep the record, stop this stream's pipeline so
+		// the root's folded sequences stay a prefix.
+		s.failures.Add(1)
+		s.logf("cluster: root refused %s/%d (%s: %s); will retry", rec.Stream, rec.Seq, ack.Code, ack.Msg)
+		blocked[rec.Stream] = true
+	}
+	return true
+}
+
+// Flush drives ship cycles until the spool is empty and every stream has
+// been cut clean — the drain path. It keeps retrying (reconnecting if
+// needed) until it succeeds or ctx ends.
+func (s *Shipper) Flush(ctx context.Context) error {
+	for {
+		err := s.ShipCycle(ctx)
+		if err == nil && s.cfg.Spool.Pending() == 0 {
+			return nil
+		}
+		if err != nil {
+			s.logf("cluster: flush cycle: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: flush incomplete (%d records still spooled): %w", s.cfg.Spool.Pending(), ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// Close drops the upstream connection. The spool keeps its records; a
+// restart resumes from them.
+func (s *Shipper) Close() {
+	s.dropConn()
+}
+
+// ShipperStats is a point-in-time description of the edge-side pump.
+type ShipperStats struct {
+	// Connected reports a live upstream connection.
+	Connected bool
+	// Shipped counts summaries the root acknowledged as folded.
+	Shipped int64
+	// Failures counts retryable ship failures (refusals and broken links).
+	Failures int64
+	// Cuts counts successful local cuts.
+	Cuts int64
+	// SpoolPending is the current unacknowledged-record backlog.
+	SpoolPending int64
+}
+
+// Stats returns the shipper's current counters.
+func (s *Shipper) Stats() ShipperStats {
+	return ShipperStats{
+		Connected:    s.connected.Load(),
+		Shipped:      s.shipped.Load(),
+		Failures:     s.failures.Load(),
+		Cuts:         s.cuts.Load(),
+		SpoolPending: s.cfg.Spool.Pending(),
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"testing"
+
+	"dpmg/internal/stream"
+)
+
+func TestSpoolRoundTrip(t *testing.T) {
+	sp, err := OpenSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumA := testSummary(t, 8, []stream.Item{1, 9}, []int64{4, 2})
+	sumB := testSummary(t, 8, []stream.Item{5}, []int64{7})
+	// Dotted stream names exercise the fixed-width seq parse.
+	if err := sp.Save("a.b-1", 2, sumA); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Save("a.b-1", 1, sumB); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Save("zz", 1, sumB); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Pending(); got != 3 {
+		t.Fatalf("pending = %d, want 3", got)
+	}
+	recs, err := sp.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		stream string
+		seq    uint64
+	}{{"a.b-1", 1}, {"a.b-1", 2}, {"zz", 1}}
+	if len(recs) != len(want) {
+		t.Fatalf("listed %d records, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		if recs[i].Stream != w.stream || recs[i].Seq != w.seq {
+			t.Fatalf("record %d = (%q, %d), want (%q, %d)", i, recs[i].Stream, recs[i].Seq, w.stream, w.seq)
+		}
+	}
+	payload, err := sp.Load(recs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, seq, got, err := DecodeSummaryPayload(payload)
+	if err != nil || name != "a.b-1" || seq != 2 || got.Estimate(1) != 4 {
+		t.Fatalf("loaded record decodes to (%q, %d, est(1)=%d, %v)", name, seq, got.Estimate(1), err)
+	}
+
+	maxes, err := sp.MaxSeqs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxes["a.b-1"] != 2 || maxes["zz"] != 1 {
+		t.Fatalf("MaxSeqs = %v", maxes)
+	}
+
+	if err := sp.Delete(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Delete(recs[0]); err != nil {
+		t.Fatal("double delete must be a no-op, got", err)
+	}
+	if err := sp.Quarantine(recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = sp.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Stream != "a.b-1" || recs[0].Seq != 2 {
+		t.Fatalf("after delete+quarantine, list = %+v", recs)
+	}
+	if got := sp.Pending(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+
+	// A reopened spool recounts survivors — the restart path.
+	sp2, err := OpenSpool(sp.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp2.Pending(); got != 1 {
+		t.Fatalf("reopened pending = %d, want 1", got)
+	}
+}
+
+func TestParseRecordRejectsForeignNames(t *testing.T) {
+	for _, name := range []string{
+		"noseq.sum", "a.deadbeef.sum", "a.000000000000000g.sum",
+		"a.0000000000000001.bad", "a.0000000000000001.sum.tmp-123",
+		".0000000000000001.sum",
+	} {
+		if _, _, ok := parseRecord(name); ok {
+			t.Fatalf("parseRecord(%q) accepted", name)
+		}
+	}
+	s, seq, ok := parseRecord("a.b.0000000000000010.sum")
+	if !ok || s != "a.b" || seq != 0x10 {
+		t.Fatalf("parseRecord dotted = (%q, %d, %v)", s, seq, ok)
+	}
+}

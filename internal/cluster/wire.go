@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"dpmg/internal/encoding"
+	"dpmg/internal/framing"
+	"dpmg/internal/merge"
+)
+
+// Summary frame payload layout (all integers little-endian):
+//
+//	[2] stream name length
+//	[n] stream name (UTF-8, 1..framing.MaxNameLen bytes)
+//	[8] ship sequence number (per (edge, stream), strictly increasing)
+//	[rest] encoding.KindSummary blob — the same canonical bytes the HTTP
+//	       summary endpoint and the offload records use
+//
+// The payload is self-contained (name + seq + summary), so a spooled copy
+// of it can be re-shipped by an edge that remembers nothing else.
+
+// summaryFixedLen is the non-blob part of a minimal payload: name length
+// prefix + sequence number.
+const summaryFixedLen = 2 + 8
+
+// AppendSummaryPayload appends the encoded summary frame payload to dst.
+func AppendSummaryPayload(dst []byte, stream string, seq uint64, sum *merge.Summary) ([]byte, error) {
+	if stream == "" || len(stream) > framing.MaxNameLen {
+		return nil, fmt.Errorf("cluster: stream name length %d outside [1, %d]", len(stream), framing.MaxNameLen)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(stream)))
+	dst = append(dst, stream...)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	var blob bytes.Buffer
+	if err := encoding.MarshalSummary(&blob, sum); err != nil {
+		return nil, err
+	}
+	dst = append(dst, blob.Bytes()...)
+	if len(dst) > framing.MaxSummaryFrameLen {
+		return nil, fmt.Errorf("cluster: summary payload %d bytes exceeds %d", len(dst), framing.MaxSummaryFrameLen)
+	}
+	return dst, nil
+}
+
+// DecodeSummaryPayload decodes one summary frame payload, validating the
+// name bounds and the summary structure (the blob decoder enforces the k
+// bound, strictly ascending keys, and positive counters). The returned
+// summary owns its storage.
+func DecodeSummaryPayload(p []byte) (stream string, seq uint64, sum *merge.Summary, err error) {
+	if len(p) < summaryFixedLen {
+		return "", 0, nil, fmt.Errorf("cluster: summary payload %d bytes, want at least %d", len(p), summaryFixedLen)
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if n == 0 || n > framing.MaxNameLen || len(p) < 2+n+8 {
+		return "", 0, nil, fmt.Errorf("cluster: summary payload name length %d invalid for %d payload bytes", n, len(p))
+	}
+	stream = string(p[2 : 2+n])
+	seq = binary.LittleEndian.Uint64(p[2+n : 2+n+8])
+	sum, err = encoding.UnmarshalSummary(bytes.NewReader(p[2+n+8:]))
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("cluster: summary payload for %q: %w", stream, err)
+	}
+	return stream, seq, sum, nil
+}

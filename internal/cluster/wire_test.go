@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"dpmg/internal/framing"
+	"dpmg/internal/merge"
+	"dpmg/internal/stream"
+)
+
+// testSummary builds a small exact summary.
+func testSummary(t testing.TB, k int, keys []stream.Item, counts []int64) *merge.Summary {
+	t.Helper()
+	s, err := merge.FromSorted(k, keys, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSummaryPayloadRoundTrip(t *testing.T) {
+	sum := testSummary(t, 8, []stream.Item{3, 7, 900}, []int64{5, 1, 42})
+	payload, err := AppendSummaryPayload(nil, "tenant.a-1", 77, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, seq, got, err := DecodeSummaryPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tenant.a-1" || seq != 77 {
+		t.Fatalf("decoded (%q, %d), want (tenant.a-1, 77)", name, seq)
+	}
+	if got.K != 8 || got.Len() != 3 || got.Estimate(900) != 42 {
+		t.Fatalf("decoded summary k=%d len=%d est(900)=%d", got.K, got.Len(), got.Estimate(900))
+	}
+}
+
+func TestSummaryPayloadRejectsBadInput(t *testing.T) {
+	sum := testSummary(t, 4, []stream.Item{1}, []int64{1})
+	if _, err := AppendSummaryPayload(nil, "", 1, sum); err == nil {
+		t.Fatal("empty stream name accepted")
+	}
+	if _, err := AppendSummaryPayload(nil, strings.Repeat("x", framing.MaxNameLen+1), 1, sum); err == nil {
+		t.Fatal("oversized stream name accepted")
+	}
+	good, err := AppendSummaryPayload(nil, "s", 1, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, _, err := DecodeSummaryPayload(good[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+	// Corrupt the blob: counts must be positive.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1], bad[len(bad)-2] = 0xff, 0xff
+	if _, _, _, err := DecodeSummaryPayload(bad); err == nil {
+		t.Fatal("corrupted summary blob decoded without error")
+	}
+}
+
+// FuzzDecodeSummaryPayload pins that arbitrary bytes never panic the
+// decoder and that valid payloads survive a round trip.
+func FuzzDecodeSummaryPayload(f *testing.F) {
+	sum, err := merge.FromSorted(8, []stream.Item{3, 7, 900}, []int64{5, 1, 42})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := AppendSummaryPayload(nil, "tenant", 9, sum)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, seq, got, err := DecodeSummaryPayload(data)
+		if err != nil {
+			return
+		}
+		round, err := AppendSummaryPayload(nil, name, seq, got)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded payload failed: %v", err)
+		}
+		name2, seq2, got2, err := DecodeSummaryPayload(round)
+		if err != nil || name2 != name || seq2 != seq || got2.Len() != got.Len() {
+			t.Fatalf("round trip diverged: (%q,%d,%v) vs (%q,%d,len %d)", name2, seq2, err, name, seq, got.Len())
+		}
+	})
+}

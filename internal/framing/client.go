@@ -2,9 +2,11 @@ package framing
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
+	"time"
 
 	"dpmg/internal/stream"
 )
@@ -37,9 +39,32 @@ type Client struct {
 }
 
 // Dial connects to a dpmg-server streaming ingest listener (-ingest-addr)
-// and writes the protocol preamble.
+// and writes the protocol preamble. It blocks for as long as the operating
+// system's connect takes; prefer DialTimeout or DialContext anywhere a
+// peer may be down (an edge must never hang on a dead root).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialTimeout is Dial with a connect timeout: a peer that is down or
+// unreachable fails within the deadline instead of holding the caller for
+// the kernel's (minutes-long) connect timeout. A non-positive timeout
+// means no limit.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return DialContext(ctx, addr)
+}
+
+// DialContext is Dial under a caller-supplied context: cancellation or a
+// deadline aborts the connect (not the established connection).
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +176,104 @@ func (c *Client) expectOK() error {
 		return &AckError{Ack: ack}
 	}
 	return nil
+}
+
+// Exchange writes one frame of the given type and payload, flushes, and
+// waits for its in-order ack, returning the ack without classifying
+// refusals — callers that treat some non-OK codes as success (the
+// aggregation tier's AckDuplicate) decide themselves. It is the generic
+// synchronous round trip the typed helpers (Bind, Send) are special cases
+// of; protocol extensions (internal/cluster) build on it.
+func (c *Client) Exchange(t Type, payload []byte) (Ack, error) {
+	c.seq++
+	c.scratch = AppendHeader(c.scratch[:0], Header{Type: t, Seq: c.seq, Len: uint32(len(payload))})
+	c.scratch = append(c.scratch, payload...)
+	if _, err := c.bw.Write(c.scratch); err != nil {
+		return Ack{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Ack{}, err
+	}
+	ack, err := ReadAck(c.br)
+	if err != nil {
+		return Ack{}, err
+	}
+	if ack.Seq != c.seq {
+		return Ack{}, fmt.Errorf("framing: ack for frame %d, want %d (pipelined acks must be drained with ReadAck)", ack.Seq, c.seq)
+	}
+	return ack, nil
+}
+
+// Redialer dials a peer with capped exponential backoff until it succeeds
+// or the context ends — the reconnect loop every edge needs to survive a
+// root restart without hot-looping. The zero value is usable with just
+// Addr set; Min and Max default to 100ms and 15s.
+type Redialer struct {
+	// Addr is the peer address to dial.
+	Addr string
+	// Timeout bounds each individual connect attempt (0: one Min..Max
+	// backoff step, so a black-holed connect cannot stall the loop).
+	Timeout time.Duration
+	// Min is the first backoff delay (default 100ms).
+	Min time.Duration
+	// Max caps the backoff delay (default 15s).
+	Max time.Duration
+	// OnError, when set, observes each failed attempt (logging hook).
+	OnError func(err error)
+
+	// delay is the current backoff, reset by a successful dial.
+	delay time.Duration
+}
+
+// backoffStep returns the delay to sleep after a failure and advances the
+// doubling schedule.
+func (r *Redialer) backoffStep() time.Duration {
+	min, max := r.Min, r.Max
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 15 * time.Second
+	}
+	if r.delay < min {
+		r.delay = min
+	} else {
+		r.delay *= 2
+		if r.delay > max {
+			r.delay = max
+		}
+	}
+	return r.delay
+}
+
+// Dial attempts to connect until it succeeds or ctx ends, sleeping the
+// current backoff between failures. A successful dial resets the backoff
+// schedule for the next call.
+func (r *Redialer) Dial(ctx context.Context) (*Client, error) {
+	for {
+		timeout := r.Timeout
+		if timeout <= 0 {
+			timeout = r.Max
+			if timeout <= 0 {
+				timeout = 15 * time.Second
+			}
+		}
+		dialCtx, cancel := context.WithTimeout(ctx, timeout)
+		c, err := DialContext(dialCtx, r.Addr)
+		cancel()
+		if err == nil {
+			r.delay = 0
+			return c, nil
+		}
+		if r.OnError != nil {
+			r.OnError(err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(r.backoffStep()):
+		}
+	}
 }
 
 // Close performs the graceful close handshake (best effort) and closes the

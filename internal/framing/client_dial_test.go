@@ -1,0 +1,205 @@
+package framing
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDialTimeout pins the timeout plumbing without depending on how the
+// host network treats unroutable addresses (some CI sandboxes transparently
+// proxy them): an already-expired deadline must refuse even a live local
+// listener, and a generous one must connect to it.
+func TestDialTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	if _, err := DialTimeout(ln.Addr().String(), time.Nanosecond); err == nil {
+		t.Fatal("DialTimeout with an already-expired deadline succeeded")
+	}
+	c, err := DialTimeout(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialTimeout to a live listener: %v", err)
+	}
+	c.conn.Close() // bare close: the listener does not speak the protocol
+}
+
+// TestDialContextCanceled pins that a canceled context aborts the connect.
+func TestDialContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(ctx, "127.0.0.1:0"); err == nil {
+		t.Fatal("DialContext with canceled context succeeded")
+	}
+}
+
+// TestRedialerSurvivesLateListener pins the reconnect loop an edge relies
+// on: the first attempts fail (nothing listens), the listener appears, and
+// Dial returns a connected client without the caller hot-looping.
+func TestRedialerSurvivesLateListener(t *testing.T) {
+	// Reserve an address, then release it so the first dials fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var attempts atomic.Int64
+	r := Redialer{
+		Addr: addr, Timeout: 200 * time.Millisecond,
+		Min: 5 * time.Millisecond, Max: 20 * time.Millisecond,
+		OnError: func(error) { attempts.Add(1) },
+	}
+	lateUp := make(chan struct{})
+	go func() {
+		// Come up only after at least one failed attempt was observed.
+		for attempts.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			close(lateUp)
+			return
+		}
+		defer ln2.Close()
+		close(lateUp)
+		conn, err := ln2.Accept()
+		if err == nil {
+			// Drain the preamble so the client-side write succeeds.
+			buf := make([]byte, len(Preamble))
+			conn.Read(buf) //nolint:errcheck // best-effort drain
+			conn.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := r.Dial(ctx)
+	<-lateUp
+	if err != nil {
+		t.Fatalf("Redialer.Dial: %v (after %d failed attempts)", err, attempts.Load())
+	}
+	c.Close()
+	if attempts.Load() == 0 {
+		t.Fatal("listener raced up before any attempt failed; test proved nothing")
+	}
+	if r.delay != 0 {
+		t.Fatalf("successful dial must reset the backoff schedule, delay = %v", r.delay)
+	}
+}
+
+// TestRedialerContextEndsWait pins that cancellation interrupts the
+// backoff sleep rather than waiting it out.
+func TestRedialerContextEndsWait(t *testing.T) {
+	// A reserved-then-released local port refuses instantly, so the loop
+	// reaches its hour-long backoff sleep at once.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	r := Redialer{Addr: addr, Timeout: 20 * time.Millisecond, Min: time.Hour, Max: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = r.Dial(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Dial held for %v despite a 100ms context", elapsed)
+	}
+}
+
+// TestRedialerBackoffCaps pins the doubling schedule: min, doubled, capped.
+func TestRedialerBackoffCaps(t *testing.T) {
+	r := Redialer{Min: 10 * time.Millisecond, Max: 35 * time.Millisecond}
+	want := []time.Duration{10, 20, 35, 35} // ms
+	for i, w := range want {
+		if got := r.backoffStep(); got != w*time.Millisecond {
+			t.Fatalf("step %d: got %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	r.delay = 0 // what a successful dial does
+	if got := r.backoffStep(); got != 10*time.Millisecond {
+		t.Fatalf("after reset: got %v, want 10ms", got)
+	}
+}
+
+// TestExchangeRoundTrip pins the generic synchronous frame round trip the
+// cluster protocol builds on, including non-OK acks passed through
+// unclassified.
+func TestExchangeRoundTrip(t *testing.T) {
+	cp, sp := net.Pipe()
+	defer sp.Close()
+	done := make(chan error, 1)
+	go func() {
+		// Minimal peer: preamble, one frame, one deliberately non-OK ack
+		// echoing the payload length in info.
+		if err := ReadPreamble(sp); err != nil {
+			done <- err
+			return
+		}
+		h, err := ReadHeader(sp)
+		if err != nil {
+			done <- err
+			return
+		}
+		payload := make([]byte, h.Len)
+		if _, err := readFull(sp, payload); err != nil {
+			done <- err
+			return
+		}
+		ack := AppendAck(nil, Ack{Seq: h.Seq, Code: AckDuplicate, Info: uint64(h.Len), Msg: "already folded"})
+		_, err = sp.Write(ack)
+		done <- err
+	}()
+	c, err := NewClient(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close sp before c: Close writes a goodbye frame, and with the peer
+	// goroutine done an open pipe would absorb it never — a closed one
+	// errors it immediately.
+	defer c.Close()
+	defer sp.Close()
+	ack, err := c.Exchange(TypeSummary, []byte("payload-bytes"))
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if ack.Code != AckDuplicate || ack.Info != uint64(len("payload-bytes")) || ack.Msg != "already folded" {
+		t.Fatalf("ack = %+v, want duplicate/info=%d", ack, len("payload-bytes"))
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("peer: %v", err)
+	}
+}
+
+// readFull is io.ReadFull without importing io in this file twice.
+func readFull(r net.Conn, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

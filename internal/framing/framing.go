@@ -64,6 +64,10 @@ const (
 	MaxNameLen = 256
 	// MaxAckMsgLen bounds an ack frame's human-readable message.
 	MaxAckMsgLen = 512
+	// MaxSummaryFrameLen bounds a summary frame's payload — the same
+	// ceiling the HTTP summary endpoint's MaxBytesReader enforces (a k=2²⁰
+	// summary, the manager's MaxStreamK, is 16 MiB of entries).
+	MaxSummaryFrameLen = 1 << 24
 )
 
 // Type tags a frame.
@@ -79,6 +83,19 @@ const (
 	// TypeClose announces a graceful client close; the server acks it and
 	// closes its side.
 	TypeClose Type = 3
+	// TypeHello identifies the peer on an aggregation-tier connection
+	// (payload: edge node name). It must be the first frame an edge sends
+	// to a root, before any summary frame.
+	TypeHello Type = 4
+	// TypeSummary ships one flat mergeable summary upstream on the
+	// aggregation tier (payload codec in internal/cluster: stream name,
+	// edge-assigned ship sequence number, encoding.KindSummary blob).
+	TypeSummary Type = 5
+	// TypeSeqQuery asks the root for the last ship sequence number it
+	// folded for the sending edge and the named stream (payload: stream
+	// name; answered in the ack's info field). Edges use it to re-sync
+	// their sequence counters after a restart.
+	TypeSeqQuery Type = 6
 	// TypeAck is the server's per-frame acknowledgment.
 	TypeAck Type = 0x80
 )
@@ -92,6 +109,12 @@ func (t Type) String() string {
 		return "data"
 	case TypeClose:
 		return "close"
+	case TypeHello:
+		return "hello"
+	case TypeSummary:
+		return "summary"
+	case TypeSeqQuery:
+		return "seq-query"
 	case TypeAck:
 		return "ack"
 	default:
@@ -186,6 +209,15 @@ const (
 	AckStreamGone AckCode = 7
 	// AckShuttingDown: the server is draining; re-connect elsewhere.
 	AckShuttingDown AckCode = 8
+	// AckDuplicate: a summary frame's ship sequence number was already
+	// folded (an idempotent re-ship after an edge restart). Success-class:
+	// nothing was merged, nothing was lost, and the shipper may discard
+	// its spool record. The ack info field carries the last folded seq.
+	AckDuplicate AckCode = 9
+	// AckNotHello: an aggregation-tier frame arrived before the
+	// connection's hello frame identified the edge. Analogous to
+	// AckNotBound on the ingest datapath.
+	AckNotHello AckCode = 10
 )
 
 // String names the ack code for logs and errors.
@@ -209,6 +241,10 @@ func (c AckCode) String() string {
 		return "stream-gone"
 	case AckShuttingDown:
 		return "shutting-down"
+	case AckDuplicate:
+		return "duplicate"
+	case AckNotHello:
+		return "not-hello"
 	default:
 		return fmt.Sprintf("code(0x%02x)", byte(c))
 	}

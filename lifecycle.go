@@ -319,6 +319,31 @@ func (m *Manager) Evict(name string) (bool, error) {
 	return true, nil
 }
 
+// FaultIn forcibly faults the named stream back into memory, reporting
+// whether this call performed the fault-in (false when the stream does not
+// exist or is already resident — fault-in is idempotent, mirroring Evict).
+// It is the admin-surface counterpart of the transparent fault-in data
+// operations perform: an operator pre-warming a tenant before a traffic
+// wave, or probing whether an offload record is readable at all. Failures
+// wrap ErrFaultIn. A successful fault-in stamps the idle clock so the TTL
+// sweep does not immediately re-evict the stream it was asked to warm.
+func (m *Manager) FaultIn(name string) (bool, error) {
+	st, ok := m.streams.Get(name)
+	if !ok {
+		return false, nil
+	}
+	st.life.Lock()
+	defer st.life.Unlock()
+	if !st.offloaded || st.deleted {
+		return false, nil
+	}
+	if err := st.faultInLocked(); err != nil {
+		return false, err
+	}
+	st.touch(m.now())
+	return true, nil
+}
+
 // RecoverOffloaded scans the offload store and registers an offloaded stub
 // for every record whose name is not already resident, returning how many
 // streams were recovered (including ones that replaced stale resident

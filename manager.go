@@ -796,6 +796,64 @@ func (s *Stream) combined() (*merge.Summary, error) {
 	return merge.Merge(base, shardSum.inner)
 }
 
+// CutSummary atomically extracts the stream's combined summary (node
+// aggregate ∪ raw shards) and resets both tiers, so successive cuts cover
+// disjoint traffic segments — the edge-side primitive of the aggregation
+// tier: ship each cut upstream and the root's folds compose with the
+// Agarwal et al. merge exactly as if the root had ingested the raw traffic
+// (Corollary 18 sensitivity is merge-count-independent, so cutting adds no
+// error beyond the sketch's own).
+//
+// The whole cut runs under the stream's exclusive lifecycle lock: no ingest
+// can land between the extract and the reset, so no item is ever in two
+// cuts and none is dropped. persist, when non-nil, is called with the
+// extracted summary inside that critical section, before the reset commits;
+// if it fails the cut aborts with the stream unchanged. A shipper that
+// persists the cut to its durable spool in the callback therefore gets
+// exact at-most-once extraction: a crash before the callback returns leaves
+// the traffic in the stream, a crash after it leaves the traffic in the
+// spool — never both, never neither.
+//
+// The cumulative bookkeeping counters (Ingested, Batches, Nodes) are
+// deliberately not reset: they are monotone lifecycle counters
+// (recordNewer, stats) and a cut is not an un-ingest. An offloaded stream
+// is faulted back in first. Returns (nil, nil) when the stream holds no
+// data to cut.
+func (s *Stream) CutSummary(persist func(*MergeableSummary) error) (*MergeableSummary, error) {
+	s.life.Lock()
+	defer s.life.Unlock()
+	if s.deleted {
+		return nil, fmt.Errorf("dpmg: cut %q: stream is deleted", s.name)
+	}
+	if s.offloaded {
+		if err := s.faultInLocked(); err != nil {
+			return nil, err
+		}
+	}
+	s.touch(s.mgr.now())
+	sum, err := s.combined()
+	if err != nil {
+		return nil, err
+	}
+	if sum == nil || sum.Len() == 0 {
+		return nil, nil
+	}
+	out := &MergeableSummary{inner: sum}
+	if persist != nil {
+		if err := persist(out); err != nil {
+			return nil, fmt.Errorf("dpmg: cut %q: persisting: %w", s.name, err)
+		}
+	}
+	// Commit the reset. Ownership of the extracted summary transfers to the
+	// caller: every path out of combined() either clones or returns the node
+	// aggregate itself, which the nil store below unpublishes.
+	s.mu.Lock()
+	s.merged = nil
+	s.mu.Unlock()
+	s.sharded = NewShardedSketch(s.cfg.Shards, s.cfg.K, s.cfg.Universe)
+	return out, nil
+}
+
 // releaseViewLocked builds the release view; the caller must hold the
 // lifecycle lock (either side) with the stream resident.
 func (s *Stream) releaseViewLocked() (*ReleaseView, error) {

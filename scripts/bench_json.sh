@@ -37,11 +37,15 @@ run ./cmd/dpmg-server 'BenchmarkServerBatchIngest$|BenchmarkServerRelease$|Bench
 # HTTP baseline. Subtracting the shared decode+sketch floor, the pair is
 # the per-batch protocol overhead comparison the datapath exists to win.
 run ./cmd/dpmg-server 'BenchmarkServerStreamIngest$|BenchmarkServerHTTPIngestE2E$'
+# Aggregation tier: summary fan-in throughput at the root (summaries
+# folded per second over a loopback edge connection).
+run ./internal/cluster 'BenchmarkClusterFanIn$'
 
-# The streaming-datapath rows are the acceptance evidence for the binary
-# ingest path; a refactor that silently drops either benchmark must fail
-# the bench job, not produce a quietly thinner artifact.
-for required in BenchmarkServerStreamIngest BenchmarkServerHTTPIngestE2E BenchmarkServerBatchIngest; do
+# The streaming-datapath and fan-in rows are the acceptance evidence for
+# the binary ingest path and the aggregation tier; a refactor that
+# silently drops one of these benchmarks must fail the bench job, not
+# produce a quietly thinner artifact.
+for required in BenchmarkServerStreamIngest BenchmarkServerHTTPIngestE2E BenchmarkServerBatchIngest BenchmarkClusterFanIn; do
   if ! grep -q "^${required}" "$TMP"; then
     echo "bench_json.sh: required benchmark ${required} missing from output" >&2
     exit 1
@@ -52,13 +56,14 @@ awk '
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
-  ns = ""; bytes = ""; allocs = ""; mbs = ""; items = ""
+  ns = ""; bytes = ""; allocs = ""; mbs = ""; items = ""; sums = ""
   for (i = 2; i < NF; i++) {
     if ($(i + 1) == "ns/op") ns = $i
     if ($(i + 1) == "B/op") bytes = $i
     if ($(i + 1) == "allocs/op") allocs = $i
     if ($(i + 1) == "MB/s") mbs = $i
     if ($(i + 1) == "items/s") items = $i
+    if ($(i + 1) == "summaries/s") sums = $i
   }
   if (ns == "") next
   if (n++) printf ",\n"
@@ -67,6 +72,7 @@ awk '
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
   if (mbs != "") printf ", \"mb_per_s\": %s", mbs
   if (items != "") printf ", \"items_per_s\": %s", items
+  if (sums != "") printf ", \"summaries_per_s\": %s", sums
   printf "}"
 }
 BEGIN { printf "[\n" }

@@ -4,7 +4,9 @@
 # 1. Every exported identifier in the gated packages must carry a doc
 #    comment (scripts/checkdocs, an ST1000/ST1020-style check built on
 #    go/ast — no external linter needed).
-# 2. The README quickstart block (between the quickstart-begin/-end
+# 2. The examples (including the examples/distributed edge/root
+#    topology) must compile against the current API.
+# 3. The README quickstart block (between the quickstart-begin/-end
 #    markers) is extracted and executed verbatim, so the first commands a
 #    new user runs can never rot.
 #
@@ -14,6 +16,9 @@ cd "$(dirname "$0")/.."
 
 echo "== exported-identifier doc comments" >&2
 go run ./scripts/checkdocs
+
+echo "== examples compile" >&2
+go build ./examples/...
 
 echo "== README quickstart smoke" >&2
 QUICKSTART="$(awk '

@@ -34,6 +34,7 @@ var defaultGate = []string{
 	"internal/accountant",
 	"internal/audit",
 	"internal/baseline",
+	"internal/cluster",
 	"internal/continual",
 	"internal/core",
 	"internal/encoding",
