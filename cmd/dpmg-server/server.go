@@ -18,6 +18,7 @@ import (
 	"dpmg"
 	"dpmg/internal/cluster"
 	"dpmg/internal/encoding"
+	"dpmg/internal/framing"
 	"dpmg/internal/stream"
 )
 
@@ -345,7 +346,7 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request, st *dpmg.
 		jsonError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	sum, err := encoding.UnmarshalSummary(http.MaxBytesReader(w, r.Body, 1<<24))
+	sum, err := encoding.UnmarshalSummary(http.MaxBytesReader(w, r.Body, framing.MaxSummaryFrameLen))
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "bad summary: %v", err)
 		return
@@ -395,7 +396,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, st *dpmg.St
 	}
 	bufp := batchBufPool.Get().(*[]stream.Item)
 	defer putBatchBuf(bufp)
-	items, err := encoding.AppendItems((*bufp)[:0], http.MaxBytesReader(w, r.Body, 1<<24), 1<<21, st.Config().Universe)
+	// The limit must admit a full MaxDataItems batch (16 MiB of items)
+	// plus the encoding header, not just the items themselves.
+	items, err := encoding.AppendItems((*bufp)[:0], http.MaxBytesReader(w, r.Body, framing.MaxSummaryFrameLen), framing.MaxDataItems, st.Config().Universe)
 	*bufp = items // keep the grown buffer even when the decode failed
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "bad batch: %v", err)
@@ -830,21 +833,32 @@ func (s *server) saveState(dir string) error {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return err
 	}
-	// On a root, capture the cluster dedup table BEFORE the snapshot. The
-	// table must never be newer than the snapshot it rides with: a fold
-	// landing between the snapshot and a later table capture would be
-	// marked folded without its data, and the edge's re-ship would be
-	// refused as a duplicate — silent loss. The older-table direction is
-	// safe: a fold in the snapshot but not the table was acked, so its edge
-	// already discarded the record and never re-ships it.
-	var seqsTable []byte
+	// On a root, the dedup table and the manager snapshot must describe
+	// the same fold set, so folds are quiesced (the root's fold mutex is
+	// held by SnapshotSeqs) across the table capture AND the snapshot
+	// write. Without the quiesce, a fold landing between the two captures
+	// would be in one but not the other: table-newer means an edge re-ship
+	// is refused as a duplicate after its fold was lost (silent loss), and
+	// snapshot-newer means a fold whose ack dies with a power cut is
+	// re-shipped and folded twice. The snapshot is still written first —
+	// if a crash lands between the two renames, the stale-table direction
+	// can only double-count a fold whose ack was also lost in transit,
+	// never drop one.
 	if s.clusterRoot != nil {
-		var tbuf bytes.Buffer
-		if err := s.clusterRoot.SaveSeqs(&tbuf); err != nil {
-			return err
-		}
-		seqsTable = tbuf.Bytes()
+		return s.clusterRoot.SnapshotSeqs(func(table []byte) error {
+			if err := s.writeSnapshot(dir); err != nil {
+				return err
+			}
+			return writeClusterSeqs(dir, table)
+		})
 	}
+	return s.writeSnapshot(dir)
+}
+
+// writeSnapshot writes the manager snapshot with the temp/sync/rename/
+// sync-dir discipline; saveState holds the flush mutex (and, on a root,
+// the fold quiesce) around it.
+func (s *server) writeSnapshot(dir string) error {
 	f, err := os.CreateTemp(dir, stateFileName+".tmp-*")
 	if err != nil {
 		return err
@@ -868,13 +882,7 @@ func (s *server) saveState(dir string) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := syncDir(dir); err != nil {
-		return err
-	}
-	if seqsTable != nil {
-		return writeClusterSeqs(dir, seqsTable)
-	}
-	return nil
+	return syncDir(dir)
 }
 
 // syncDir fsyncs a directory so a completed rename inside it survives a

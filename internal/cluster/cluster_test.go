@@ -497,6 +497,52 @@ func TestShipperRunLoop(t *testing.T) {
 	}
 }
 
+// TestShipperFlushDuringRun pins the admin-drain race: Flush called while
+// the Run loop's ticker is live must serialize with the loop's cycles on
+// the pump mutex — they share the sequence counters and the upstream
+// connection, and an interleaved pair of cycles could cut the same
+// sequence twice (Spool.Save atomically replaces the first record: silent
+// loss). Run under -race this fails loudly without the mutex; the exact
+// per-key counts at the root pin the no-double-cut, no-loss outcome.
+func TestShipperFlushDuringRun(t *testing.T) {
+	rootMgr := testManager(t)
+	root, addr, stop := startRoot(t, rootMgr, nil)
+	defer stop()
+	edge := newEdge(t, "edge-1", addr, t.TempDir())
+	edge.shipper.cfg.Interval = time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); edge.shipper.Run(ctx) }() //nolint:errcheck
+
+	const rounds = 25
+	want := make(map[stream.Item]int64)
+	for i := 0; i < rounds; i++ {
+		key := stream.Item(i%7 + 1)
+		edge.ingest(t, "s", []stream.Item{key})
+		want[key]++
+		if err := edge.shipper.Flush(ctx); err != nil {
+			cancel()
+			<-done
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	<-done
+	if got := edge.spool.Pending(); got != 0 {
+		t.Fatalf("flush left %d records spooled", got)
+	}
+	if got := root.Stats(); got.Folded == 0 {
+		t.Fatal("nothing folded at the root")
+	}
+	st := mustStream(t, rootMgr, "s")
+	for key, count := range want {
+		if got := st.Estimate(key); got != count {
+			t.Fatalf("root estimate(%d) = %d, want exactly %d (k exceeds distinct keys)", key, got, count)
+		}
+	}
+}
+
 // BenchmarkClusterFanIn measures root fold throughput over a real loopback
 // connection — the summaries-folded-per-second row of BENCH_core.json.
 func BenchmarkClusterFanIn(b *testing.B) {

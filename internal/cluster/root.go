@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -374,14 +375,37 @@ type seqTable struct {
 
 // SaveSeqs writes the (edge, stream) → last-folded-seq table as JSON. The
 // server persists it next to the manager snapshot: restoring both together
-// resumes the exactly-once contract across a root restart (the table must
-// never be newer than the snapshot it rides with, or re-ships would be
-// refused as duplicates after their folds were lost — snapshot first, then
-// the table captured at the same quiesce point).
+// resumes the exactly-once contract across a root restart. Callers who
+// pair the table with a manager snapshot should use SnapshotSeqs instead,
+// which captures both at the same quiesce point.
 func (r *Root) SaveSeqs(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return json.NewEncoder(w).Encode(seqTable{Seqs: r.seqs})
+}
+
+// SnapshotSeqs captures the dedup table and invokes save with the fold
+// mutex held, so no fold can land between the table capture and whatever
+// save persists beside it (the manager snapshot) — the two always
+// describe the same fold set. Capturing them without the quiesce leaves a
+// power-loss window: a fold landing between the captures is in the
+// snapshot but not the table, and if power dies before its ack reaches
+// the edge, the edge re-ships and the restarted root folds it again — a
+// double count. Folds (and edge acks) stall for save's duration; that is
+// the price of the closed window, and edges just see slower acks.
+//
+// The residual exposure is a crash between save's own file renames, which
+// can leave the new snapshot beside the previous table; the server writes
+// snapshot first so that direction only re-folds a fold whose ack was
+// also lost in transit — never silently drops one.
+func (r *Root) SnapshotSeqs(save func(table []byte) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(seqTable{Seqs: r.seqs}); err != nil {
+		return err
+	}
+	return save(buf.Bytes())
 }
 
 // LoadSeqs restores a SaveSeqs table, replacing the in-memory one. Call it

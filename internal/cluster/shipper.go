@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,8 +37,10 @@ type ShipperConfig struct {
 // Shipper is the edge-side pump of the aggregation tier: on every tick it
 // re-ships the spool backlog (per stream, in sequence order) and then cuts
 // each local stream, persisting the cut to the spool inside the cut's
-// critical section before shipping it upstream. One goroutine owns all
-// upstream traffic; there is deliberately no pipelining — per-stream
+// critical section before shipping it upstream. ShipCycle, Flush, and
+// Close serialize on an internal mutex — the Run loop, the admin drain
+// handler, and the shutdown flush may all drive the pump concurrently —
+// and there is deliberately no pipelining within a cycle: per-stream
 // in-order shipping that stops on refusal is what keeps the root's folded
 // sequences a prefix, which is what makes its high-water dedup exact.
 //
@@ -48,7 +51,14 @@ type ShipperConfig struct {
 type Shipper struct {
 	cfg      ShipperConfig
 	redialer framing.Redialer
-	conn     *Conn
+
+	// mu serializes ship cycles. It guards conn, nextSeq, and synced:
+	// without it, a drain-triggered Flush racing the Run loop's ticker
+	// would interleave writes on the shared upstream connection (corrupt
+	// frames) and could cut the same sequence twice, where Spool.Save
+	// atomically replaces the first record — silent data loss.
+	mu   sync.Mutex
+	conn *Conn
 
 	// nextSeq is each stream's next ship sequence; synced marks streams
 	// whose baseline has been reconciled with the root (LastSeq) since
@@ -157,7 +167,10 @@ func (s *Shipper) dropConn() {
 // backlog per stream in sequence order, then cut and ship every local
 // stream whose pipeline is clear. A transport error aborts the cycle (the
 // rest retries next tick); a per-stream refusal blocks only that stream.
+// Concurrent callers serialize; each gets a complete, uninterleaved pass.
 func (s *Shipper) ShipCycle(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ensureConn(ctx); err != nil {
 		return err
 	}
@@ -280,7 +293,8 @@ func (s *Shipper) shipRecord(rec Record, ship func() (framing.Ack, error), block
 
 // Flush drives ship cycles until the spool is empty and every stream has
 // been cut clean — the drain path. It keeps retrying (reconnecting if
-// needed) until it succeeds or ctx ends.
+// needed) until it succeeds or ctx ends. Safe while Run is live: its
+// cycles and the ticker's serialize on the pump mutex.
 func (s *Shipper) Flush(ctx context.Context) error {
 	for {
 		err := s.ShipCycle(ctx)
@@ -299,8 +313,11 @@ func (s *Shipper) Flush(ctx context.Context) error {
 }
 
 // Close drops the upstream connection. The spool keeps its records; a
-// restart resumes from them.
+// restart resumes from them. A cycle in flight finishes first; a Flush
+// retrying around it simply redials on its next cycle.
 func (s *Shipper) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.dropConn()
 }
 

@@ -164,7 +164,7 @@ func (s *Spool) List() ([]Record, error) {
 			continue
 		}
 		n := e.Name()
-		if strings.Contains(n, spoolSuffix+".tmp-") {
+		if isStaleTemp(n) {
 			os.Remove(filepath.Join(s.dir, n))
 			continue
 		}
@@ -181,6 +181,20 @@ func (s *Spool) List() ([]Record, error) {
 		return recs[i].Seq < recs[j].Seq
 	})
 	return recs, nil
+}
+
+// isStaleTemp reports whether name is a leftover CreateTemp file from a
+// Save interrupted before its rename. The check is anchored to the end of
+// the name: CreateTemp's random ".tmp-<suffix>" never contains a dot,
+// while a genuine record always ends in ".sum" after its dotted sequence
+// field — so a record of a stream whose own name contains ".sum.tmp-"
+// (names allow dots and dashes) can never match and be swept.
+func isStaleTemp(name string) bool {
+	i := strings.LastIndex(name, spoolSuffix+".tmp-")
+	if i < 0 {
+		return false
+	}
+	return !strings.Contains(name[i+len(spoolSuffix)+len(".tmp-"):], ".")
 }
 
 // Record locates the record for (stream, seq) without listing the

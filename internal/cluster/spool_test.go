@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"dpmg/internal/stream"
@@ -86,6 +88,53 @@ func TestSpoolRoundTrip(t *testing.T) {
 	}
 	if got := sp2.Pending(); got != 1 {
 		t.Fatalf("reopened pending = %d, want 1", got)
+	}
+}
+
+// TestSpoolTempSweepAnchored pins the stale-temp sweep to the END of the
+// file name: a stream legitimately named with ".sum.tmp-" inside it
+// (names allow dots and dashes) produces records containing the temp
+// marker mid-name, and List must ship them, not sweep them. Actual
+// CreateTemp leftovers — temp marker at the end, dotless random suffix —
+// are still removed.
+func TestSpoolTempSweepAnchored(t *testing.T) {
+	sp, err := OpenSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := testSummary(t, 8, []stream.Item{1}, []int64{2})
+	hostile := "a.sum.tmp-x"
+	if err := sp.Save(hostile, 1, sum); err != nil {
+		t.Fatal(err)
+	}
+	// A genuine interrupted-Save leftover, including one for the hostile
+	// stream itself.
+	for _, stale := range []string{
+		"zz.0000000000000001.sum.tmp-123456",
+		hostile + ".0000000000000002.sum.tmp-987654",
+	} {
+		if err := os.WriteFile(filepath.Join(sp.dir, stale), []byte("junk"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		recs, err := sp.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Stream != hostile || recs[0].Seq != 1 {
+			t.Fatalf("pass %d: list = %+v, want the one %q record", pass, recs, hostile)
+		}
+	}
+	if _, err := sp.Load(sp.Record(hostile, 1)); err != nil {
+		t.Fatalf("record swept by the temp sweep: %v", err)
+	}
+	left, err := os.ReadDir(sp.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 {
+		t.Fatalf("stale temps not swept: %d files remain", len(left))
 	}
 }
 

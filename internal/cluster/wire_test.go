@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dpmg"
 	"dpmg/internal/framing"
 	"dpmg/internal/merge"
 	"dpmg/internal/stream"
@@ -59,6 +60,37 @@ func TestSummaryPayloadRejectsBadInput(t *testing.T) {
 	bad[len(bad)-1], bad[len(bad)-2] = 0xff, 0xff
 	if _, _, _, err := DecodeSummaryPayload(bad); err == nil {
 		t.Fatal("corrupted summary blob decoded without error")
+	}
+}
+
+// TestSummaryPayloadMaxK pins the frame ceiling against the manager's
+// k bound: a completely full summary at the largest legal k, under the
+// longest legal stream name, must encode within MaxSummaryFrameLen and
+// round-trip — otherwise a max-k stream could never be cut or shipped
+// (every cut would fail inside Spool.Save, forever).
+func TestSummaryPayloadMaxK(t *testing.T) {
+	k := dpmg.MaxStreamK
+	keys := make([]stream.Item, k)
+	counts := make([]int64, k)
+	for i := range keys {
+		keys[i] = stream.Item(i + 1)
+		counts[i] = 1
+	}
+	sum := testSummary(t, k, keys, counts)
+	name := strings.Repeat("s", framing.MaxNameLen)
+	payload, err := AppendSummaryPayload(nil, name, ^uint64(0), sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) > framing.MaxSummaryFrameLen {
+		t.Fatalf("max-k payload is %d bytes, frame ceiling %d", len(payload), framing.MaxSummaryFrameLen)
+	}
+	gotName, gotSeq, got, err := DecodeSummaryPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotName != name || gotSeq != ^uint64(0) || got.Len() != k {
+		t.Fatalf("decoded (name %d bytes, seq %d, len %d), want (%d, max, %d)", len(gotName), gotSeq, got.Len(), framing.MaxNameLen, k)
 	}
 }
 

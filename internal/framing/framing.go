@@ -65,9 +65,13 @@ const (
 	// MaxAckMsgLen bounds an ack frame's human-readable message.
 	MaxAckMsgLen = 512
 	// MaxSummaryFrameLen bounds a summary frame's payload — the same
-	// ceiling the HTTP summary endpoint's MaxBytesReader enforces (a k=2²⁰
-	// summary, the manager's MaxStreamK, is 16 MiB of entries).
-	MaxSummaryFrameLen = 1 << 24
+	// ceiling the HTTP summary endpoint's MaxBytesReader enforces. It must
+	// admit the largest legal payload, not merely approximate it: a full
+	// k=2²⁰ summary (the manager's MaxStreamK) is exactly 16 MiB (1<<24)
+	// of entries, and the encoding header plus the aggregation tier's
+	// name/seq prefix ride on top — without the slack KiB a max-k stream
+	// could never be cut or shipped.
+	MaxSummaryFrameLen = 1<<24 + 1024
 )
 
 // Type tags a frame.
