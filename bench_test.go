@@ -9,7 +9,9 @@ package dpmg
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"dpmg/internal/experiment"
@@ -189,8 +191,112 @@ func BenchmarkMergeSummariesOneShot(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateUnderIngest is the published read path's headline
+// scenario: 8-way parallel point queries while a writer streams batch
+// ingest. The locked variant reads the live counters through the shard
+// mutexes (the pre-epoch path); the published variant is one atomic load
+// plus a binary search and must run allocation-free. On a single-core
+// runner the rows are at parity — the readers starve the writer, so the
+// locked row measures an uncontended mutex; the contention and
+// writer-hold tail the epoch path removes only manifest with real
+// parallelism (see PERFORMANCE.md).
+func BenchmarkEstimateUnderIngest(b *testing.B) {
+	run := func(b *testing.B, published bool) {
+		const d = 1 << 16
+		str := workload.Zipf(1<<20, d, 1.05, 1)
+		sk := NewShardedSketch(8, 256, d)
+		sk.UpdateBatch(str)
+		if published {
+			if err := sk.Publish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // background writer keeping the shard locks hot
+			defer wg.Done()
+			for i := 0; ; i += 4096 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := i & (1<<20 - 4096 - 1)
+				sk.UpdateBatch(str[lo : lo+4096])
+			}
+		}()
+		b.ReportAllocs()
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			var sink int64
+			for pb.Next() {
+				x := str[i&(1<<20-1)]
+				if published {
+					sink += sk.Estimate(x)
+				} else {
+					sink += sk.EstimateExact(x)
+				}
+				i++
+			}
+			_ = sink
+		})
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	}
+	b.Run("locked", func(b *testing.B) { run(b, false) })
+	b.Run("published", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkFaultIn is the cold-start tax of an offloaded tenant: load the
+// delta-format offload record, decode it, canonically reconstruct the
+// shard sketches, and synchronously publish the restored read view so the
+// new generation never serves behind the old one (the bench ingests one
+// item to trigger the fault-in, so the row includes one batch admission
+// on top).
+func BenchmarkFaultIn(b *testing.B) {
+	m, err := NewManager(StreamConfig{
+		K: 256, Universe: 1 << 16, Shards: 8,
+		Budget: Budget{Eps: 4, Delta: 1e-4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := NewDirStore(filepath.Join(b.TempDir(), "streams"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetOffloadStore(store); err != nil {
+		b.Fatal(err)
+	}
+	st, _, err := m.CreateStream("s", StreamConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.UpdateBatch(workload.Zipf(1<<18, 1<<16, 1.05, 7)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if evicted, err := m.Evict("s"); !evicted || err != nil {
+			b.Fatalf("evict: %v %v", evicted, err)
+		}
+		b.StartTimer()
+		if err := st.Update(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkShardedRelease is the sharded merge+release pipeline end to end:
-// snapshot 8 shards, k-way merge, Gaussian release.
+// snapshot 8 shards, k-way merge, Gaussian release. The Gaussian
+// calibration is memoized (internal/gshm), so after the first iteration
+// the row measures the steady-state release: fold, clone, noise.
 func BenchmarkShardedRelease(b *testing.B) {
 	const d = 1 << 16
 	sk := NewShardedSketch(8, 256, d)

@@ -198,7 +198,12 @@ func BenchmarkServerMultiStreamIngestQoS(b *testing.B) {
 // BenchmarkServerMetrics measures one /metrics scrape over 64 streams —
 // the observability tax an operator pays every scrape interval. It must
 // stay microseconds-per-stream cheap: atomic reads and one accountant
-// lock per stream, no summary folds, no fault-ins.
+// lock per stream, no summary folds, no fault-ins — and allocation-flat:
+// the exposition buffer, the sample scratch, and the per-stream label
+// fragments are all pooled or cached, so a steady-state scrape allocates
+// only the fixed request-scoped handful pinned by maxMetricsAllocs. The
+// recorder is reused across iterations (body reset, not reallocated) so
+// the row measures the server, not the test harness.
 func BenchmarkServerMetrics(b *testing.B) {
 	const d = 1 << 16
 	_, mux := newBenchManagerServer(b, 64, 256, d)
@@ -214,17 +219,41 @@ func BenchmarkServerMetrics(b *testing.B) {
 			b.Fatalf("ingest s%d status %d", i, w.Code)
 		}
 	}
+	w := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mux.ServeHTTP(w, req) // warm the pools and the label cache
+	if w.Code != http.StatusOK {
+		b.Fatalf("metrics status %d", w.Code)
+	}
+	// The recorder latches its status after first use, so reuse iterations
+	// verify the scrape by body length instead of status code.
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
-		w := httptest.NewRecorder()
+		w.Body.Reset()
 		mux.ServeHTTP(w, req)
-		if w.Code != http.StatusOK {
-			b.Fatalf("metrics status %d", w.Code)
+		if w.Body.Len() == 0 {
+			b.Fatal("empty metrics scrape")
 		}
 	}
+	b.StopTimer()
+	// The scrape path must stay allocation-flat: regressions that start
+	// rebuilding label strings or sample storage per scrape fail here, in
+	// the bench run, rather than surfacing as a slow drift in B/op.
+	allocs := testing.AllocsPerRun(20, func() {
+		w.Body.Reset()
+		mux.ServeHTTP(w, req)
+	})
+	if allocs > maxMetricsAllocs {
+		b.Fatalf("metrics scrape allocates %.0f times per op, want <= %d", allocs, maxMetricsAllocs)
+	}
 }
+
+// maxMetricsAllocs pins the per-scrape allocation ceiling for /metrics
+// over 64 streams: the manager's two stream-list slices plus net/http
+// request-scoped bookkeeping. The exposition buffer, sample scratch, and
+// label fragments are pooled/cached and must contribute nothing.
+const maxMetricsAllocs = 8
 
 // BenchmarkServerMultiStreamRelease measures concurrent release traffic on
 // distinct streams: per-stream shard summarize + merge + laplace release +

@@ -361,7 +361,7 @@ func TestAdminDrainEdgeUpstreamDown(t *testing.T) {
 	// Nothing was cut (the shipper never cuts while disconnected), so the
 	// traffic is still in the local sketch, not lost.
 	def, _ := edgeSrv.mgr.Stream(defaultStreamName)
-	if got := def.Estimate(5); got != 1 {
+	if got := def.EstimateExact(5); got != 1 {
 		t.Fatalf("undrained edge traffic: estimate(5) = %d, want 1", got)
 	}
 }

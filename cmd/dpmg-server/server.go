@@ -76,6 +76,13 @@ type server struct {
 	// drain has run; drainGrace bounds the drain's upstream flush.
 	draining   atomic.Bool
 	drainGrace time.Duration
+
+	// labelCache memoizes per-stream Prometheus label fragments (see
+	// streamLabelsFor); bounded by maxLabelCache, reset on overflow.
+	labelCache struct {
+		sync.RWMutex
+		m map[string]*streamLabels
+	}
 }
 
 // defaultStreamName is the stream the back-compat /v1/* aliases act on.
@@ -155,6 +162,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/streams/{stream}/batch", s.perStream(s.handleBatch))
 	mux.HandleFunc("GET /v1/streams/{stream}/release", s.perStream(s.handleRelease))
 	mux.HandleFunc("GET /v1/streams/{stream}/stats", s.perStream(s.handleStats))
+	mux.HandleFunc("GET /v1/streams/{stream}/estimate", s.perStream(s.handleEstimate))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Admin ops surface (cluster.go): lifecycle levers and the drain.
 	mux.HandleFunc("POST /v1/admin/streams/{stream}/evict", s.handleAdminEvict)
@@ -168,6 +176,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/batch", s.onDefault(s.handleBatch))
 	mux.HandleFunc("GET /v1/release", s.onDefault(s.handleRelease))
 	mux.HandleFunc("GET /v1/stats", s.onDefault(s.handleStats))
+	mux.HandleFunc("GET /v1/estimate", s.onDefault(s.handleEstimate))
 	return mux
 }
 
@@ -604,14 +613,104 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request, st *dpmg.St
 	})
 }
 
+// handleEstimate serves a non-private point query from the stream's
+// published view: one atomic load plus a binary search per tier, no stream
+// mutex and no summary fold, so dashboards can poll it at scrape rates
+// without stealing lock time from ingest. The estimate is bounded-stale
+// (exact as of the last publish point, at most PublishEvery items plus one
+// in-flight republish behind the live counters) and NOT differentially
+// private — it reads the raw sketch, so the endpoint is for the trusted
+// operator surface, same trust level as /v1/streams/{s}/stats. Like
+// /metrics, an estimate poll does not count as stream access and never
+// keeps an idle tenant hot; querying an offloaded stream serves whatever
+// view was published before eviction, or falls back to the exact path
+// (which faults the stream in) when no view exists yet.
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request, st *dpmg.Stream) {
+	raw := r.URL.Query().Get("item")
+	if raw == "" {
+		jsonError(w, http.StatusBadRequest, "missing item parameter")
+		return
+	}
+	x, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil || x == 0 {
+		jsonError(w, http.StatusBadRequest, "item must be a positive integer, got %q", raw)
+		return
+	}
+	if d := st.Config().Universe; x > d {
+		jsonError(w, http.StatusBadRequest, "item %d outside universe [1, %d]", x, d)
+		return
+	}
+	est := st.Estimate(dpmg.Item(x))
+	buf := respBufPool.Get().(*bytes.Buffer)
+	defer putRespBuf(&respBufPool, buf)
+	buf.Reset()
+	b := buf.AvailableBuffer()
+	b = append(b, `{"stream":`...)
+	b = strconv.AppendQuote(b, st.Name())
+	b = append(b, `,"item":`...)
+	b = strconv.AppendUint(b, x, 10)
+	b = append(b, `,"estimate":`...)
+	b = strconv.AppendInt(b, est, 10)
+	b = append(b, '}', '\n')
+	buf.Write(b)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes()) //nolint:errcheck // response already committed
+}
+
 // metricsBufPool recycles /metrics response buffers across scrapes.
 // Return buffers with putRespBuf (oversized buffers are dropped).
 var metricsBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// sampleScratchPool recycles the per-scrape []streamSample scratch so a
+// steady 64-stream scrape allocates no sample storage. Returned slices are
+// cleared first (a pooled sample must not pin a deleted stream's strings).
+var sampleScratchPool = sync.Pool{New: func() any { return new([]streamSample) }}
+
+// streamLabels is the precomputed Prometheus exposition fragments for one
+// stream name: the writeLabel/throttle-row tails that would otherwise be
+// re-concatenated for every metric row of every scrape (11 rows per stream
+// per scrape). Built once per stream name and cached on the server.
+type streamLabels struct {
+	row     string // `{stream="name"} `
+	ingest  string // `{stream="name",op="ingest"} `
+	release string // `{stream="name",op="release"} `
+}
+
+// maxLabelCache bounds the label-fragment cache. Stream deletion does not
+// purge entries (the cache is keyed by name only and holds no stream
+// references), so a workload churning through distinct names could grow it
+// without bound; on overflow the cache resets and fragments are rebuilt.
+const maxLabelCache = 4096
+
+// streamLabelsFor returns the cached exposition fragments for a stream
+// name, building and caching them on first sight. Stream names need no
+// label escaping: the manager restricts them to [a-zA-Z0-9._-].
+func (s *server) streamLabelsFor(name string) *streamLabels {
+	s.labelCache.RLock()
+	l, ok := s.labelCache.m[name]
+	s.labelCache.RUnlock()
+	if ok {
+		return l
+	}
+	l = &streamLabels{
+		row:     `{stream="` + name + `"} `,
+		ingest:  `{stream="` + name + `",op="ingest"} `,
+		release: `{stream="` + name + `",op="release"} `,
+	}
+	s.labelCache.Lock()
+	if s.labelCache.m == nil || len(s.labelCache.m) >= maxLabelCache {
+		s.labelCache.m = make(map[string]*streamLabels)
+	}
+	s.labelCache.m[name] = l
+	s.labelCache.Unlock()
+	return l
+}
 
 // streamSample is one stream's cheap metric reads, gathered in a single
 // pass so the per-metric sample loops below need no further locking.
 type streamSample struct {
 	name      string
+	labels    *streamLabels
 	resident  bool
 	ingested  int64
 	batches   int64
@@ -632,13 +731,25 @@ type streamSample struct {
 // escaping: the manager restricts them to [a-zA-Z0-9._-].
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	streams := s.mgr.Streams()
-	samples := make([]streamSample, len(streams))
+	scratch := sampleScratchPool.Get().(*[]streamSample)
+	samples := (*scratch)[:0]
+	defer func() {
+		clear(samples)
+		*scratch = samples[:0]
+		sampleScratchPool.Put(scratch)
+	}()
 	residentCount := 0
-	for i, st := range streams {
+	for _, st := range streams {
 		total, spent, releases := st.Accountant().State()
-		samples[i] = streamSample{
-			name:     st.Name(),
-			resident: st.Resident(),
+		name := st.Name()
+		resident := st.Resident()
+		if resident {
+			residentCount++
+		}
+		samples = append(samples, streamSample{
+			name:     name,
+			labels:   s.streamLabelsFor(name),
+			resident: resident,
 			ingested: st.Ingested(),
 			batches:  st.Batches(),
 			nodes:    st.Nodes(),
@@ -646,10 +757,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			spentEps: spent.Eps, spentDel: spent.Delta,
 			remEps: total.Eps - spent.Eps, remDel: total.Delta - spent.Delta,
 			lifecycle: st.Lifecycle(),
-		}
-		if samples[i].resident {
-			residentCount++
-		}
+		})
 	}
 
 	buf := metricsBufPool.Get().(*bytes.Buffer)
@@ -679,11 +787,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		b = append(b, '\n')
 		buf.Write(b)
 	}
-	writeLabel := func(name, stream string) {
+	writeLabel := func(name string, sm *streamSample) {
 		buf.WriteString(name)
-		buf.WriteString(`{stream="`)
-		buf.WriteString(stream)
-		buf.WriteString(`"} `)
+		buf.WriteString(sm.labels.row)
 	}
 
 	writeHeaderFor("dpmg_streams", "Number of managed streams (resident + offloaded).", "gauge")
@@ -720,7 +826,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, mtr := range intMetrics {
 		writeHeaderFor(mtr.name, mtr.help, mtr.typ)
 		for i := range samples {
-			writeLabel(mtr.name, samples[i].name)
+			writeLabel(mtr.name, &samples[i])
 			writeInt(mtr.value(&samples[i]))
 		}
 	}
@@ -741,7 +847,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, mtr := range floatMetrics {
 		writeHeaderFor(mtr.name, mtr.help, "gauge")
 		for i := range samples {
-			writeLabel(mtr.name, samples[i].name)
+			writeLabel(mtr.name, &samples[i])
 			writeFloat(mtr.value(&samples[i]))
 		}
 	}
@@ -749,13 +855,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeHeaderFor("dpmg_stream_throttled_total", "Requests refused by the stream QoS ceilings.", "counter")
 	for i := range samples {
 		sm := &samples[i]
-		buf.WriteString(`dpmg_stream_throttled_total{stream="`)
-		buf.WriteString(sm.name)
-		buf.WriteString(`",op="ingest"} `)
+		buf.WriteString("dpmg_stream_throttled_total")
+		buf.WriteString(sm.labels.ingest)
 		writeInt(sm.lifecycle.ThrottledIngest)
-		buf.WriteString(`dpmg_stream_throttled_total{stream="`)
-		buf.WriteString(sm.name)
-		buf.WriteString(`",op="release"} `)
+		buf.WriteString("dpmg_stream_throttled_total")
+		buf.WriteString(sm.labels.release)
 		writeInt(sm.lifecycle.ThrottledReleases)
 	}
 

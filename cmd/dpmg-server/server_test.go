@@ -680,3 +680,68 @@ func TestServerRestartDurability(t *testing.T) {
 		t.Fatalf("second restore: restored=%v err=%v", restored, err)
 	}
 }
+
+// TestEstimateEndpoint pins the point-query surface: GET .../estimate
+// serves the (bounded-stale, non-private) sketch estimate for one item,
+// the back-compat /v1/estimate alias hits the default stream, and the
+// parameter validation rejects malformed or out-of-universe items before
+// touching the stream.
+func TestEstimateEndpoint(t *testing.T) {
+	s, err := newServer(64, 1000, dpmg.Budget{Eps: 4, Delta: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	post(t, ts.URL+"/v1/batch", batchBytes(t, []stream.Item{5, 5, 5, 7}))
+	// The endpoint serves the bounded-stale published view; fold it
+	// forward deterministically rather than waiting on a trigger.
+	def, _ := s.mgr.Stream(defaultStreamName)
+	if err := def.Publish(); err != nil {
+		t.Fatal(err)
+	}
+
+	type estimateResponse struct {
+		Stream   string `json:"stream"`
+		Item     uint64 `json:"item"`
+		Estimate int64  `json:"estimate"`
+	}
+	for _, c := range []struct {
+		url  string
+		item uint64
+		want int64
+	}{
+		{"/v1/estimate?item=5", 5, 3},
+		{"/v1/estimate?item=7", 7, 1},
+		{"/v1/estimate?item=9", 9, 0}, // never ingested: estimate 0, not an error
+		{"/v1/streams/default/estimate?item=5", 5, 3},
+	} {
+		resp := get(t, ts.URL+c.url)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d", c.url, resp.StatusCode)
+		}
+		var er estimateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatal(err)
+		}
+		if er.Stream != "default" || er.Item != c.item || er.Estimate != c.want {
+			t.Errorf("GET %s = %+v, want item %d estimate %d", c.url, er, c.item, c.want)
+		}
+	}
+
+	for _, bad := range []string{
+		"/v1/estimate",           // missing item
+		"/v1/estimate?item=",     // empty item
+		"/v1/estimate?item=abc",  // not a number
+		"/v1/estimate?item=0",    // items are 1-based
+		"/v1/estimate?item=-3",   // negative
+		"/v1/estimate?item=1001", // outside universe [1, 1000]
+	} {
+		if resp := get(t, ts.URL+bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if resp := get(t, ts.URL+"/v1/streams/nope/estimate?item=5"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown stream estimate status %d, want 404", resp.StatusCode)
+	}
+}

@@ -141,6 +141,32 @@
 // the aggregator; violations wrap ErrRateLimited / ErrReleaseBusy and
 // never partially apply. See lifecycle.go and PERFORMANCE.md.
 //
+// # The published read path
+//
+// Point reads never stall ingest: ShardedSketch keeps an immutable
+// published view (flat sorted columns behind one atomic pointer),
+// republished off the hot path — piggybacked on release-time
+// summarization and re-folded in the background after
+// StreamConfig.PublishEvery ingested items or PublishInterval elapsed.
+// Estimate, N, Stream.Estimate, Stats, and the server's stats/estimate
+// endpoints serve from it: one atomic load plus a binary search, zero
+// locks, zero allocations, bounded staleness (every served value was
+// exact at some publish point, at most PublishEvery items plus one
+// in-flight fold behind the live counters). The view is never nil —
+// construction installs an empty view and restore paths publish
+// synchronously — so published reads never mix with locked fallback
+// values, which is what makes per-item answers monotone. EstimateExact
+// and NExact fold the live counters when exactness matters more than
+// latency; Stream.Publish forces a synchronous fold when a caller needs
+// the view brought current (say, between a batch load and a read burst).
+//
+// Published views are read-only serving state, never an input: no
+// release, merge, or serialization path consumes one — releases re-fold
+// the live shards under the release mutex in ascending shard order, so
+// the Section 5.2 input-independent release-order invariant and
+// byte-identical seeded releases are unaffected by when (or whether) a
+// view was published.
+//
 // # Performance
 //
 // The sketch core is flat storage (contiguous counter array + open

@@ -1,0 +1,48 @@
+package encoding
+
+import (
+	"bytes"
+	"testing"
+
+	"dpmg/internal/mg"
+	"dpmg/internal/workload"
+)
+
+// BenchmarkOffloadRecord marshals a populated stream offload record in
+// each entry format, reporting encode throughput and — as the
+// record_bytes metric — the cold-tier footprint of one record. The pair
+// of rows is the acceptance evidence for the delta-varint format: the
+// delta row's record_bytes must stay severalfold below the fixed row's on
+// the Zipf(1.05) k=256 workload (pinned by TestDeltaRecordSmaller).
+func BenchmarkOffloadRecord(b *testing.B) {
+	const k, d, shards = 256, 1 << 16, 8
+	s := StreamState{
+		Name: "zipf", K: k, Universe: d, Shards: shards,
+		BudgetEps: 1, BudgetDelta: 1e-6,
+		Batches: 1, Ingested: shards << 18,
+	}
+	for i := 0; i < shards; i++ {
+		sk := mg.New(k, d)
+		sk.Process(workload.Zipf(1<<18, d, 1.05, uint64(i+1)))
+		s.ShardSketches = append(s.ShardSketches, sk)
+	}
+	for _, f := range []struct {
+		name   string
+		format Format
+	}{{"fixed", FormatFixed}, {"delta", FormatDelta}} {
+		b.Run(f.name, func(b *testing.B) {
+			s.Format = f.format
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := MarshalStream(&buf, &s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(buf.Len()), "record_bytes")
+			b.SetBytes(int64(buf.Len()))
+		})
+	}
+}

@@ -1,0 +1,268 @@
+package encoding
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"dpmg/internal/merge"
+	"dpmg/internal/mg"
+	"dpmg/internal/stream"
+	"dpmg/internal/workload"
+)
+
+// TestDeltaStreamRoundTrip: a FormatDelta offload record decodes to the
+// same state as its FormatFixed twin, remembers its format, and
+// re-marshals byte-identically (the double-offload idempotence property,
+// per format version).
+func TestDeltaStreamRoundTrip(t *testing.T) {
+	s := streamFixture(t)
+	var fixed bytes.Buffer
+	if err := MarshalStream(&fixed, &s); err != nil {
+		t.Fatal(err)
+	}
+	s.Format = FormatDelta
+	var delta bytes.Buffer
+	if err := MarshalStream(&delta, &s); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fixed.Bytes(), delta.Bytes()) {
+		t.Fatal("formats produced identical bytes")
+	}
+
+	df, err := UnmarshalStream(bytes.NewReader(delta.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Format != FormatDelta {
+		t.Fatalf("decoded format = %d, want %d", df.Format, FormatDelta)
+	}
+	ff, err := UnmarshalStream(bytes.NewReader(fixed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Format != FormatFixed {
+		t.Fatalf("decoded format = %d, want %d", ff.Format, FormatFixed)
+	}
+	// Same state either way, format tag aside.
+	df2 := *df
+	df2.Format = ff.Format
+	if !reflect.DeepEqual(&df2, ff) {
+		t.Errorf("formats decode to different states:\n delta %+v\n fixed %+v", df, ff)
+	}
+
+	// Re-marshal from the decoded record: byte-identical per format.
+	remarshal := *df
+	remarshal.ShardSketches = make([]*mg.Sketch, len(df.ShardWires))
+	for j, w := range df.ShardWires {
+		rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remarshal.ShardSketches[j] = rsk
+	}
+	var again bytes.Buffer
+	if err := MarshalStream(&again, &remarshal); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), delta.Bytes()) {
+		t.Error("delta record is not canonical across decode∘encode")
+	}
+}
+
+// TestDeltaRecordSmaller pins the cold-tier win this format exists for: on
+// the Zipf(1.05) k=256 acceptance workload the delta record must be at
+// least 3x smaller than the fixed one.
+func TestDeltaRecordSmaller(t *testing.T) {
+	const k, d = 256, 1 << 16
+	const shards = 8
+	s := StreamState{
+		Name: "zipf", K: k, Universe: d, Shards: shards,
+		BudgetEps: 1, BudgetDelta: 1e-6,
+		Batches: 1, Ingested: shards << 18,
+	}
+	for i := 0; i < shards; i++ {
+		sk := mg.New(k, d)
+		sk.Process(workload.Zipf(1<<18, d, 1.05, uint64(i+1)))
+		s.ShardSketches = append(s.ShardSketches, sk)
+	}
+	var fixed, delta bytes.Buffer
+	if err := MarshalStream(&fixed, &s); err != nil {
+		t.Fatal(err)
+	}
+	s.Format = FormatDelta
+	if err := MarshalStream(&delta, &s); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(fixed.Len()) / float64(delta.Len())
+	t.Logf("fixed %d B, delta %d B, ratio %.2fx", fixed.Len(), delta.Len(), ratio)
+	if ratio < 3 {
+		t.Errorf("delta record only %.2fx smaller, want >= 3x", ratio)
+	}
+}
+
+// TestDeltaRejectsNonMinimalVarint: a padded varint (0x80 0x00 prefix for
+// what fits in one byte) decodes to the same value, so accepting it would
+// give two byte strings for one state — the decoder must refuse.
+func TestDeltaRejectsNonMinimalVarint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, header{Kind: KindSummary, K: 4, Entries: 1}, FormatDelta); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0x83, 0x00}) // key 3, non-minimal
+	buf.Write([]byte{0x05})       // count 5
+	if _, err := UnmarshalSummary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("non-minimal varint accepted")
+	}
+
+	buf.Reset()
+	if err := writeHeader(&buf, header{Kind: KindSummary, K: 4, Entries: 2}, FormatDelta); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0x03, 0x05}) // key 3, count 5
+	buf.Write([]byte{0x00, 0x07}) // zero delta: keys not strictly ascending
+	if _, err := UnmarshalSummary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("zero key delta accepted")
+	}
+}
+
+// TestDeltaSummaryDecodesEqual: the same summary serialized both ways
+// decodes to identical columns through the public decoder.
+func TestDeltaSummaryDecodesEqual(t *testing.T) {
+	sk := mg.New(32, 1000)
+	sk.Process(workload.Zipf(20000, 1000, 1.2, 9))
+	sum, err := merge.FromCounters(32, 1000, sk.RealCounters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixed, delta bytes.Buffer
+	if err := MarshalSummary(&fixed, sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := marshalSummary(&delta, sum, FormatDelta); err != nil {
+		t.Fatal(err)
+	}
+	a, err := UnmarshalSummary(&fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnmarshalSummary(&delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K || !reflect.DeepEqual(a.Keys(), b.Keys()) || !reflect.DeepEqual(a.Counts(), b.Counts()) {
+		t.Error("formats decode to different summaries")
+	}
+}
+
+// TestManagerRejectsDeltaFormat: manager snapshots are pinned to the fixed
+// format; a version-2 KindManager header must be refused, not decoded.
+func TestManagerRejectsDeltaFormat(t *testing.T) {
+	states := managerFixture(t)
+	var buf bytes.Buffer
+	if err := MarshalManager(&buf, states); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.Bytes()
+	doc[4] = byte(FormatDelta) // version byte lives after the 4-byte magic
+	if _, err := UnmarshalManager(bytes.NewReader(doc)); err == nil {
+		t.Error("delta-format manager snapshot accepted")
+	}
+}
+
+// TestStreamRejectsMixedFormats: a record whose nested blob disagrees with
+// the outer header's format must be refused — re-encoding would normalize
+// it, breaking the canonical-bytes property.
+func TestStreamRejectsMixedFormats(t *testing.T) {
+	s := streamFixture(t)
+	s.Format = FormatDelta
+	var buf bytes.Buffer
+	if err := MarshalStream(&buf, &s); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.Bytes()
+	// Find the first nested header (magic recurs) and flip its version
+	// byte back to fixed.
+	inner := bytes.Index(doc[4:], []byte("DPMG"))
+	if inner < 0 {
+		t.Fatal("no nested blob found")
+	}
+	doc[4+inner+4] = byte(FormatFixed)
+	if _, err := UnmarshalStream(bytes.NewReader(doc)); err == nil {
+		t.Error("mixed-format record accepted")
+	}
+}
+
+// FuzzOffloadRecordRoundTrip is the delta-codec sibling of
+// FuzzUnmarshalStream: arbitrary bytes — seeded with records in both
+// format versions — must either be rejected or decode to a state that
+// re-marshals to exactly the input bytes, in the input's format version.
+func FuzzOffloadRecordRoundTrip(f *testing.F) {
+	sk := mg.New(3, 9)
+	for _, x := range []stream.Item{1, 2, 2, 3, 9, 9, 9} {
+		sk.Update(x)
+	}
+	st := StreamState{
+		Name: "s0", K: 3, Universe: 9, Shards: 1,
+		BudgetEps: 1, BudgetDelta: 0.25, SpentEps: 0.5, SpentDelta: 0.125,
+		Releases: 1, Batches: 2, Ingested: 7,
+		ShardSketches:  []*mg.Sketch{sk},
+		IngestCounters: 3,
+	}
+	for _, format := range []Format{FormatFixed, FormatDelta} {
+		st.Format = format
+		var seed bytes.Buffer
+		if err := MarshalStream(&seed, &st); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed.Bytes())
+	}
+	f.Add([]byte("DPMG\x02\x05"))
+	f.Add([]byte{0x80, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !s.Format.valid() {
+			t.Fatalf("decoder returned invalid format %d", s.Format)
+		}
+		remarshal := *s
+		remarshal.ShardSketches = make([]*mg.Sketch, len(s.ShardWires))
+		for j, w := range s.ShardWires {
+			rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts)
+			if err != nil {
+				return
+			}
+			remarshal.ShardSketches[j] = rsk
+		}
+		var out bytes.Buffer
+		if err := MarshalStream(&out, &remarshal); err != nil {
+			t.Fatalf("accepted record does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("decode∘encode is not the identity:\n in  %x\n out %x", data, out.Bytes())
+		}
+	})
+}
+
+// TestUvarintCanonicalMatchesStdlib: for every minimally encoded value the
+// canonical reader agrees with encoding/binary; it only diverges by
+// rejecting padded forms.
+func TestUvarintCanonicalMatchesStdlib(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 16383, 16384, 1<<32 - 1, 1 << 32, 1<<64 - 1}
+	for _, v := range vals {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], v)
+		got, err := readUvarintCanonical(bytes.NewReader(buf[:n]))
+		if err != nil || got != v {
+			t.Errorf("value %d: got %d, err %v", v, got, err)
+		}
+	}
+	// 10-byte encoding with final group > 1 overflows 64 bits.
+	over := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02}
+	if _, err := readUvarintCanonical(bytes.NewReader(over)); err == nil {
+		t.Error("overflowing varint accepted")
+	}
+}

@@ -8,14 +8,23 @@
 // Layout (all integers little-endian):
 //
 //	[4] magic "DPMG"
-//	[1] version (1)
+//	[1] version (1 = fixed entries, 2 = delta-varint entries)
 //	[1] kind
 //	[8] k
 //	[8] universe (0 when the kind has none)
 //	[8] n / total elements (semantics per kind)
 //	[8] decrements (0 when the kind has none)
 //	[8] number of entries m
-//	m × ([8] item, [8] count)
+//	m × entry, where the entry encoding is selected by the version byte:
+//	  version 1: [8] item, [8] count (fixed width)
+//	  version 2: uvarint(item - previous item), uvarint(count)
+//
+// Version 2 exploits the canonical ascending key order: consecutive keys
+// are close together, so first differences fit in one or two varint bytes
+// where the fixed encoding spends eight, shrinking cold-tier offload
+// records several-fold on skewed workloads. Both versions are canonical —
+// version 2 decoders reject non-minimal varints, so for either version
+// equal states serialize to equal bytes and decode∘encode is the identity.
 package encoding
 
 import (
@@ -53,7 +62,22 @@ const (
 
 var magic = [4]byte{'D', 'P', 'M', 'G'}
 
-const version = 1
+// Format selects the entry-table encoding and doubles as the header's
+// version byte. Decoders accept both; encoders default to FormatFixed
+// except where a caller (the lifecycle offload tier) asks for FormatDelta.
+type Format byte
+
+const (
+	// FormatFixed is wire version 1: 16-byte fixed-width entries.
+	FormatFixed Format = 1
+	// FormatDelta is wire version 2: each entry is the uvarint first
+	// difference of the (strictly ascending) key followed by the uvarint
+	// count. Non-minimal varints are rejected on decode, keeping the
+	// encoding canonical per format version.
+	FormatDelta Format = 2
+)
+
+func (f Format) valid() bool { return f == FormatFixed || f == FormatDelta }
 
 // header mirrors the fixed-size prefix.
 type header struct {
@@ -65,11 +89,14 @@ type header struct {
 	Entries    uint64
 }
 
-func writeHeader(w io.Writer, h header) error {
+func writeHeader(w io.Writer, h header, f Format) error {
+	if !f.valid() {
+		return fmt.Errorf("encoding: invalid format %d", f)
+	}
 	if _, err := w.Write(magic[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, byte(version)); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, byte(f)); err != nil {
 		return err
 	}
 	if err := binary.Write(w, binary.LittleEndian, byte(h.Kind)); err != nil {
@@ -83,132 +110,238 @@ func writeHeader(w io.Writer, h header) error {
 	return nil
 }
 
-func readHeader(r io.Reader) (header, error) {
+func readHeader(r io.Reader) (header, Format, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return header{}, fmt.Errorf("encoding: reading magic: %w", err)
+		return header{}, 0, fmt.Errorf("encoding: reading magic: %w", err)
 	}
 	if m != magic {
-		return header{}, fmt.Errorf("encoding: bad magic %q", m)
+		return header{}, 0, fmt.Errorf("encoding: bad magic %q", m)
 	}
 	var ver, kind byte
 	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
-		return header{}, err
+		return header{}, 0, err
 	}
-	if ver != version {
-		return header{}, fmt.Errorf("encoding: unsupported version %d", ver)
+	if !Format(ver).valid() {
+		return header{}, 0, fmt.Errorf("encoding: unsupported version %d", ver)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
-		return header{}, err
+		return header{}, 0, err
 	}
 	h := header{Kind: Kind(kind)}
 	for _, p := range []*uint64{&h.K, &h.Universe, &h.N, &h.Decrements, &h.Entries} {
 		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
-			return header{}, err
+			return header{}, 0, err
 		}
 	}
-	return h, nil
+	return h, Format(ver), nil
+}
+
+// byteReaderFor adapts r to io.ByteReader without buffering ahead: nested
+// blobs share one reader, so over-reading a single byte would corrupt the
+// next decode.
+func byteReaderFor(r io.Reader) io.ByteReader {
+	if br, ok := r.(io.ByteReader); ok {
+		return br
+	}
+	return &oneByteReader{r: r}
+}
+
+type oneByteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (b *oneByteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}
+
+// readUvarintCanonical decodes one uvarint, rejecting non-minimal
+// encodings (a most-significant group of zero, e.g. 0x80 0x00 for 0).
+// binary.ReadUvarint accepts those, which would break the canonical-bytes
+// property: two byte strings would decode to the same state.
+func readUvarintCanonical(br io.ByteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("encoding: varint overflows 64 bits")
+			}
+			if i > 0 && b == 0 {
+				return 0, fmt.Errorf("encoding: non-minimal varint")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		if i == binary.MaxVarintLen64-1 {
+			return 0, fmt.Errorf("encoding: varint overflows 64 bits")
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
 }
 
 // writeEntries emits the counter table in ascending key order — a canonical
 // encoding, so equal tables serialize to equal bytes (and nothing about
 // insertion history leaks through the wire format; the Section 5.2 release
 // concern applies to serialized sketches too).
-func writeEntries(w io.Writer, counts map[stream.Item]int64) error {
+func writeEntries(w io.Writer, counts map[stream.Item]int64, f Format) error {
 	keys := make([]stream.Item, 0, len(counts))
 	for x := range counts {
 		keys = append(keys, x)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, x := range keys {
-		if err := binary.Write(w, binary.LittleEndian, uint64(x)); err != nil {
-			return err
+	vals := make([]int64, len(keys))
+	for i, x := range keys {
+		vals[i] = counts[x]
+	}
+	return writeEntryColumns(w, keys, vals, f)
+}
+
+// writeEntryColumns streams parallel key/count columns (keys strictly
+// ascending) in the requested entry format.
+func writeEntryColumns(w io.Writer, keys []stream.Item, vals []int64, f Format) error {
+	var buf [2 * binary.MaxVarintLen64]byte
+	prev := uint64(0)
+	for i, x := range keys {
+		var n int
+		if f == FormatDelta {
+			n = binary.PutUvarint(buf[:], uint64(x)-prev)
+			n += binary.PutUvarint(buf[n:], uint64(vals[i]))
+			prev = uint64(x)
+		} else {
+			binary.LittleEndian.PutUint64(buf[:8], uint64(x))
+			binary.LittleEndian.PutUint64(buf[8:16], uint64(vals[i]))
+			n = 16
 		}
-		if err := binary.Write(w, binary.LittleEndian, counts[x]); err != nil {
+		if _, err := w.Write(buf[:n]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func readEntries(r io.Reader, n uint64, maxEntries uint64) (map[stream.Item]int64, error) {
+// readEntryColumns decodes n entries into parallel key/count columns,
+// enforcing strictly ascending keys in both formats (and, for FormatDelta,
+// minimal varints — the canonicality guard).
+func readEntryColumns(r io.Reader, n uint64, f Format, keys []stream.Item, vals []int64) ([]stream.Item, []int64, error) {
+	if f == FormatDelta {
+		br := byteReaderFor(r)
+		var prev uint64
+		for i := uint64(0); i < n; i++ {
+			d, err := readUvarintCanonical(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("encoding: entry %d: %w", i, err)
+			}
+			if i > 0 && d == 0 {
+				return nil, nil, fmt.Errorf("encoding: entries not strictly ascending at %d", i)
+			}
+			item := prev + d
+			if item < prev {
+				return nil, nil, fmt.Errorf("encoding: entry %d: key overflows", i)
+			}
+			c, err := readUvarintCanonical(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("encoding: entry %d: %w", i, err)
+			}
+			prev = item
+			keys = append(keys, stream.Item(item))
+			vals = append(vals, int64(c))
+		}
+		return keys, vals, nil
+	}
+	var buf [16]byte
+	var prev uint64
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, nil, fmt.Errorf("encoding: entry %d: %w", i, err)
+		}
+		item := binary.LittleEndian.Uint64(buf[:8])
+		if i > 0 && item <= prev {
+			return nil, nil, fmt.Errorf("encoding: entries not strictly ascending at %d", i)
+		}
+		prev = item
+		keys = append(keys, stream.Item(item))
+		vals = append(vals, int64(binary.LittleEndian.Uint64(buf[8:])))
+	}
+	return keys, vals, nil
+}
+
+func readEntries(r io.Reader, n uint64, maxEntries uint64, f Format) (map[stream.Item]int64, error) {
 	if n > maxEntries {
 		return nil, fmt.Errorf("encoding: %d entries exceed limit %d", n, maxEntries)
 	}
+	keys, vals, err := readEntryColumns(r, n, f, make([]stream.Item, 0, n), make([]int64, 0, n))
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[stream.Item]int64, n)
-	var prev uint64
-	for i := uint64(0); i < n; i++ {
-		var item uint64
-		var count int64
-		if err := binary.Read(r, binary.LittleEndian, &item); err != nil {
-			return nil, fmt.Errorf("encoding: entry %d: %w", i, err)
-		}
-		if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-			return nil, fmt.Errorf("encoding: entry %d: %w", i, err)
-		}
-		if i > 0 && item <= prev {
-			return nil, fmt.Errorf("encoding: entries not strictly ascending at %d", i)
-		}
-		prev = item
-		out[stream.Item(item)] = count
+	for i, x := range keys {
+		out[x] = vals[i]
 	}
 	return out, nil
 }
 
-// MarshalSummary serializes a mergeable summary. The summary's flat columns
+// MarshalSummary serializes a mergeable summary in the fixed entry format
+// (the wire format live cluster traffic speaks). The summary's flat columns
 // are already in ascending key order — the canonical wire order — so the
 // entries are streamed straight from the backing slices with no sort.
 func MarshalSummary(w io.Writer, s *merge.Summary) error {
-	if err := writeHeader(w, header{
-		Kind: KindSummary, K: uint64(s.K), Entries: uint64(s.Len()),
-	}); err != nil {
-		return err
-	}
-	keys, counts := s.Keys(), s.Counts()
-	var buf [16]byte
-	for i, x := range keys {
-		binary.LittleEndian.PutUint64(buf[:8], uint64(x))
-		binary.LittleEndian.PutUint64(buf[8:], uint64(counts[i]))
-		if _, err := w.Write(buf[:]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return marshalSummary(w, s, FormatFixed)
 }
 
-// UnmarshalSummary reads a summary, validating structure (k bound, strictly
-// ascending keys, positive counters). The wire order is already the flat
-// summary's storage order, so the decoder fills the parallel columns
-// directly — no intermediate map.
+func marshalSummary(w io.Writer, s *merge.Summary, f Format) error {
+	if err := writeHeader(w, header{
+		Kind: KindSummary, K: uint64(s.K), Entries: uint64(s.Len()),
+	}, f); err != nil {
+		return err
+	}
+	return writeEntryColumns(w, s.Keys(), s.Counts(), f)
+}
+
+// UnmarshalSummary reads a summary in either entry format, validating
+// structure (k bound, strictly ascending keys, positive counters). The wire
+// order is already the flat summary's storage order, so the decoder fills
+// the parallel columns directly — no intermediate map.
 func UnmarshalSummary(r io.Reader) (*merge.Summary, error) {
-	h, err := readHeader(r)
+	s, _, err := unmarshalSummary(r)
+	return s, err
+}
+
+func unmarshalSummary(r io.Reader) (*merge.Summary, Format, error) {
+	h, f, err := readHeader(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if h.Kind != KindSummary {
-		return nil, fmt.Errorf("encoding: expected summary, got kind %d", h.Kind)
+		return nil, 0, fmt.Errorf("encoding: expected summary, got kind %d", h.Kind)
 	}
 	if h.K == 0 || h.K > 1<<30 {
-		return nil, fmt.Errorf("encoding: implausible k %d", h.K)
+		return nil, 0, fmt.Errorf("encoding: implausible k %d", h.K)
 	}
 	if h.Entries > h.K {
-		return nil, fmt.Errorf("encoding: %d entries exceed limit %d", h.Entries, h.K)
+		return nil, 0, fmt.Errorf("encoding: %d entries exceed limit %d", h.Entries, h.K)
 	}
-	keys := make([]stream.Item, 0, h.Entries)
-	counts := make([]int64, 0, h.Entries)
-	var buf [16]byte
-	for i := uint64(0); i < h.Entries; i++ {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, fmt.Errorf("encoding: entry %d: %w", i, err)
-		}
-		keys = append(keys, stream.Item(binary.LittleEndian.Uint64(buf[:8])))
-		counts = append(counts, int64(binary.LittleEndian.Uint64(buf[8:])))
+	keys, counts, err := readEntryColumns(r, h.Entries, f,
+		make([]stream.Item, 0, h.Entries), make([]int64, 0, h.Entries))
+	if err != nil {
+		return nil, 0, err
 	}
 	s, err := merge.FromSorted(int(h.K), keys, counts)
 	if err != nil {
-		return nil, fmt.Errorf("encoding: %w", err)
+		return nil, 0, fmt.Errorf("encoding: %w", err)
 	}
-	return s, nil
+	return s, f, nil
 }
 
 // MarshalPAMG serializes a PAMG counter table together with its
@@ -219,10 +352,10 @@ func MarshalPAMG(w io.Writer, s *pamg.Sketch) error {
 	if err := writeHeader(w, header{
 		Kind: KindPAMG, K: uint64(s.K()), N: uint64(s.TotalLen()),
 		Decrements: uint64(s.Decrements()), Entries: uint64(len(counts)),
-	}); err != nil {
+	}, FormatFixed); err != nil {
 		return err
 	}
-	return writeEntries(w, counts)
+	return writeEntries(w, counts, FormatFixed)
 }
 
 // PAMGWire is the decoded form of a serialized PAMG sketch: the counter
@@ -236,9 +369,9 @@ type PAMGWire struct {
 	Counts     map[stream.Item]int64
 }
 
-// UnmarshalPAMG reads a PAMG wire table.
+// UnmarshalPAMG reads a PAMG wire table (either entry format).
 func UnmarshalPAMG(r io.Reader) (*PAMGWire, error) {
-	h, err := readHeader(r)
+	h, f, err := readHeader(r)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +381,7 @@ func UnmarshalPAMG(r io.Reader) (*PAMGWire, error) {
 	if h.K == 0 || h.K > 1<<30 {
 		return nil, fmt.Errorf("encoding: implausible k %d", h.K)
 	}
-	counts, err := readEntries(r, h.Entries, h.K)
+	counts, err := readEntries(r, h.Entries, h.K, f)
 	if err != nil {
 		return nil, err
 	}
@@ -264,17 +397,22 @@ func UnmarshalPAMG(r io.Reader) (*PAMGWire, error) {
 }
 
 // MarshalSketch serializes the full Algorithm 1 state (including zero and
-// dummy counters) so a paused stream can be resumed elsewhere.
+// dummy counters) in the fixed entry format so a paused stream can be
+// resumed elsewhere.
 func MarshalSketch(w io.Writer, s *mg.Sketch) error {
+	return marshalSketch(w, s, FormatFixed)
+}
+
+func marshalSketch(w io.Writer, s *mg.Sketch, f Format) error {
 	counts := s.Counters()
 	if err := writeHeader(w, header{
 		Kind: KindCounters, K: uint64(s.K()), Universe: s.Universe(),
 		N: uint64(s.N()), Decrements: uint64(s.Decrements()),
 		Entries: uint64(len(counts)),
-	}); err != nil {
+	}, f); err != nil {
 		return err
 	}
-	return writeEntries(w, counts)
+	return writeEntries(w, counts, f)
 }
 
 // SketchWire is the decoded full Algorithm 1 state.
@@ -286,34 +424,39 @@ type SketchWire struct {
 	Counts     map[stream.Item]int64
 }
 
-// UnmarshalSketch reads a full sketch state.
+// UnmarshalSketch reads a full sketch state (either entry format).
 func UnmarshalSketch(r io.Reader) (*SketchWire, error) {
-	h, err := readHeader(r)
+	s, _, err := unmarshalSketch(r)
+	return s, err
+}
+
+func unmarshalSketch(r io.Reader) (*SketchWire, Format, error) {
+	h, f, err := readHeader(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if h.Kind != KindCounters {
-		return nil, fmt.Errorf("encoding: expected counters, got kind %d", h.Kind)
+		return nil, 0, fmt.Errorf("encoding: expected counters, got kind %d", h.Kind)
 	}
 	if h.K == 0 || h.K > 1<<30 {
-		return nil, fmt.Errorf("encoding: implausible k %d", h.K)
+		return nil, 0, fmt.Errorf("encoding: implausible k %d", h.K)
 	}
 	if h.Entries != h.K {
-		return nil, fmt.Errorf("encoding: Algorithm 1 state must hold exactly k=%d entries, got %d", h.K, h.Entries)
+		return nil, 0, fmt.Errorf("encoding: Algorithm 1 state must hold exactly k=%d entries, got %d", h.K, h.Entries)
 	}
-	counts, err := readEntries(r, h.Entries, h.K)
+	counts, err := readEntries(r, h.Entries, h.K, f)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for x, c := range counts {
 		if c < 0 {
-			return nil, fmt.Errorf("encoding: negative counter %d for item %d", c, x)
+			return nil, 0, fmt.Errorf("encoding: negative counter %d for item %d", c, x)
 		}
 	}
 	return &SketchWire{
 		K: int(h.K), Universe: h.Universe, N: int64(h.N),
 		Decrements: int64(h.Decrements), Counts: counts,
-	}, nil
+	}, f, nil
 }
 
 // MarshalItems writes a raw batch of stream items as consecutive 8-byte

@@ -184,10 +184,10 @@ func TestRejectsOverfullSummary(t *testing.T) {
 	// Entries beyond k must be refused (resource exhaustion guard). The
 	// constructors cannot build such a summary, so hand-craft the bytes.
 	var buf bytes.Buffer
-	if err := writeHeader(&buf, header{Kind: KindSummary, K: 2, Entries: 3}); err != nil {
+	if err := writeHeader(&buf, header{Kind: KindSummary, K: 2, Entries: 3}, FormatFixed); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeEntries(&buf, map[stream.Item]int64{1: 1, 2: 1, 3: 1}); err != nil {
+	if err := writeEntries(&buf, map[stream.Item]int64{1: 1, 2: 1, 3: 1}, FormatFixed); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := UnmarshalSummary(&buf); err == nil {
@@ -199,7 +199,7 @@ func TestRejectsUnsortedEntries(t *testing.T) {
 	// Keys out of ascending order must be refused (the wire order is the
 	// canonical storage order of the flat summary).
 	var buf bytes.Buffer
-	if err := writeHeader(&buf, header{Kind: KindSummary, K: 4, Entries: 2}); err != nil {
+	if err := writeHeader(&buf, header{Kind: KindSummary, K: 4, Entries: 2}, FormatFixed); err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range [][2]uint64{{9, 1}, {3, 1}} {
@@ -219,10 +219,10 @@ func TestRejectsUnsortedEntries(t *testing.T) {
 func TestSketchWireRequiresExactlyK(t *testing.T) {
 	// Hand-craft a counters blob with fewer than k entries.
 	var buf bytes.Buffer
-	if err := writeHeader(&buf, header{Kind: KindCounters, K: 4, Universe: 10, Entries: 2}); err != nil {
+	if err := writeHeader(&buf, header{Kind: KindCounters, K: 4, Universe: 10, Entries: 2}, FormatFixed); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeEntries(&buf, map[stream.Item]int64{1: 0, 2: 1}); err != nil {
+	if err := writeEntries(&buf, map[stream.Item]int64{1: 0, 2: 1}, FormatFixed); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := UnmarshalSketch(&buf); err == nil {

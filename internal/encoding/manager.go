@@ -83,6 +83,14 @@ type StreamState struct {
 	// not carry them — resident streams recompute them live.
 	AggCounters    int
 	IngestCounters int
+
+	// Format selects the entry encoding of a standalone KindStream offload
+	// record (zero means FormatFixed). The unmarshal side records the format
+	// it decoded, so re-marshaling an unchanged record reproduces the input
+	// bytes for either format version — double-offload idempotence. Every
+	// nested blob carries the record's format; KindManager tables ignore
+	// this field and always use FormatFixed.
+	Format Format
 }
 
 // validate checks the record fields shared by both directions.
@@ -161,8 +169,9 @@ func readString(r io.Reader, max int) (string, error) {
 }
 
 // writeStreamRecord validates and emits one stream record — the shared
-// body of KindManager tables and KindStream offload records.
-func writeStreamRecord(w io.Writer, s *StreamState) error {
+// body of KindManager tables and KindStream offload records. Nested
+// summary/counter blobs are written in the enclosing document's format f.
+func writeStreamRecord(w io.Writer, s *StreamState, f Format) error {
 	if err := s.validate(); err != nil {
 		return err
 	}
@@ -198,7 +207,7 @@ func writeStreamRecord(w io.Writer, s *StreamState) error {
 		return err
 	}
 	if s.Merged != nil {
-		if err := MarshalSummary(w, s.Merged); err != nil {
+		if err := marshalSummary(w, s.Merged, f); err != nil {
 			return err
 		}
 	}
@@ -207,7 +216,7 @@ func writeStreamRecord(w io.Writer, s *StreamState) error {
 			return fmt.Errorf("encoding: stream %q: shard %d is (k=%d, d=%d), stream is (k=%d, d=%d)",
 				s.Name, i, sk.K(), sk.Universe(), s.K, s.Universe)
 		}
-		if err := MarshalSketch(w, sk); err != nil {
+		if err := marshalSketch(w, sk, f); err != nil {
 			return err
 		}
 	}
@@ -216,8 +225,10 @@ func writeStreamRecord(w io.Writer, s *StreamState) error {
 
 // readStreamRecord decodes and validates one stream record (the shared
 // body of KindManager tables and KindStream offload records), filling
-// ShardWires. idx labels decode errors in multi-record tables.
-func readStreamRecord(r io.Reader, idx uint64) (StreamState, error) {
+// ShardWires. idx labels decode errors in multi-record tables. Every
+// nested blob must carry the enclosing document's format f — a mixed
+// record would re-encode to different bytes, breaking canonicality.
+func readStreamRecord(r io.Reader, idx uint64, f Format) (StreamState, error) {
 	var s StreamState
 	var err error
 	if s.Name, err = readString(r, maxNameLen); err != nil {
@@ -263,17 +274,24 @@ func readStreamRecord(r io.Reader, idx uint64) (StreamState, error) {
 	switch present[0] {
 	case 0:
 	case 1:
-		if s.Merged, err = UnmarshalSummary(r); err != nil {
+		var sf Format
+		if s.Merged, sf, err = unmarshalSummary(r); err != nil {
 			return s, fmt.Errorf("encoding: stream %q aggregate: %w", s.Name, err)
+		}
+		if sf != f {
+			return s, fmt.Errorf("encoding: stream %q aggregate: nested format %d does not match record format %d", s.Name, sf, f)
 		}
 	default:
 		return s, fmt.Errorf("encoding: stream %q: bad aggregate flag %d", s.Name, present[0])
 	}
 	s.ShardWires = make([]*SketchWire, s.Shards)
 	for j := range s.ShardWires {
-		wire, err := UnmarshalSketch(r)
+		wire, wf, err := unmarshalSketch(r)
 		if err != nil {
 			return s, fmt.Errorf("encoding: stream %q shard %d: %w", s.Name, j, err)
+		}
+		if wf != f {
+			return s, fmt.Errorf("encoding: stream %q shard %d: nested format %d does not match record format %d", s.Name, j, wf, f)
 		}
 		if wire.K != s.K || wire.Universe != s.Universe {
 			return s, fmt.Errorf("encoding: stream %q shard %d: (k=%d, d=%d) does not match stream (k=%d, d=%d)",
@@ -311,11 +329,11 @@ func MarshalManager(w io.Writer, streams []StreamState) error {
 			return fmt.Errorf("encoding: duplicate stream name %q", sorted[i].Name)
 		}
 	}
-	if err := writeHeader(w, header{Kind: KindManager, Entries: uint64(len(sorted))}); err != nil {
+	if err := writeHeader(w, header{Kind: KindManager, Entries: uint64(len(sorted))}, FormatFixed); err != nil {
 		return err
 	}
 	for _, s := range sorted {
-		if err := writeStreamRecord(w, s); err != nil {
+		if err := writeStreamRecord(w, s, FormatFixed); err != nil {
 			return err
 		}
 	}
@@ -328,12 +346,19 @@ func MarshalManager(w io.Writer, streams []StreamState) error {
 // stream names, per-stream k/universe agreement, finite budget values. The
 // returned records carry decoded ShardWires; ShardSketches is nil.
 func UnmarshalManager(r io.Reader) ([]StreamState, error) {
-	h, err := readHeader(r)
+	h, f, err := readHeader(r)
 	if err != nil {
 		return nil, err
 	}
 	if h.Kind != KindManager {
 		return nil, fmt.Errorf("encoding: expected manager snapshot, got kind %d", h.Kind)
+	}
+	// Manager snapshots stay on the fixed format: they are written and read
+	// in one pass on a trusted path, and keeping one format per kind keeps
+	// the canonical-bytes story simple. The compression win lives in the
+	// cold-tier KindStream records.
+	if f != FormatFixed {
+		return nil, fmt.Errorf("encoding: manager snapshot requires format %d, got %d", FormatFixed, f)
 	}
 	// The per-structure header fields are unused at the manager level and
 	// written as zero; enforce that on read so the encoding stays canonical
@@ -347,7 +372,7 @@ func UnmarshalManager(r io.Reader) ([]StreamState, error) {
 	out := make([]StreamState, 0, h.Entries)
 	prev := ""
 	for i := uint64(0); i < h.Entries; i++ {
-		s, err := readStreamRecord(r, i)
+		s, err := readStreamRecord(r, i, FormatFixed)
 		if err != nil {
 			return nil, err
 		}
@@ -376,10 +401,17 @@ func MarshalStream(w io.Writer, s *StreamState) error {
 		return fmt.Errorf("encoding: stream %q: resident counter tallies (%d, %d) outside [0, k=%d]",
 			s.Name, s.AggCounters, s.IngestCounters, s.K)
 	}
-	if err := writeHeader(w, header{Kind: KindStream, Entries: 1}); err != nil {
+	f := s.Format
+	if f == 0 {
+		f = FormatFixed
+	}
+	if !f.valid() {
+		return fmt.Errorf("encoding: stream %q: invalid format %d", s.Name, f)
+	}
+	if err := writeHeader(w, header{Kind: KindStream, Entries: 1}, f); err != nil {
 		return err
 	}
-	if err := writeStreamRecord(w, s); err != nil {
+	if err := writeStreamRecord(w, s, f); err != nil {
 		return err
 	}
 	for _, v := range []uint64{uint64(s.AggCounters), uint64(s.IngestCounters)} {
@@ -395,7 +427,7 @@ func MarshalStream(w io.Writer, s *StreamState) error {
 // and rejecting trailing bytes — the same fail-loudly discipline as
 // UnmarshalManager.
 func UnmarshalStream(r io.Reader) (*StreamState, error) {
-	h, err := readHeader(r)
+	h, f, err := readHeader(r)
 	if err != nil {
 		return nil, err
 	}
@@ -408,10 +440,11 @@ func UnmarshalStream(r io.Reader) (*StreamState, error) {
 	if h.Entries != 1 {
 		return nil, fmt.Errorf("encoding: stream offload record must hold exactly 1 stream, got %d", h.Entries)
 	}
-	s, err := readStreamRecord(r, 0)
+	s, err := readStreamRecord(r, 0, f)
 	if err != nil {
 		return nil, err
 	}
+	s.Format = f
 	for _, p := range []*int{&s.AggCounters, &s.IngestCounters} {
 		v, err := readU64(r)
 		if err != nil {

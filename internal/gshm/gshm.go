@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"dpmg/internal/hist"
 	"dpmg/internal/noise"
@@ -75,12 +76,61 @@ func SimpleParams(eps, delta float64, l int) Config {
 	return Config{Sigma: sigma, Tau: tau, L: l}
 }
 
+// calibKey identifies one calibration problem; the search result is a pure
+// function of it.
+type calibKey struct {
+	eps, delta float64
+	l          int
+}
+
+// calibCache memoizes Calibrate results. The grid-plus-bisection search
+// costs tens of milliseconds (hundreds of thousands of Phi evaluations for
+// l in the hundreds), and a deployment releases under a handful of
+// (eps, delta, l) triples over and over — so steady-state releases must
+// pay the search once, not per release. Bounded so a caller sweeping
+// adversarial parameter grids cannot grow it without limit.
+var calibCache struct {
+	sync.RWMutex
+	m map[calibKey]Config
+}
+
+// maxCalibCache bounds the memo; far above any real deployment's distinct
+// release-parameter count. On overflow the memo resets (correctness is
+// unaffected — entries are pure recomputable functions).
+const maxCalibCache = 4096
+
 // Calibrate returns parameters satisfying the exact Theorem 23 condition
 // while (approximately) minimizing the error proxy tau + 2·sigma, starting
 // from the Lemma 24 parameters and shrinking. It errors on invalid inputs
 // or if no feasible configuration is found (which cannot happen for the
 // searched range since the Lemma 24 point is feasible).
+//
+// The search result is memoized per (eps, delta, l): the first release
+// under a parameter triple pays the numeric search, repeat releases get
+// the cached parameters back in nanoseconds.
 func Calibrate(eps, delta float64, l int) (Config, error) {
+	key := calibKey{eps: eps, delta: delta, l: l}
+	calibCache.RLock()
+	cfg, ok := calibCache.m[key]
+	calibCache.RUnlock()
+	if ok {
+		return cfg, nil
+	}
+	cfg, err := calibrate(eps, delta, l)
+	if err != nil {
+		return Config{}, err
+	}
+	calibCache.Lock()
+	if calibCache.m == nil || len(calibCache.m) >= maxCalibCache {
+		calibCache.m = make(map[calibKey]Config)
+	}
+	calibCache.m[key] = cfg
+	calibCache.Unlock()
+	return cfg, nil
+}
+
+// calibrate runs the actual search (see Calibrate).
+func calibrate(eps, delta float64, l int) (Config, error) {
 	if eps <= 0 {
 		return Config{}, fmt.Errorf("gshm: eps must be positive, got %v", eps)
 	}

@@ -455,18 +455,23 @@ func (s *Stream) offloadLocked(store OffloadStore) error {
 	// Capture the live-counter tallies so Stats can be served from the
 	// stub without touching the record.
 	agg := 0
-	if s.merged != nil {
-		agg = s.merged.Len()
+	if m := s.merged.Load(); m != nil {
+		agg = m.Len()
 	}
 	ingest := 0
 	if s.ingested.Load() > 0 {
-		sum, err := s.sharded.Summary()
+		sum, err := s.sharded.Load().Summary()
 		if err != nil {
 			return err
 		}
 		ingest = sum.inner.Len()
 	}
 	state.AggCounters, state.IngestCounters = agg, ingest
+	// Cold-tier records use the delta-varint entry format: the keys are
+	// already strictly ascending, so first differences shrink the record
+	// several-fold. Fault-in reads either format, so records written by
+	// older builds stay loadable.
+	state.Format = encoding.FormatDelta
 	var buf bytes.Buffer
 	if err := encoding.MarshalStream(&buf, &state); err != nil {
 		return err
@@ -475,8 +480,8 @@ func (s *Stream) offloadLocked(store OffloadStore) error {
 		return err
 	}
 	s.offAgg, s.offIngest = agg, ingest
-	s.sharded = nil
-	s.merged = nil
+	s.sharded.Store(nil)
+	s.merged.Store(nil)
 	s.offloaded = true
 	s.evictions.Add(1)
 	return nil
@@ -510,9 +515,9 @@ func (s *Stream) faultInLocked() error {
 		return fmt.Errorf("%w: %q: %w", ErrFaultIn, s.name, err)
 	}
 	s.mu.Lock()
-	s.merged = w.Merged
+	s.merged.Store(w.Merged)
 	s.mu.Unlock()
-	s.sharded = sharded
+	s.sharded.Store(sharded)
 	s.offloaded = false
 	s.offAgg, s.offIngest = 0, 0
 	s.faultIns.Add(1)
@@ -523,13 +528,24 @@ func (s *Stream) faultInLocked() error {
 // validated per-shard Algorithm 1 states — the canonical reconstruction
 // shared by manager-snapshot restore and fault-in.
 func shardedFromWires(cfg StreamConfig, wires []*encoding.SketchWire) (*ShardedSketch, error) {
-	sharded := NewShardedSketch(cfg.Shards, cfg.K, cfg.Universe)
+	sharded := newSharded(cfg)
+	var total int64
 	for i, sw := range wires {
 		sk, err := mg.Restore(sw.K, sw.Universe, sw.N, sw.Decrements, sw.Counts)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		sharded.shards[i].sk = sk
+		total += sw.N
+	}
+	// Seed the lifetime item count so the published-view freshness gate
+	// (view n == total) works for restored sketches too, then publish
+	// synchronously: the constructor's empty view is exact only for an
+	// empty sketch, and a restored generation must never serve behind
+	// reads already answered by the generation it replaces.
+	sharded.total.Store(total)
+	if err := sharded.Publish(); err != nil {
+		return nil, err
 	}
 	return sharded, nil
 }

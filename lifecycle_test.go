@@ -259,7 +259,7 @@ func TestEvictIdleTTL(t *testing.T) {
 	if lc := a.Lifecycle(); lc.Evictions != 1 || lc.FaultIns != 1 {
 		t.Fatalf("lifecycle counters = %+v", lc)
 	}
-	if got := a.Estimate(9); got != 2 {
+	if got := a.EstimateExact(9); got != 2 {
 		t.Fatalf("post-fault-in estimate = %d", got)
 	}
 }
@@ -276,7 +276,7 @@ func TestDoubleOffloadIdempotent(t *testing.T) {
 	if err := st.UpdateBatch(workload.Zipf(5000, 1000, 1.2, 3)); err != nil {
 		t.Fatal(err)
 	}
-	est := st.Estimate(1)
+	est := st.EstimateExact(1)
 	if evicted, err := m.Evict("s"); !evicted || err != nil {
 		t.Fatalf("first Evict = %v, %v", evicted, err)
 	}
@@ -304,7 +304,7 @@ func TestDoubleOffloadIdempotent(t *testing.T) {
 	}
 	// Fault in, mutate nothing, evict again: canonical encoding means the
 	// record is byte-identical.
-	if got := st.Estimate(1); got != est {
+	if got := st.EstimateExact(1); got != est {
 		t.Fatalf("estimate after fault-in = %d, want %d", got, est)
 	}
 	if evicted, err := m.Evict("s"); !evicted || err != nil {
@@ -472,8 +472,10 @@ func TestEvictWhileIngesting(t *testing.T) {
 	}
 	// With ≤ k distinct items the sketch never decrements: per-item counts
 	// are exact, so any update lost in an eviction race would show here.
+	// EstimateExact: the published view is bounded-stale by design, and a
+	// lost-update detector must read the live counters.
 	for w := 0; w < workers; w++ {
-		if got := st.Estimate(Item(w + 1)); got != rounds*batch {
+		if got := st.EstimateExact(Item(w + 1)); got != rounds*batch {
 			t.Fatalf("worker %d item count = %d, want %d (updates lost in eviction race)", w, got, rounds*batch)
 		}
 	}

@@ -71,6 +71,50 @@ type StreamConfig struct {
 	// releases must not monopolize the aggregator's cores). Rejected
 	// releases wrap ErrReleaseBusy and spend no budget.
 	MaxInflightReleases int
+
+	// PublishEvery is the stream's read-view republish threshold in
+	// ingested items: every PublishEvery items a background fold refreshes
+	// the published snapshot Estimate/N/Stats serve from (see the
+	// ShardedSketch "Published read path" notes). Like the QoS ceilings it
+	// is operational policy, not stream identity: never persisted, never
+	// conflict-checked. Zero inherits the manager default (which itself
+	// defaults to DefaultPublishEvery); negative disables volume-triggered
+	// publishing — release-time folds still refresh the view.
+	PublishEvery int64
+	// PublishInterval is the time-based republish trigger: an ingest
+	// arriving more than PublishInterval after the last timed republish
+	// kicks one off, so low-volume streams still converge to fresh reads.
+	// Zero inherits the manager default (which itself defaults to
+	// DefaultPublishInterval); negative disables the timer. Operational
+	// policy, like PublishEvery.
+	PublishInterval time.Duration
+}
+
+// DefaultPublishInterval is the time-based republish trigger when none is
+// configured: a low-volume stream's published reads converge within about
+// a second of its last write burst.
+const DefaultPublishInterval = time.Second
+
+// publishEvery resolves the effective volume threshold (0 = disabled).
+func (c StreamConfig) publishEvery() int64 {
+	switch {
+	case c.PublishEvery < 0:
+		return 0
+	case c.PublishEvery > 0:
+		return c.PublishEvery
+	}
+	return DefaultPublishEvery
+}
+
+// publishInterval resolves the effective timed trigger (0 = disabled).
+func (c StreamConfig) publishInterval() time.Duration {
+	switch {
+	case c.PublishInterval < 0:
+		return 0
+	case c.PublishInterval > 0:
+		return c.PublishInterval
+	}
+	return DefaultPublishInterval
 }
 
 // withDefaults fills zero fields from d.
@@ -446,17 +490,22 @@ func RestoreManager(r io.Reader, defaults StreamConfig) (*Manager, error) {
 // offloaded stream fault it back in transparently. See lifecycle.go for
 // the eviction/offload model and Resident, Lifecycle, and Manager.EvictIdle.
 type Stream struct {
-	name    string
-	cfg     StreamConfig
-	sharded *ShardedSketch
+	name string
+	cfg  StreamConfig
+	// sharded is the raw-ingest tier. It is an atomic pointer, not a plain
+	// field, so the published read path (Estimate) can reach the current
+	// sketch's epoch snapshot without the lifecycle lock; eviction stores
+	// nil, CutSummary swaps in a fresh sketch. All mutation still happens
+	// under the lifecycle interlock — the atomic is for lock-free readers.
+	sharded atomic.Pointer[ShardedSketch]
 	acct    *Accountant
 	mgr     *Manager
 
 	batches  atomic.Int64
 	ingested atomic.Int64
 
-	mu     sync.Mutex // guards merged + nodes
-	merged *merge.Summary
+	mu     sync.Mutex                    // guards nodes and merged writers
+	merged atomic.Pointer[merge.Summary] // node aggregate; immutable values, lock-free loads
 	nodes  int64
 
 	// Lifecycle state. life is the residency interlock: data operations
@@ -473,6 +522,13 @@ type Stream struct {
 	offAgg    int // aggregate-tier live counters captured at offload
 	offIngest int // raw-tier live counters captured at offload
 	access    atomic.Int64
+
+	// Published-read policy: pubInterval is the resolved timed republish
+	// trigger (0 = disabled); lastPub is the manager-clock instant of the
+	// last timed republish, CAS-claimed so exactly one ingest per lapsed
+	// interval pays the (background) fold.
+	pubInterval time.Duration
+	lastPub     atomic.Int64
 
 	// QoS admission (nil = unlimited) and observability counters.
 	bucket            *qos.Bucket
@@ -501,6 +557,16 @@ func (c StreamConfig) qosBurst() int {
 	return 1
 }
 
+// newSharded builds a raw-ingest sketch for cfg with the stream's publish
+// policy applied — every construction site (create, restore, fault-in,
+// cut reset) goes through here so no sketch ever runs with the wrong
+// republish threshold.
+func newSharded(cfg StreamConfig) *ShardedSketch {
+	sh := NewShardedSketch(cfg.Shards, cfg.K, cfg.Universe)
+	sh.SetPublishEvery(cfg.publishEvery())
+	return sh
+}
+
 // newStream builds a fresh stream from a resolved, validated config.
 func newStream(m *Manager, name string, cfg StreamConfig) (*Stream, error) {
 	acct, err := NewAccountant(cfg.Budget)
@@ -508,15 +574,17 @@ func newStream(m *Manager, name string, cfg StreamConfig) (*Stream, error) {
 		return nil, err
 	}
 	st := &Stream{
-		name:    name,
-		cfg:     cfg,
-		sharded: NewShardedSketch(cfg.Shards, cfg.K, cfg.Universe),
-		acct:    acct,
-		mgr:     m,
-		bucket:  qos.NewBucket(cfg.MaxIngestRate, cfg.qosBurst()),
-		gate:    qos.NewGate(cfg.MaxInflightReleases),
+		name:        name,
+		cfg:         cfg,
+		acct:        acct,
+		mgr:         m,
+		pubInterval: cfg.publishInterval(),
+		bucket:      qos.NewBucket(cfg.MaxIngestRate, cfg.qosBurst()),
+		gate:        qos.NewGate(cfg.MaxInflightReleases),
 	}
+	st.sharded.Store(newSharded(cfg))
 	st.access.Store(m.now())
+	st.lastPub.Store(m.now())
 	return st, nil
 }
 
@@ -534,6 +602,8 @@ func restoredCfg(m *Manager, w *encoding.StreamState) (StreamConfig, error) {
 		MaxIngestRate:       m.defaults.MaxIngestRate,
 		IngestBurst:         m.defaults.IngestBurst,
 		MaxInflightReleases: m.defaults.MaxInflightReleases,
+		PublishEvery:        m.defaults.PublishEvery,
+		PublishInterval:     m.defaults.PublishInterval,
 	}
 	if err := cfg.validate(); err != nil {
 		return StreamConfig{}, fmt.Errorf("dpmg: restore stream %q: %w", w.Name, err)
@@ -569,19 +639,21 @@ func restoreStream(m *Manager, w *encoding.StreamState) (*Stream, error) {
 		return nil, fmt.Errorf("dpmg: restore stream %q: %w", w.Name, err)
 	}
 	st := &Stream{
-		name:    w.Name,
-		cfg:     cfg,
-		sharded: sharded,
-		acct:    acct,
-		mgr:     m,
-		merged:  w.Merged,
-		nodes:   w.Nodes,
-		bucket:  qos.NewBucket(cfg.MaxIngestRate, cfg.qosBurst()),
-		gate:    qos.NewGate(cfg.MaxInflightReleases),
+		name:        w.Name,
+		cfg:         cfg,
+		acct:        acct,
+		mgr:         m,
+		nodes:       w.Nodes,
+		pubInterval: cfg.publishInterval(),
+		bucket:      qos.NewBucket(cfg.MaxIngestRate, cfg.qosBurst()),
+		gate:        qos.NewGate(cfg.MaxInflightReleases),
 	}
+	st.sharded.Store(sharded)
+	st.merged.Store(w.Merged)
 	st.batches.Store(w.Batches)
 	st.ingested.Store(w.Ingested)
 	st.access.Store(m.now())
+	st.lastPub.Store(m.now())
 	return st, nil
 }
 
@@ -599,20 +671,22 @@ func restoreStreamStub(m *Manager, w *encoding.StreamState) (*Stream, error) {
 		return nil, err
 	}
 	st := &Stream{
-		name:      w.Name,
-		cfg:       cfg,
-		acct:      acct,
-		mgr:       m,
-		nodes:     w.Nodes,
-		offloaded: true,
-		offAgg:    w.AggCounters,
-		offIngest: w.IngestCounters,
-		bucket:    qos.NewBucket(cfg.MaxIngestRate, cfg.qosBurst()),
-		gate:      qos.NewGate(cfg.MaxInflightReleases),
+		name:        w.Name,
+		cfg:         cfg,
+		acct:        acct,
+		mgr:         m,
+		nodes:       w.Nodes,
+		offloaded:   true,
+		offAgg:      w.AggCounters,
+		offIngest:   w.IngestCounters,
+		pubInterval: cfg.publishInterval(),
+		bucket:      qos.NewBucket(cfg.MaxIngestRate, cfg.qosBurst()),
+		gate:        qos.NewGate(cfg.MaxInflightReleases),
 	}
 	st.batches.Store(w.Batches)
 	st.ingested.Store(w.Ingested)
 	st.access.Store(m.now())
+	st.lastPub.Store(m.now())
 	return st, nil
 }
 
@@ -631,12 +705,12 @@ func (s *Stream) snapshotState() (encoding.StreamState, error) {
 // streamState captures the stream's durable state. The caller must hold
 // the lifecycle lock (either side) with the stream resident.
 func (s *Stream) streamState() (encoding.StreamState, error) {
-	shards, err := s.sharded.snapshotShards()
+	shards, err := s.sharded.Load().snapshotShards()
 	if err != nil {
 		return encoding.StreamState{}, err
 	}
 	s.mu.Lock()
-	merged := s.merged // immutable once published; safe to serialize unlocked
+	merged := s.merged.Load() // immutable once published; safe to serialize unlocked
 	nodes := s.nodes
 	s.mu.Unlock()
 	// One locked read for the whole account: a spend racing the snapshot
@@ -699,8 +773,9 @@ func (s *Stream) Update(x Item) error {
 	}
 	defer s.life.RUnlock()
 	s.touch(now)
-	s.sharded.Update(x)
+	s.sharded.Load().Update(x)
 	s.ingested.Add(1)
+	s.maybeTimedPublish(now)
 	return nil
 }
 
@@ -737,10 +812,30 @@ func (s *Stream) UpdateBatch(xs []Item) error {
 	}
 	defer s.life.RUnlock()
 	s.touch(now)
-	s.sharded.UpdateBatch(xs)
+	s.sharded.Load().UpdateBatch(xs)
 	s.batches.Add(1)
 	s.ingested.Add(int64(len(xs)))
+	s.maybeTimedPublish(now)
 	return nil
+}
+
+// maybeTimedPublish kicks one background republish when the timed trigger
+// has lapsed, so a low-volume stream's published view converges without
+// ever reaching the volume threshold. The CAS claims the interval for
+// exactly one ingest; the fold runs on its own goroutine against the
+// sketch pointer captured here (a concurrent cut or evict at worst folds
+// an orphaned sketch once). Called with the stream resident.
+func (s *Stream) maybeTimedPublish(now int64) {
+	if s.pubInterval <= 0 {
+		return
+	}
+	last := s.lastPub.Load()
+	if now-last < int64(s.pubInterval) || !s.lastPub.CompareAndSwap(last, now) {
+		return
+	}
+	if sh := s.sharded.Load(); sh != nil {
+		go func() { _ = sh.Publish() }()
+	}
 }
 
 // IngestSummary folds one shipped node summary into the stream's bounded
@@ -759,16 +854,16 @@ func (s *Stream) IngestSummary(sum *MergeableSummary) error {
 	s.touch(s.mgr.now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.merged == nil {
+	if cur := s.merged.Load(); cur == nil {
 		// First summary: keep it as-is (callers hand over ownership, like
 		// every FromSorted-style zero-copy entry point).
-		s.merged = sum.inner
+		s.merged.Store(sum.inner)
 	} else {
-		m, err := merge.Merge(s.merged, sum.inner)
+		m, err := merge.Merge(cur, sum.inner)
 		if err != nil {
 			return err
 		}
-		s.merged = m
+		s.merged.Store(m)
 	}
 	s.nodes++
 	return nil
@@ -780,13 +875,11 @@ func (s *Stream) IngestSummary(sum *MergeableSummary) error {
 // extracted as a fresh clone — so it stays valid after locks are dropped.
 // nil means the stream is empty.
 func (s *Stream) combined() (*merge.Summary, error) {
-	s.mu.Lock()
-	base := s.merged
-	s.mu.Unlock()
+	base := s.merged.Load()
 	if s.ingested.Load() == 0 {
 		return base, nil
 	}
-	shardSum, err := s.sharded.Summary()
+	shardSum, err := s.sharded.Load().Summary()
 	if err != nil {
 		return nil, err
 	}
@@ -848,9 +941,9 @@ func (s *Stream) CutSummary(persist func(*MergeableSummary) error) (*MergeableSu
 	// caller: every path out of combined() either clones or returns the node
 	// aggregate itself, which the nil store below unpublishes.
 	s.mu.Lock()
-	s.merged = nil
+	s.merged.Store(nil)
 	s.mu.Unlock()
-	s.sharded = NewShardedSketch(s.cfg.Shards, s.cfg.K, s.cfg.Universe)
+	s.sharded.Store(newSharded(s.cfg))
 	return out, nil
 }
 
@@ -930,23 +1023,66 @@ func (s *Stream) ReleaseDetailed(p Params, opts ...ReleaseOption) (*ReleaseResul
 
 // Estimate returns the stream's non-private combined estimate for x: its
 // raw-shard estimate plus its node-aggregate estimate (the two tiers hold
-// disjoint data). An offloaded stream is faulted back in; if the fault-in
-// fails (for example the offload record was lost) Estimate returns 0 —
-// use ReleaseView or Stats for the error. Prefer ReleaseDetailed for
-// anything leaving the trust boundary.
+// disjoint data).
+//
+// When the stream is resident and its raw tier has a published read view,
+// the answer is served from that view — two atomic loads and a binary
+// search, no mutexes, no allocation, and no contention with ingest. The
+// view is bounded-stale (refreshed every PublishEvery items, every
+// PublishInterval of wall time, and at every release-time fold); these
+// reads deliberately do not reset the idle clock, so a dashboard polling
+// estimates never keeps a stream hot. Callers that need the item's exact
+// up-to-the-instant count use EstimateExact.
+//
+// The raw tier's view is never nil for a resident stream (construction
+// installs an empty view; fault-in and restore publish synchronously), so
+// resident reads never fall back to the locked path — which is what keeps
+// per-item answers monotone. For an offloaded stream, Estimate takes the
+// exact path (faulting the stream in); if the fault-in fails (for example
+// the offload record was lost) Estimate returns 0 — use ReleaseView or
+// Stats for the error. Prefer ReleaseDetailed for anything leaving the
+// trust boundary.
 func (s *Stream) Estimate(x Item) int64 {
+	if sh := s.sharded.Load(); sh != nil && sh.pub.Load() != nil {
+		var agg int64
+		if m := s.merged.Load(); m != nil {
+			agg = m.Estimate(x)
+		}
+		return agg + sh.Estimate(x)
+	}
+	return s.EstimateExact(x)
+}
+
+// Publish synchronously folds the stream's live raw tier and installs a
+// fresh published read view: after it returns, Estimate and Stats observe
+// every update that completed before the call. Useful between a batch
+// load and a read burst; routine refresh is already handled by the
+// background triggers (PublishEvery, PublishInterval, and release-time
+// folds). Publishing faults an offloaded stream in.
+func (s *Stream) Publish() error {
+	if err := s.acquire(); err != nil {
+		return err
+	}
+	defer s.life.RUnlock()
+	return s.sharded.Load().Publish()
+}
+
+// EstimateExact returns the same combined estimate as Estimate but always
+// from live counter state, reading the raw tier under its shard locks: the
+// answer reflects every update that completed before the call. This is the
+// pre-epoch read path — tests pinning exact counts and callers about to
+// act on a single item's count use it; dashboards use Estimate.
+func (s *Stream) EstimateExact(x Item) int64 {
 	if err := s.acquire(); err != nil {
 		return 0
 	}
 	defer s.life.RUnlock()
 	s.touch(s.mgr.now())
-	s.mu.Lock()
 	var agg int64
-	if s.merged != nil {
-		agg = s.merged.Estimate(x)
+	if m := s.merged.Load(); m != nil {
+		agg = m.Estimate(x)
 	}
-	s.mu.Unlock()
-	return agg + s.sharded.Estimate(x)
+	return agg + s.sharded.Load().EstimateExact(x)
 }
 
 // StreamStats is a point-in-time, non-private description of one stream.
@@ -981,9 +1117,10 @@ type StreamStats struct {
 }
 
 // Stats returns the stream's current stats. When raw data has been
-// ingested into a resident stream, the shard summaries are merged
-// (bounded, ≤ k counters) to count the live raw-tier counters — the same
-// fold a release performs. For an offloaded stream the counter tallies
+// ingested into a resident stream, the live raw-tier counter tally is
+// served from the published read view whenever that view is current, and
+// otherwise by merging the shard summaries (bounded, ≤ k counters) — the
+// same fold a release performs. For an offloaded stream the counter tallies
 // captured at offload time are served instead (exact: nothing mutates an
 // offloaded stream), so reading stats never faults a stream in — and
 // deliberately does not touch the idle clock, so observability never keeps
@@ -994,18 +1131,29 @@ func (s *Stream) Stats() (StreamStats, error) {
 	var aggCounters, ingestCounters int
 	s.mu.Lock()
 	nodes := s.nodes
-	if !s.offloaded && s.merged != nil {
-		aggCounters = s.merged.Len() // one critical section: nodes and aggregate agree
+	if m := s.merged.Load(); !s.offloaded && m != nil {
+		aggCounters = m.Len() // one critical section: nodes and aggregate agree
 	}
 	s.mu.Unlock()
 	if s.offloaded {
 		aggCounters, ingestCounters = s.offAgg, s.offIngest
 	} else if s.ingested.Load() > 0 {
-		sum, err := s.sharded.Summary()
-		if err != nil {
-			return StreamStats{}, err
+		sh := s.sharded.Load()
+		// Serve the raw-tier tally from the published view when it provably
+		// covers every ingested item (view item count == the sketch's live
+		// total): the common dashboard scrape of a quiet stream is then two
+		// atomic loads instead of a full shard fold — and still exact,
+		// because Algorithm 1 counters cannot change without the item total
+		// advancing. A stream mid-burst falls back to the fold.
+		if p := sh.pub.Load(); p != nil && p.n == sh.total.Load() {
+			ingestCounters = len(p.keys)
+		} else {
+			sum, err := sh.Summary()
+			if err != nil {
+				return StreamStats{}, err
+			}
+			ingestCounters = sum.Len()
 		}
-		ingestCounters = sum.Len()
 	}
 	total, spent, releases := s.acct.inner.State() // one lock: consistent pair
 	return StreamStats{

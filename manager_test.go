@@ -123,8 +123,8 @@ func TestStreamRejectsOutOfUniverse(t *testing.T) {
 	if err := st.UpdateBatch([]Item{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if st.Estimate(2) != 1 {
-		t.Errorf("Estimate(2) = %d", st.Estimate(2))
+	if st.EstimateExact(2) != 1 {
+		t.Errorf("Estimate(2) = %d", st.EstimateExact(2))
 	}
 }
 

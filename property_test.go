@@ -30,6 +30,11 @@ func TestShardedEstimateProperties(t *testing.T) {
 		}
 		sk := NewShardedSketch(shards, k, uint64(d))
 		sk.UpdateBatch(str)
+		// Fold and publish so the property sweep exercises the published
+		// read path; with writers quiesced the view is exact.
+		if err := sk.Publish(); err != nil {
+			t.Fatal(err)
+		}
 		f := hist.Exact(str)
 		slack := int64(n) / int64(k+1)
 		for x := Item(1); int(x) <= d; x++ {

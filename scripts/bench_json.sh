@@ -21,9 +21,18 @@ run() { # run <package> <bench regex>
 
 # Ingest tier: flat sketch hot paths and the sharded router.
 run . 'BenchmarkSketchUpdate$|BenchmarkSketchUpdateAdversarial$|BenchmarkSketchUpdateBatch$|BenchmarkShardedUpdate$|BenchmarkShardedUpdateBatch$'
+# Read tier: point queries under saturating ingest. The published row is
+# the epoch read path (atomic load + binary search, 0 allocs); the locked
+# row is the pre-epoch shard-mutex baseline it is measured against.
+run . 'BenchmarkEstimateUnderIngest'
 # Merge/release tier: steady-state multi-way merge and the release loops.
 run . 'BenchmarkMergeSummaries$|BenchmarkMergeSummariesOneShot$|BenchmarkShardedRelease$|BenchmarkRelease$'
 run ./internal/merge 'BenchmarkMergeAllWide$|BenchmarkReleaseBounded$'
+# Lifecycle tier: the offloaded-tenant cold start (delta record decode +
+# canonical sketch reconstruction) and the cold-tier record footprint
+# (record_bytes: fixed vs delta entry format of one offload record).
+run . 'BenchmarkFaultIn$'
+run ./internal/encoding 'BenchmarkOffloadRecord'
 # Server tier: HTTP batch ingest and streamed release, plus the
 # multi-tenant pair — BenchmarkServerMultiStreamIngest (parallel workers on
 # distinct streams, no shared mutex) against BenchmarkServerSingleStreamIngest
@@ -45,7 +54,9 @@ run ./internal/cluster 'BenchmarkClusterFanIn$'
 # the binary ingest path and the aggregation tier; a refactor that
 # silently drops one of these benchmarks must fail the bench job, not
 # produce a quietly thinner artifact.
-for required in BenchmarkServerStreamIngest BenchmarkServerHTTPIngestE2E BenchmarkServerBatchIngest BenchmarkClusterFanIn; do
+for required in BenchmarkServerStreamIngest BenchmarkServerHTTPIngestE2E BenchmarkServerBatchIngest BenchmarkClusterFanIn \
+                BenchmarkEstimateUnderIngest/published BenchmarkEstimateUnderIngest/locked \
+                BenchmarkFaultIn BenchmarkOffloadRecord/fixed BenchmarkOffloadRecord/delta; do
   if ! grep -q "^${required}" "$TMP"; then
     echo "bench_json.sh: required benchmark ${required} missing from output" >&2
     exit 1
@@ -56,7 +67,7 @@ awk '
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
-  ns = ""; bytes = ""; allocs = ""; mbs = ""; items = ""; sums = ""
+  ns = ""; bytes = ""; allocs = ""; mbs = ""; items = ""; sums = ""; rec = ""
   for (i = 2; i < NF; i++) {
     if ($(i + 1) == "ns/op") ns = $i
     if ($(i + 1) == "B/op") bytes = $i
@@ -64,6 +75,7 @@ awk '
     if ($(i + 1) == "MB/s") mbs = $i
     if ($(i + 1) == "items/s") items = $i
     if ($(i + 1) == "summaries/s") sums = $i
+    if ($(i + 1) == "record_bytes") rec = $i
   }
   if (ns == "") next
   if (n++) printf ",\n"
@@ -73,6 +85,7 @@ awk '
   if (mbs != "") printf ", \"mb_per_s\": %s", mbs
   if (items != "") printf ", \"items_per_s\": %s", items
   if (sums != "") printf ", \"summaries_per_s\": %s", sums
+  if (rec != "") printf ", \"record_bytes\": %s", rec
   printf "}"
 }
 BEGIN { printf "[\n" }

@@ -3,6 +3,7 @@ package dpmg
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -29,16 +30,51 @@ import (
 // Every method is safe for concurrent use. Mutations are linearizable per
 // shard — two updates to the same item are always ordered — but there is no
 // global ordering across shards: a snapshot taken while writers are running
-// (N, ReleaseView, Summary) locks the shards one at a time in ascending
-// shard order, so it observes each shard at a slightly different instant.
-// Concurrent updates may or may not be included, exactly as if the snapshot
-// had raced them on a single sketch; updates completed before the snapshot
-// began are always included, and per-shard prefix integrity (shard i's
-// state is a prefix of its update stream) always holds.
+// (NExact, ReleaseView, Summary) locks the shards one at a time in
+// ascending shard order, so it observes each shard at a slightly different
+// instant. Concurrent updates may or may not be included, exactly as if the
+// snapshot had raced them on a single sketch; updates completed before the
+// snapshot began are always included, and per-shard prefix integrity (shard
+// i's state is a prefix of its update stream) always holds.
+//
+// # Published read path
+//
+// Estimate and N serve from an immutable published view — flat sorted
+// key/count columns behind an atomic pointer, the same representation as a
+// merged summary — so high-QPS readers cost one atomic load plus a binary
+// search: no mutexes, no allocations, and no lock time stolen from ingest.
+// The view is republished off the hot path: piggybacked on release-time
+// summarization (ReleaseView, Summary) and by a write-volume threshold
+// (every PublishEvery ingested items a background fold runs, gated so at
+// most one is in flight). Reads are therefore *bounded-stale*: every
+// published value was exact at some publish point, and at most
+// PublishEvery items (plus one in-flight fold) can be absorbed since.
+// The view is never nil: construction installs an empty view (exact for
+// the empty sketch), and a sketch rebuilt from restored state publishes
+// synchronously before serving, so readers never mix locked fallback
+// values with view values — all published reads are ordered by the
+// release mutex that serializes view installs, which is what makes
+// per-item monotonicity hold. EstimateExact and NExact always read the
+// live tier. The published view is a read-only output: releases,
+// summaries, snapshots, and the wire never read it (the Section 5.2
+// release-order discipline is untouched).
 type ShardedSketch struct {
 	k      int
 	d      uint64
 	shards []shard
+
+	// Published read snapshot (see "Published read path" above). pending
+	// counts items ingested since the last publish; publishing is gated by
+	// publishing so at most one background fold runs at a time. total is
+	// the lifetime item count maintained on the ingest path: comparing it
+	// to the published view's n tells a reader whether the view already
+	// covers every ingested item (the view is then exact, not just
+	// bounded-stale) without taking any shard lock.
+	pub        atomic.Pointer[publishedView]
+	pending    atomic.Int64
+	total      atomic.Int64
+	pubEvery   int64
+	publishing atomic.Bool
 
 	// The release tier merges shard summaries through reusable scratch,
 	// guarded by relMu so concurrent releases do not race on it.
@@ -47,7 +83,25 @@ type ShardedSketch struct {
 	sums    []*merge.Summary
 	sumKeys [][]Item
 	sumVals [][]int64
+	sumN    []int64
 }
+
+// publishedView is one immutable epoch of the read path: merged summary
+// columns plus the total element count, all captured under the shard locks
+// of a single fold. Readers hold only the atomic pointer; a newer publish
+// replaces the pointer and old views are garbage collected once the last
+// reader drops them (RCU by garbage collector).
+type publishedView struct {
+	keys []Item
+	vals []int64
+	n    int64
+}
+
+// DefaultPublishEvery is the write-volume republish threshold when none is
+// configured: high enough that the background fold costs well under 1% of
+// ingest throughput, low enough that dashboards lag by at most one small
+// batch of a busy stream.
+const DefaultPublishEvery = 1 << 16
 
 // shard is one mutex-guarded sketch, padded so that neighboring shards'
 // mutexes never share a cache line: under concurrent ingest the mutex word
@@ -75,17 +129,34 @@ func NewShardedSketch(shards, k int, d uint64) *ShardedSketch {
 		panic("dpmg: shards must be positive")
 	}
 	s := &ShardedSketch{
-		k:       k,
-		d:       d,
-		shards:  make([]shard, shards),
-		sums:    make([]*merge.Summary, shards),
-		sumKeys: make([][]Item, shards),
-		sumVals: make([][]int64, shards),
+		k:        k,
+		d:        d,
+		shards:   make([]shard, shards),
+		pubEvery: DefaultPublishEvery,
+		sums:     make([]*merge.Summary, shards),
+		sumKeys:  make([][]Item, shards),
+		sumVals:  make([][]int64, shards),
+		sumN:     make([]int64, shards),
 	}
 	for i := range s.shards {
 		s.shards[i].sk = mg.New(k, d)
 	}
+	// Install the initial (empty) view so the read path never falls back
+	// to the locked walk: mixing fallback reads with view reads would let
+	// an in-flight background fold install a view staler than values
+	// already served, breaking per-item monotonicity. The empty view is
+	// exact for a fresh sketch.
+	s.pub.Store(&publishedView{})
 	return s
+}
+
+// SetPublishEvery tunes the write-volume republish threshold: after every
+// n ingested items a background fold republishes the read view. n <= 0
+// disables volume-triggered publishing (release-time piggybacking and
+// explicit Publish calls still refresh the view). Call before ingest
+// starts; the threshold is not synchronized with concurrent writers.
+func (s *ShardedSketch) SetPublishEvery(n int64) {
+	s.pubEvery = n
 }
 
 // Update processes one stream element; safe for concurrent use.
@@ -94,6 +165,30 @@ func (s *ShardedSketch) Update(x Item) {
 	sh.mu.Lock()
 	sh.sk.Update(x)
 	sh.mu.Unlock()
+	s.noteIngest(1)
+}
+
+// noteIngest advances the publish-pending counter and, when the threshold
+// is crossed, kicks off one background fold. The CAS gate keeps at most
+// one fold in flight so a storm of batches cannot pile up publishers; the
+// counter is reset by the publish itself, which bounds staleness at
+// pubEvery items plus whatever lands while the fold runs.
+func (s *ShardedSketch) noteIngest(n int64) {
+	s.total.Add(n)
+	if s.pubEvery <= 0 {
+		return
+	}
+	if s.pending.Add(n) < s.pubEvery {
+		return
+	}
+	if s.publishing.CompareAndSwap(false, true) {
+		go func() {
+			defer s.publishing.Store(false)
+			// The fold reads current shard state, so items ingested after
+			// the trigger are included — staleness only accrues afterwards.
+			_ = s.Publish()
+		}()
+	}
 }
 
 // UpdateBatch processes the elements of xs; safe for concurrent use and
@@ -115,6 +210,7 @@ func (s *ShardedSketch) UpdateBatch(xs []Item) {
 		sh.mu.Lock()
 		sh.sk.UpdateBatch(xs)
 		sh.mu.Unlock()
+		s.noteIngest(int64(len(xs)))
 		return
 	}
 	sc := batchScratchPool.Get().(*batchScratch)
@@ -155,6 +251,7 @@ func (s *ShardedSketch) UpdateBatch(xs []Item) {
 		start = end
 	}
 	batchScratchPool.Put(sc)
+	s.noteIngest(int64(len(xs)))
 }
 
 // shardOf routes items to shards with a fixed multiplicative hash, so the
@@ -166,11 +263,24 @@ func (s *ShardedSketch) shardOf(x Item) int {
 	return int(h % uint64(len(s.shards)))
 }
 
-// N returns the total number of processed elements across shards. The
-// shards are read one at a time in ascending shard order (see the
-// consistency model above): the total is exact once writers have quiesced,
-// and otherwise includes every update that completed before the call began.
+// N returns the total number of processed elements as of the latest
+// published view — one atomic load, no locks (see "Published read path":
+// bounded-stale, at most PublishEvery items plus one in-flight fold
+// behind). The view is never nil — construction installs an empty view.
+// Use NExact when the call must observe every completed update.
 func (s *ShardedSketch) N() int64 {
+	if p := s.pub.Load(); p != nil {
+		return p.n
+	}
+	return s.NExact()
+}
+
+// NExact returns the total number of processed elements across shards,
+// read from the live tier. The shards are read one at a time in ascending
+// shard order (see the consistency model above): the total is exact once
+// writers have quiesced, and otherwise includes every update that
+// completed before the call began.
+func (s *ShardedSketch) NExact() int64 {
 	var n int64
 	for i := range s.shards {
 		s.shards[i].mu.Lock()
@@ -180,13 +290,69 @@ func (s *ShardedSketch) N() int64 {
 	return n
 }
 
-// Estimate returns the non-private estimate for x from its shard.
+// Estimate returns the non-private estimate for x from the latest
+// published view — an atomic load plus a binary search, no locks, no
+// allocations. Published estimates are merged-summary estimates: they
+// never overestimate and obey the merged N/(k+1) bound at their publish
+// point, and they lag the live tier by at most PublishEvery items plus one
+// in-flight fold. The view is never nil — construction installs an empty
+// view. Use EstimateExact when freshness matters more than read
+// throughput.
 func (s *ShardedSketch) Estimate(x Item) int64 {
+	if p := s.pub.Load(); p != nil {
+		if i, ok := slices.BinarySearch(p.keys, x); ok {
+			return p.vals[i]
+		}
+		return 0
+	}
+	return s.EstimateExact(x)
+}
+
+// EstimateExact returns the non-private estimate for x from its shard's
+// live counters, taking the shard mutex. This is the per-shard Fact 7
+// estimate, fresh as of this call.
+func (s *ShardedSketch) EstimateExact(x Item) int64 {
 	sh := &s.shards[s.shardOf(x)]
 	sh.mu.Lock()
 	est := sh.sk.Estimate(x)
 	sh.mu.Unlock()
 	return est
+}
+
+// Publish folds the shards and installs a fresh published view for the
+// lock-free read path, returning after the view is visible. Reads never
+// require calling this — the view refreshes on release-time summarization
+// and every PublishEvery ingested items — but callers that just finished a
+// known write burst can force freshness.
+func (s *ShardedSketch) Publish() error {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	m, err := s.merged()
+	if err != nil {
+		return err
+	}
+	s.publishLocked(m)
+	return nil
+}
+
+// publishLocked copies the merged columns into a fresh immutable view and
+// swaps it in. relMu must be held and m must be the summary the preceding
+// merged() call produced (sumN holds the matching per-shard totals). The
+// copy detaches the view from the merge scratch, so release views and the
+// published view never share storage — the published view is read-only and
+// never feeds a release or the wire.
+func (s *ShardedSketch) publishLocked(m *merge.Summary) {
+	var n int64
+	for _, v := range s.sumN {
+		n += v
+	}
+	v := &publishedView{
+		keys: append([]Item(nil), m.Keys()...),
+		vals: append([]int64(nil), m.Counts()...),
+		n:    n,
+	}
+	s.pub.Store(v)
+	s.pending.Store(0)
 }
 
 // merged folds the shard summaries with one multi-way pass; each shard
@@ -200,6 +366,7 @@ func (s *ShardedSketch) merged() (*merge.Summary, error) {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		keys, vals := sh.sk.AppendReal(s.sumKeys[i][:0], s.sumVals[i][:0])
+		s.sumN[i] = sh.sk.N()
 		sh.mu.Unlock()
 		s.sumKeys[i], s.sumVals[i] = keys, vals
 		sum, err := merge.FromSorted(s.k, keys, vals)
@@ -265,7 +432,8 @@ func (s *ShardedSketch) ReleaseView() (*ReleaseView, error) {
 	if err != nil {
 		return nil, err
 	}
-	m = m.Clone() // detach from merge scratch before relMu is released
+	s.publishLocked(m) // the fold is paid for; refresh the read view too
+	m = m.Clone()      // detach from merge scratch before relMu is released
 	return &ReleaseView{
 		Keys: m.Keys(),
 		Vals: m.Counts(),
@@ -307,6 +475,8 @@ func (s *ShardedSketch) snapshotShards() ([]*mg.Sketch, error) {
 }
 
 // Summary extracts the merged non-private summary for further aggregation.
+// The summary is built from the live tier (never the published view); the
+// fold refreshes the published view as a side effect.
 func (s *ShardedSketch) Summary() (*MergeableSummary, error) {
 	s.relMu.Lock()
 	defer s.relMu.Unlock()
@@ -314,5 +484,6 @@ func (s *ShardedSketch) Summary() (*MergeableSummary, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.publishLocked(m)
 	return &MergeableSummary{inner: m.Clone()}, nil
 }
