@@ -99,6 +99,7 @@ import (
 	"net/http"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -135,6 +136,8 @@ func main() {
 		qosRate   = flag.Float64("max-ingest-rate", 0, "default per-stream ingest ceiling in items/second (0 = unlimited)")
 		qosBurst  = flag.Int("ingest-burst", 0, "default per-stream token-bucket burst in items (0 = one second of -max-ingest-rate)")
 		qosInrels = flag.Int("max-inflight-releases", 0, "default per-stream cap on concurrent release calls (0 = unlimited)")
+
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof on the admin mux and enable mutex profiling (operator-only: profiles expose internals; never expose the port publicly with this on)")
 	)
 	flag.Parse()
 
@@ -201,6 +204,13 @@ func main() {
 	s.stateDir = *stateDir
 	s.hasStore = *stateDir != ""
 	s.drainGrace = *grace
+	s.pprof = *pprofOn
+	if *pprofOn {
+		// A sampled mutex profile is the instrument the fold-lane work is
+		// judged by; it is cheap enough to leave on for a profiling session.
+		runtime.SetMutexProfileFraction(16)
+		log.Printf("pprof mounted on /debug/pprof/ (operator-only)")
+	}
 	if restored {
 		log.Printf("restored %d stream(s) from %s", mgr.Len(), *stateDir)
 	}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"dpmg"
+)
+
+// TestPprofRoutesGated pins the -pprof opt-in: the profiling surface is
+// absent by default (a public deployment must not expose runtime
+// internals) and served on the admin mux only when the operator enables it.
+func TestPprofRoutesGated(t *testing.T) {
+	s, err := newServer(64, 1000, dpmg.Budget{Eps: 1, Delta: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := httptest.NewServer(s.routes())
+	defer off.Close()
+	if resp := get(t, off.URL+"/debug/pprof/"); resp.StatusCode != 404 {
+		t.Fatalf("pprof index served %d without -pprof, want 404", resp.StatusCode)
+	}
+
+	s.pprof = true
+	on := httptest.NewServer(s.routes())
+	defer on.Close()
+	if resp := get(t, on.URL+"/debug/pprof/"); resp.StatusCode != 200 {
+		t.Fatalf("pprof index served %d with -pprof, want 200", resp.StatusCode)
+	}
+	if resp := get(t, on.URL+"/debug/pprof/cmdline"); resp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline served %d with -pprof, want 200", resp.StatusCode)
+	}
+}

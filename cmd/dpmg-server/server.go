@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io/fs"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
@@ -76,6 +77,11 @@ type server struct {
 	// drain has run; drainGrace bounds the drain's upstream flush.
 	draining   atomic.Bool
 	drainGrace time.Duration
+
+	// pprof mounts net/http/pprof on the admin mux when the operator opts
+	// in with -pprof (the profiles expose internals; never expose the admin
+	// port publicly with this on).
+	pprof bool
 
 	// labelCache memoizes per-stream Prometheus label fragments (see
 	// streamLabelsFor); bounded by maxLabelCache, reset on overflow.
@@ -168,6 +174,15 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/admin/streams/{stream}/evict", s.handleAdminEvict)
 	mux.HandleFunc("POST /v1/admin/streams/{stream}/faultin", s.handleAdminFaultIn)
 	mux.HandleFunc("POST /v1/admin/drain", s.handleAdminDrain)
+	// Opt-in profiling surface (-pprof): operator-only, for contention work
+	// — mutex/block profiles against the live fan-in and ingest paths.
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	// Back-compat: the original single-tenant routes alias the default
 	// stream — same paths, methods, status codes, and binary wire formats.
 	// (Success ack bodies are now JSON documents instead of the old plain
@@ -938,8 +953,9 @@ func (s *server) saveState(dir string) error {
 		return err
 	}
 	// On a root, the dedup table and the manager snapshot must describe
-	// the same fold set, so folds are quiesced (the root's fold mutex is
-	// held by SnapshotSeqs) across the table capture AND the snapshot
+	// the same fold set, so folds are quiesced (SnapshotSeqs holds the
+	// lane gate exclusively, stalling every fold lane) across the table
+	// capture AND the snapshot
 	// write. Without the quiesce, a fold landing between the two captures
 	// would be in one but not the other: table-newer means an edge re-ship
 	// is refused as a duplicate after its fold was lost (silent loss), and

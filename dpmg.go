@@ -216,6 +216,26 @@ func NewMergeableSummarySorted(k int, keys []Item, counts []int64) (*MergeableSu
 	return &MergeableSummary{inner: inner}, nil
 }
 
+// NewReusableSummary returns an empty summary shell for SetSorted: a decode
+// target a connection handler rebinds to fresh columns on every frame
+// instead of allocating a summary per decode.
+func NewReusableSummary() *MergeableSummary {
+	return &MergeableSummary{inner: new(merge.Summary)}
+}
+
+// SetSorted rebinds the summary in place to borrow the given pre-sorted
+// columns, with exactly NewMergeableSummarySorted's validation and zero
+// allocations. The summary borrows the slices only until the next SetSorted;
+// consumers that retain summary state past that point (Stream.FoldSummary
+// copies; Stream.IngestSummary takes ownership and must not be handed one
+// of these) make the reuse contract the caller's to uphold.
+func (s *MergeableSummary) SetSorted(k int, keys []Item, counts []int64) error {
+	if s.inner == nil {
+		s.inner = new(merge.Summary)
+	}
+	return s.inner.SetSorted(k, keys, counts)
+}
+
 // K returns the summary size parameter.
 func (s *MergeableSummary) K() int { return s.inner.K }
 

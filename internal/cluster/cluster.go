@@ -32,6 +32,14 @@
 // folded) and re-ships whatever its spool still holds; duplicates are
 // absorbed, gaps cannot occur, and no summary is folded twice.
 //
+// The ordering this contract fixes is per-stream: the root routes folds
+// through per-stream fold lanes (Root), so the dedup check and the fold it
+// guards are atomic within a stream while folds for different streams
+// proceed in parallel. No total fold order across streams exists — and
+// none is needed, because streams are independent sketches and a release
+// reads exactly one of them: replaying each stream's fold sequence
+// serially reproduces the root's release bytes exactly.
+//
 // # Failover
 //
 // The durable truth is split by role: the spool holds an edge's cut-but-

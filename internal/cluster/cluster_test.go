@@ -3,8 +3,10 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -33,7 +35,11 @@ func testManager(t testing.TB) *dpmg.Manager {
 	return m
 }
 
-// foldLog records the root's total fold order for differential replay.
+// foldLog records the root's folds for differential replay. Hooks run
+// under the folded stream's lane, so for any one stream the log's
+// subsequence is that stream's exact fold order — the order the twin
+// replays; the interleaving *across* streams is arbitrary and irrelevant
+// (streams are independent).
 type foldLog struct {
 	mu    sync.Mutex
 	folds []loggedFold
@@ -87,6 +93,12 @@ func startRoot(t testing.TB, mgr *dpmg.Manager, log *foldLog) (*Root, string, fu
 	if log != nil {
 		cfg.FoldHook = log.hook
 	}
+	return startRootCfg(t, cfg)
+}
+
+// startRootCfg is startRoot with full config control (lane counts, hooks).
+func startRootCfg(t testing.TB, cfg RootConfig) (*Root, string, func()) {
+	t.Helper()
 	root, err := NewRoot(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -543,9 +555,39 @@ func TestShipperFlushDuringRun(t *testing.T) {
 	}
 }
 
-// BenchmarkClusterFanIn measures root fold throughput over a real loopback
-// connection — the summaries-folded-per-second row of BENCH_core.json.
+// benchSummary builds the 64-entry fold payload every fan-in bench ships.
+// Summaries are read-only on the ship path, so workers may share one.
+func benchSummary(b *testing.B) *merge.Summary {
+	b.Helper()
+	keys := make([]stream.Item, 64)
+	counts := make([]int64, 64)
+	for i := range keys {
+		keys[i] = stream.Item(i + 1)
+		counts[i] = int64(i%9 + 1)
+	}
+	sum, err := merge.FromSorted(64, keys, counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sum
+}
+
+// BenchmarkClusterFanIn measures root fold throughput over real loopback
+// connections — the summaries-folded-per-second rows of BENCH_core.json.
+// "single" is one edge shipping into one stream, the pre-lane shape kept as
+// the serial-path regression guard. "parallel" is one connection per worker
+// folding into its own stream on the default lane table; "serial" applies
+// the same load to a single-lane root, the lock-convoy baseline the striped
+// default is measured against. Run with -cpu 1,4,8 to see the scaling
+// curve: the lanes only pay off when GOMAXPROCS and the worker count rise
+// together.
 func BenchmarkClusterFanIn(b *testing.B) {
+	b.Run("single", benchFanInSingle)
+	b.Run("parallel", func(b *testing.B) { benchFanInWorkers(b, 0) })
+	b.Run("serial", func(b *testing.B) { benchFanInWorkers(b, 1) })
+}
+
+func benchFanInSingle(b *testing.B) {
 	rootMgr := testManager(b)
 	_, addr, stop := startRoot(b, rootMgr, nil)
 	defer stop()
@@ -558,16 +600,8 @@ func BenchmarkClusterFanIn(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer conn.Close()
-	keys := make([]stream.Item, 64)
-	counts := make([]int64, 64)
-	for i := range keys {
-		keys[i] = stream.Item(i + 1)
-		counts[i] = int64(i%9 + 1)
-	}
-	sum, err := merge.FromSorted(64, keys, counts)
-	if err != nil {
-		b.Fatal(err)
-	}
+	sum := benchSummary(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ack, err := conn.ShipSummary("bench", uint64(i+1), sum)
@@ -578,6 +612,50 @@ func BenchmarkClusterFanIn(b *testing.B) {
 			b.Fatalf("ack %s: %s", ack.Code, ack.Msg)
 		}
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "summaries/s")
+}
+
+// benchFanInWorkers drives one connection per parallel worker, each edge
+// folding into its own stream — the multi-edge fleet shape the fold lanes
+// exist for. lanes = 0 uses the striped default; lanes = 1 serializes every
+// fold through one lane.
+func benchFanInWorkers(b *testing.B, lanes int) {
+	rootMgr := testManager(b)
+	_, addr, stop := startRootCfg(b, RootConfig{Manager: rootMgr, AutoCreate: true, Lanes: lanes})
+	defer stop()
+	sum := benchSummary(b)
+	var workers atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := workers.Add(1)
+		c, err := framing.DialTimeout(addr, 5*time.Second)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		conn, err := NewConn(c, fmt.Sprintf("edge-%d", id))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		name := fmt.Sprintf("bench-%d", id)
+		var seq uint64
+		for pb.Next() {
+			seq++
+			ack, err := conn.ShipSummary(name, seq, sum)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if ack.Code != framing.AckOK {
+				b.Errorf("ack %s: %s", ack.Code, ack.Msg)
+				return
+			}
+		}
+	})
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "summaries/s")
 }

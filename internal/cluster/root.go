@@ -17,12 +17,20 @@ import (
 	"dpmg/internal/framing"
 )
 
-// FoldHook observes every successful fold in the root's global fold order,
-// called with the root's fold mutex held. It exists for differential
-// testing — replaying the hook's exact sequence into a single-process
-// stream must reproduce the root's state — and must not call back into the
-// root or mutate the summary.
+// FoldHook observes every successful fold, called with the stream's fold
+// lane held: for any one stream it sees folds in exactly the order they
+// landed (the per-stream fold order the differential twin replays), while
+// hooks for different streams may run concurrently. It exists for
+// differential testing — replaying each stream's hook sequence into a
+// single-process stream must reproduce the root's state. The summary is
+// the connection's reusable decode scratch: a hook that retains anything
+// must copy it before returning, and it must not call back into the root.
 type FoldHook func(edge, stream string, seq uint64, sum *dpmg.MergeableSummary)
+
+// DefaultFoldLanes is the fold-lane count when RootConfig.Lanes is zero —
+// the same stripe default as the manager's registry, far above any
+// plausible core count so two hot streams rarely contend on a lane.
+const DefaultFoldLanes = 64
 
 // RootConfig configures a Root.
 type RootConfig struct {
@@ -38,25 +46,42 @@ type RootConfig struct {
 	Logf func(format string, args ...any)
 	// FoldHook, when set, observes every successful fold (tests).
 	FoldHook FoldHook
+	// Lanes is the fold-lane count (0 = DefaultFoldLanes). One lane
+	// serializes every fold — the measured baseline the striped default is
+	// benchmarked against, not a supported production shape.
+	Lanes int
 }
 
 // Root is the fan-in server: it accepts edge connections on the
 // aggregation-tier protocol (hello, summary, seq-query) and folds shipped
 // summaries into its manager's per-stream node tiers.
 //
-// All folds serialize on one mutex. That is deliberate, not incidental: it
-// makes the per-(edge, stream) high-water sequence check and the fold it
-// guards atomic (the exactly-once invariant), and it gives the root a
-// total fold order — the order the differential twin replays. Folding is
-// cheap (a bounded ≤2k-counter merge), so the mutex is not the throughput
-// ceiling; the benchmark pins that.
+// Folds are routed to per-stream fold lanes: a lock-striped lane table
+// keyed by stream name (FNV-1a, cache-line padded — the internal/registry
+// idiom), so folds for different streams proceed in parallel while the
+// per-(edge, stream) high-water sequence check and the fold it guards stay
+// atomic within the stream's lane. The exactly-once invariant this
+// preserves is per-stream fold order — the only order that determines
+// release bytes, since streams are independent — rather than the total
+// fold order the original single-mutex root kept; the differential twin
+// replays per-stream order and must still match byte for byte.
 type Root struct {
 	cfg RootConfig
 
-	// mu guards seqs, edges, and every fold.
-	mu    sync.Mutex
-	seqs  map[string]map[string]uint64 // edge → stream → last folded seq
-	edges map[string]*edgeState
+	// gate is the stop-the-world interlock over the lanes: every fold and
+	// seq-query holds the read side, and SnapshotSeqs/SaveSeqs/LoadSeqs
+	// hold the write side, quiescing all lanes at once so the dedup table
+	// and whatever is persisted beside it describe the same fold set.
+	// sync.RWMutex blocks new readers once a writer waits, so a snapshot
+	// cannot be starved by a busy fan-in.
+	gate  sync.RWMutex
+	lanes []foldLane
+
+	// edgeMu guards the edges map only. Per-edge counters are atomics and
+	// a connection resolves its *edgeState once, at hello, so the fold
+	// path never touches this mutex and Stats never blocks a fold.
+	edgeMu sync.Mutex
+	edges  map[string]*edgeState
 
 	folded   atomic.Int64
 	deduped  atomic.Int64
@@ -68,12 +93,40 @@ type Root struct {
 	wg    sync.WaitGroup
 }
 
-// edgeState is one edge's fan-in bookkeeping.
+// foldLane is one stripe of the fold-routing table: it owns the dedup rows
+// (stream → edge → last folded seq) of every stream FNV-1a routes to it,
+// and its mutex makes the dedup check and the fold atomic for those
+// streams. Padding keeps neighboring lanes' mutexes off one cache line so
+// parallel folds do not false-share.
+type foldLane struct {
+	mu   sync.Mutex
+	seqs map[string]map[string]uint64 // stream → edge → last folded seq
+	_    [64 - 16]byte
+}
+
+// laneFor routes a stream name to its fold lane (FNV-1a, like the
+// registry's stripes — related names spread uniformly).
+func (r *Root) laneFor(stream string) *foldLane {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= prime64
+	}
+	return &r.lanes[h%uint64(len(r.lanes))]
+}
+
+// edgeState is one edge's fan-in bookkeeping, all atomics: the fold path
+// updates it without locks and Stats/metrics read it without blocking any
+// fold.
 type edgeState struct {
-	connected int
-	folded    int64
-	deduped   int64
-	lastFold  time.Time
+	connected atomic.Int64
+	folded    atomic.Int64
+	deduped   atomic.Int64
+	lastFold  atomic.Int64 // unix nanoseconds of the latest fold; 0 = never
 }
 
 // NewRoot returns a Root folding into cfg.Manager.
@@ -81,12 +134,23 @@ func NewRoot(cfg RootConfig) (*Root, error) {
 	if cfg.Manager == nil {
 		return nil, fmt.Errorf("cluster: root requires a manager")
 	}
-	return &Root{
+	if cfg.Lanes < 0 {
+		return nil, fmt.Errorf("cluster: negative lane count %d", cfg.Lanes)
+	}
+	lanes := cfg.Lanes
+	if lanes == 0 {
+		lanes = DefaultFoldLanes
+	}
+	r := &Root{
 		cfg:   cfg,
-		seqs:  make(map[string]map[string]uint64),
+		lanes: make([]foldLane, lanes),
 		edges: make(map[string]*edgeState),
 		conns: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	for i := range r.lanes {
+		r.lanes[i].seqs = make(map[string]map[string]uint64)
+	}
+	return r, nil
 }
 
 // logf logs through the configured sink, if any.
@@ -152,6 +216,9 @@ func (r *Root) Shutdown() {
 }
 
 // handleConn speaks the aggregation-tier protocol on one edge connection.
+// All per-frame state — header bytes, payload, the summary decoder, the
+// ack writer — is connection-owned and reused, so a steady fold costs no
+// allocations beyond the published aggregate itself.
 func (r *Root) handleConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 1<<16)
@@ -160,25 +227,27 @@ func (r *Root) handleConn(conn net.Conn) {
 		r.logf("cluster: %s: %v", conn.RemoteAddr(), err)
 		return
 	}
-	var edge string
-	var ackBuf, payload []byte
+	var (
+		edge    string
+		est     *edgeState
+		dec     *SummaryDecoder
+		hdr     [framing.HeaderSize]byte
+		payload []byte
+	)
+	acks := framing.NewAckWriter(bw, br)
 	defer func() {
-		if edge != "" {
-			r.mu.Lock()
-			if st := r.edges[edge]; st != nil {
-				st.connected--
-			}
-			r.mu.Unlock()
+		if est != nil {
+			est.connected.Add(-1)
 		}
 	}()
 	for {
-		h, err := framing.ReadHeader(br)
-		if err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if !errors.Is(err, io.EOF) {
 				r.logf("cluster: %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
+		h := framing.ParseHeader(hdr[:])
 		if h.Len > framing.MaxSummaryFrameLen {
 			r.refuse(bw, h.Seq, framing.AckBadFrame, fmt.Sprintf("frame of %d bytes exceeds %d", h.Len, framing.MaxSummaryFrameLen))
 			return
@@ -197,13 +266,16 @@ func (r *Root) handleConn(conn net.Conn) {
 		case r.draining.Load() && h.Type != framing.TypeClose:
 			ack.Code, ack.Msg = framing.AckShuttingDown, "root is draining"
 		case h.Type == framing.TypeHello:
-			edge, ack = r.hello(edge, string(payload), h.Seq)
+			edge, est, ack = r.hello(edge, est, string(payload), h.Seq)
 		case h.Type == framing.TypeClose:
 			fatal = true // acked below, then the connection closes
 		case edge == "":
 			ack.Code, ack.Msg = framing.AckNotHello, "hello must precede aggregation-tier frames"
 		case h.Type == framing.TypeSummary:
-			ack = r.fold(edge, payload, h.Seq)
+			if dec == nil {
+				dec = NewSummaryDecoder()
+			}
+			ack = r.fold(edge, est, dec, payload, h.Seq)
 		case h.Type == framing.TypeSeqQuery:
 			ack = r.lastSeq(edge, string(payload), h.Seq)
 		default:
@@ -211,14 +283,11 @@ func (r *Root) handleConn(conn net.Conn) {
 			ack.Msg = fmt.Sprintf("frame type %v not part of the aggregation tier", h.Type)
 			fatal = true
 		}
-		ackBuf = framing.AppendAck(ackBuf[:0], ack)
-		if _, err := bw.Write(ackBuf); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
+		if err := acks.WriteAck(ack); err != nil {
 			return
 		}
 		if fatal || ack.Code == framing.AckBadFrame {
+			acks.Flush() //nolint:errcheck // best-effort: deliver the final ack before closing
 			return
 		}
 	}
@@ -231,52 +300,55 @@ func (r *Root) refuse(bw *bufio.Writer, seq uint32, code framing.AckCode, msg st
 	}
 }
 
-// hello registers the connection's edge identity.
-func (r *Root) hello(current, id string, seq uint32) (string, framing.Ack) {
+// hello registers the connection's edge identity and resolves its state
+// cell — the one edges-map access on the connection's whole fold path.
+func (r *Root) hello(curEdge string, curSt *edgeState, id string, seq uint32) (string, *edgeState, framing.Ack) {
 	ack := framing.Ack{Seq: seq}
 	if id == "" || len(id) > framing.MaxNameLen {
 		ack.Code = framing.AckBadFrame
 		ack.Msg = fmt.Sprintf("edge id length %d outside [1, %d]", len(id), framing.MaxNameLen)
-		return current, ack
+		return curEdge, curSt, ack
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if current != "" {
-		if st := r.edges[current]; st != nil {
-			st.connected--
-		}
+	if curSt != nil {
+		curSt.connected.Add(-1)
 	}
+	r.edgeMu.Lock()
 	st := r.edges[id]
 	if st == nil {
 		st = &edgeState{}
 		r.edges[id] = st
 	}
-	st.connected++
-	return id, ack
+	r.edgeMu.Unlock()
+	st.connected.Add(1)
+	return id, st, ack
 }
 
 // fold decodes and folds one shipped summary, advancing the (edge, stream)
-// high-water sequence exactly when the fold succeeds.
-func (r *Root) fold(edge string, payload []byte, frameSeq uint32) framing.Ack {
+// high-water sequence exactly when the fold succeeds. The gate's read side
+// spans the dedup check, the manager fold, and the high-water advance, so
+// a snapshot (write side) observes every fold either fully applied in both
+// captures or in neither; within the gate, the stream's lane serializes
+// this fold against others for the same stream only.
+func (r *Root) fold(edge string, est *edgeState, dec *SummaryDecoder, payload []byte, frameSeq uint32) framing.Ack {
 	ack := framing.Ack{Seq: frameSeq}
-	name, seq, sum, err := DecodeSummaryPayload(payload)
+	name, seq, wrapped, err := dec.Decode(payload)
 	if err != nil {
 		ack.Code, ack.Msg = framing.AckBadFrame, err.Error()
 		return ack
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st := r.edges[edge]
-	last := r.seqs[edge][name]
+	r.gate.RLock()
+	defer r.gate.RUnlock()
+	ln := r.laneFor(name)
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	last := ln.seqs[name][edge]
 	if seq <= last {
 		// Already folded (a re-ship after an edge restart, or a retry whose
 		// original ack was lost). Success-class: the shipper discards its
 		// record.
 		ack.Code, ack.Info = framing.AckDuplicate, last
 		r.deduped.Add(1)
-		if st != nil {
-			st.deduped++
-		}
+		est.deduped.Add(1)
 		return ack
 	}
 	stream, ok := r.cfg.Manager.Stream(name)
@@ -285,18 +357,13 @@ func (r *Root) fold(edge string, payload []byte, frameSeq uint32) framing.Ack {
 			ack.Code, ack.Msg = framing.AckUnknownStream, fmt.Sprintf("stream %q does not exist on the root", name)
 			return ack
 		}
-		stream, _, err = r.cfg.Manager.CreateStream(name, dpmg.StreamConfig{K: sum.K})
+		stream, _, err = r.cfg.Manager.CreateStream(name, dpmg.StreamConfig{K: wrapped.K()})
 		if err != nil {
 			ack.Code, ack.Msg = framing.AckBadItem, err.Error()
 			return ack
 		}
 	}
-	wrapped, err := dpmg.NewMergeableSummarySorted(sum.K, sum.Keys(), sum.Counts())
-	if err != nil {
-		ack.Code, ack.Msg = framing.AckBadItem, err.Error()
-		return ack
-	}
-	if err := stream.IngestSummary(wrapped); err != nil {
+	if err := stream.FoldSummary(wrapped); err != nil {
 		if errors.Is(err, dpmg.ErrFaultIn) {
 			ack.Code, ack.Msg = framing.AckUnavailable, err.Error()
 		} else {
@@ -304,17 +371,15 @@ func (r *Root) fold(edge string, payload []byte, frameSeq uint32) framing.Ack {
 		}
 		return ack
 	}
-	seqs := r.seqs[edge]
-	if seqs == nil {
-		seqs = make(map[string]uint64)
-		r.seqs[edge] = seqs
+	edges := ln.seqs[name]
+	if edges == nil {
+		edges = make(map[string]uint64)
+		ln.seqs[name] = edges
 	}
-	seqs[name] = seq
+	edges[edge] = seq
 	r.folded.Add(1)
-	if st != nil {
-		st.folded++
-		st.lastFold = time.Now()
-	}
+	est.folded.Add(1)
+	est.lastFold.Store(time.Now().UnixNano())
 	if r.cfg.FoldHook != nil {
 		r.cfg.FoldHook(edge, name, seq, wrapped)
 	}
@@ -325,9 +390,12 @@ func (r *Root) fold(edge string, payload []byte, frameSeq uint32) framing.Ack {
 // lastSeq answers a seq-query: the highest folded sequence for (edge,
 // stream), in the ack's info field.
 func (r *Root) lastSeq(edge, stream string, frameSeq uint32) framing.Ack {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return framing.Ack{Seq: frameSeq, Info: r.seqs[edge][stream]}
+	r.gate.RLock()
+	defer r.gate.RUnlock()
+	ln := r.laneFor(stream)
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return framing.Ack{Seq: frameSeq, Info: ln.seqs[stream][edge]}
 }
 
 // RootStats is a point-in-time description of the fan-in tier.
@@ -335,6 +403,8 @@ type RootStats struct {
 	// Folded and Deduped count summaries folded and duplicate sequences
 	// refused since process start.
 	Folded, Deduped int64
+	// Lanes is the configured fold-lane count.
+	Lanes int
 	// Edges describes every edge that has ever said hello, sorted by name.
 	Edges []EdgeStats
 }
@@ -353,24 +423,51 @@ type EdgeStats struct {
 	LastFold time.Time
 }
 
-// Stats returns the root's current fan-in stats.
+// Stats returns the root's current fan-in stats. It reads only atomics and
+// the edges map, never the lanes or the gate, so a scrape cannot stall a
+// fold (and a slow fold cannot stall a scrape).
 func (r *Root) Stats() RootStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := RootStats{Folded: r.folded.Load(), Deduped: r.deduped.Load()}
+	out := RootStats{Folded: r.folded.Load(), Deduped: r.deduped.Load(), Lanes: len(r.lanes)}
+	r.edgeMu.Lock()
 	for name, st := range r.edges {
-		out.Edges = append(out.Edges, EdgeStats{
-			Edge: name, Connected: st.connected,
-			Folded: st.folded, Deduped: st.deduped, LastFold: st.lastFold,
-		})
+		es := EdgeStats{
+			Edge: name, Connected: int(st.connected.Load()),
+			Folded: st.folded.Load(), Deduped: st.deduped.Load(),
+		}
+		if ns := st.lastFold.Load(); ns != 0 {
+			es.LastFold = time.Unix(0, ns)
+		}
+		out.Edges = append(out.Edges, es)
 	}
+	r.edgeMu.Unlock()
 	sort.Slice(out.Edges, func(i, j int) bool { return out.Edges[i].Edge < out.Edges[j].Edge })
 	return out
 }
 
-// seqTable is the JSON shape of the persisted dedup table.
+// seqTable is the JSON shape of the persisted dedup table: edge → stream →
+// seq, the shape PR 7 persisted — lanes are an in-memory layout, not a wire
+// one, so tables written by a single-mutex root load unchanged.
 type seqTable struct {
 	Seqs map[string]map[string]uint64 `json:"seqs"`
+}
+
+// captureSeqs merges the lanes' dedup rows into the persisted edge-major
+// shape. Callers must hold the gate write side, which quiesces every lane.
+func (r *Root) captureSeqs() map[string]map[string]uint64 {
+	out := make(map[string]map[string]uint64)
+	for i := range r.lanes {
+		for stream, edges := range r.lanes[i].seqs {
+			for edge, seq := range edges {
+				m := out[edge]
+				if m == nil {
+					m = make(map[string]uint64)
+					out[edge] = m
+				}
+				m[stream] = seq
+			}
+		}
+	}
+	return out
 }
 
 // SaveSeqs writes the (edge, stream) → last-folded-seq table as JSON. The
@@ -379,47 +476,58 @@ type seqTable struct {
 // pair the table with a manager snapshot should use SnapshotSeqs instead,
 // which captures both at the same quiesce point.
 func (r *Root) SaveSeqs(w io.Writer) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return json.NewEncoder(w).Encode(seqTable{Seqs: r.seqs})
+	r.gate.Lock()
+	defer r.gate.Unlock()
+	return json.NewEncoder(w).Encode(seqTable{Seqs: r.captureSeqs()})
 }
 
-// SnapshotSeqs captures the dedup table and invokes save with the fold
-// mutex held, so no fold can land between the table capture and whatever
-// save persists beside it (the manager snapshot) — the two always
-// describe the same fold set. Capturing them without the quiesce leaves a
-// power-loss window: a fold landing between the captures is in the
-// snapshot but not the table, and if power dies before its ack reaches
-// the edge, the edge re-ships and the restarted root folds it again — a
-// double count. Folds (and edge acks) stall for save's duration; that is
-// the price of the closed window, and edges just see slower acks.
+// SnapshotSeqs captures the dedup table and invokes save with the lane
+// gate held exclusively — a stop-the-world quiesce of every fold lane — so
+// no fold can land between the table capture and whatever save persists
+// beside it (the manager snapshot): the two always describe the same fold
+// set. Capturing them without the quiesce leaves a power-loss window: a
+// fold landing between the captures is in the snapshot but not the table,
+// and if power dies before its ack reaches the edge, the edge re-ships and
+// the restarted root folds it again — a double count. Folds (and edge
+// acks) stall for save's duration; that is the price of the closed window,
+// and edges just see slower acks.
 //
 // The residual exposure is a crash between save's own file renames, which
 // can leave the new snapshot beside the previous table; the server writes
 // snapshot first so that direction only re-folds a fold whose ack was
 // also lost in transit — never silently drops one.
 func (r *Root) SnapshotSeqs(save func(table []byte) error) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.gate.Lock()
+	defer r.gate.Unlock()
 	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(seqTable{Seqs: r.seqs}); err != nil {
+	if err := json.NewEncoder(&buf).Encode(seqTable{Seqs: r.captureSeqs()}); err != nil {
 		return err
 	}
 	return save(buf.Bytes())
 }
 
-// LoadSeqs restores a SaveSeqs table, replacing the in-memory one. Call it
-// at startup, before Serve.
+// LoadSeqs restores a SaveSeqs table, distributing its rows across the
+// fold lanes (replacing their contents). Call it at startup, before Serve.
 func (r *Root) LoadSeqs(rd io.Reader) error {
 	var t seqTable
 	if err := json.NewDecoder(rd).Decode(&t); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.seqs = t.Seqs
-	if r.seqs == nil {
-		r.seqs = make(map[string]map[string]uint64)
+	r.gate.Lock()
+	defer r.gate.Unlock()
+	for i := range r.lanes {
+		r.lanes[i].seqs = make(map[string]map[string]uint64)
+	}
+	for edge, streams := range t.Seqs {
+		for name, seq := range streams {
+			ln := r.laneFor(name)
+			edges := ln.seqs[name]
+			if edges == nil {
+				edges = make(map[string]uint64)
+				ln.seqs[name] = edges
+			}
+			edges[edge] = seq
+		}
 	}
 	return nil
 }

@@ -1,13 +1,14 @@
 package cluster
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 
+	"dpmg"
 	"dpmg/internal/encoding"
 	"dpmg/internal/framing"
 	"dpmg/internal/merge"
+	"dpmg/internal/stream"
 )
 
 // Summary frame payload layout (all integers little-endian):
@@ -26,6 +27,8 @@ import (
 const summaryFixedLen = 2 + 8
 
 // AppendSummaryPayload appends the encoded summary frame payload to dst.
+// The blob is appended in place (encoding.AppendSummary), so a caller
+// reusing dst encodes a ship with no allocations.
 func AppendSummaryPayload(dst []byte, stream string, seq uint64, sum *merge.Summary) ([]byte, error) {
 	if stream == "" || len(stream) > framing.MaxNameLen {
 		return nil, fmt.Errorf("cluster: stream name length %d outside [1, %d]", len(stream), framing.MaxNameLen)
@@ -33,34 +36,99 @@ func AppendSummaryPayload(dst []byte, stream string, seq uint64, sum *merge.Summ
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(stream)))
 	dst = append(dst, stream...)
 	dst = binary.LittleEndian.AppendUint64(dst, seq)
-	var blob bytes.Buffer
-	if err := encoding.MarshalSummary(&blob, sum); err != nil {
-		return nil, err
-	}
-	dst = append(dst, blob.Bytes()...)
+	dst = encoding.AppendSummary(dst, sum)
 	if len(dst) > framing.MaxSummaryFrameLen {
 		return nil, fmt.Errorf("cluster: summary payload %d bytes exceeds %d", len(dst), framing.MaxSummaryFrameLen)
 	}
 	return dst, nil
 }
 
+// splitSummaryPayload validates the name/seq envelope and returns the name
+// bytes (aliasing p), the sequence number, and the summary blob.
+func splitSummaryPayload(p []byte) (name []byte, seq uint64, blob []byte, err error) {
+	if len(p) < summaryFixedLen {
+		return nil, 0, nil, fmt.Errorf("cluster: summary payload %d bytes, want at least %d", len(p), summaryFixedLen)
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if n == 0 || n > framing.MaxNameLen || len(p) < 2+n+8 {
+		return nil, 0, nil, fmt.Errorf("cluster: summary payload name length %d invalid for %d payload bytes", n, len(p))
+	}
+	return p[2 : 2+n], binary.LittleEndian.Uint64(p[2+n : 2+n+8]), p[2+n+8:], nil
+}
+
 // DecodeSummaryPayload decodes one summary frame payload, validating the
 // name bounds and the summary structure (the blob decoder enforces the k
 // bound, strictly ascending keys, and positive counters). The returned
 // summary owns its storage.
-func DecodeSummaryPayload(p []byte) (stream string, seq uint64, sum *merge.Summary, err error) {
-	if len(p) < summaryFixedLen {
-		return "", 0, nil, fmt.Errorf("cluster: summary payload %d bytes, want at least %d", len(p), summaryFixedLen)
-	}
-	n := int(binary.LittleEndian.Uint16(p))
-	if n == 0 || n > framing.MaxNameLen || len(p) < 2+n+8 {
-		return "", 0, nil, fmt.Errorf("cluster: summary payload name length %d invalid for %d payload bytes", n, len(p))
-	}
-	stream = string(p[2 : 2+n])
-	seq = binary.LittleEndian.Uint64(p[2+n : 2+n+8])
-	sum, err = encoding.UnmarshalSummary(bytes.NewReader(p[2+n+8:]))
+func DecodeSummaryPayload(p []byte) (string, uint64, *merge.Summary, error) {
+	name, seq, blob, err := splitSummaryPayload(p)
 	if err != nil {
-		return "", 0, nil, fmt.Errorf("cluster: summary payload for %q: %w", stream, err)
+		return "", 0, nil, err
 	}
-	return stream, seq, sum, nil
+	k, keys, vals, err := encoding.DecodeSummaryColumns(blob, nil, nil)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("cluster: summary payload for %q: %w", name, err)
+	}
+	sum, err := merge.FromSorted(k, keys, vals)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("cluster: summary payload for %q: %w", name, err)
+	}
+	return string(name), seq, sum, nil
+}
+
+// maxInternedNames caps a connection's interned stream-name table so a
+// hostile edge inventing names cannot grow it without bound; on overflow
+// the table resets and interning simply starts over.
+const maxInternedNames = 4096
+
+// SummaryDecoder decodes summary frame payloads into reusable storage —
+// the allocation-free half of the root's fold path. The columns, the
+// wrapped summary, and the interned name table are all per-decoder state;
+// a decoder belongs to exactly one connection goroutine and is not safe
+// for concurrent use.
+type SummaryDecoder struct {
+	keys  []stream.Item
+	vals  []int64
+	names map[string]string
+	sum   *dpmg.MergeableSummary
+}
+
+// NewSummaryDecoder returns a decoder with an empty name table and an
+// unbound reusable summary.
+func NewSummaryDecoder() *SummaryDecoder {
+	return &SummaryDecoder{
+		names: make(map[string]string),
+		sum:   dpmg.NewReusableSummary(),
+	}
+}
+
+// Decode decodes one summary frame payload with exactly
+// DecodeSummaryPayload's validation, but into the decoder's scratch: the
+// returned name is interned (one allocation per distinct stream per
+// connection, zero after), and the summary is the decoder's reusable
+// wrapper rebound over its column scratch. Both are valid only until the
+// next Decode call — a consumer that retains anything must copy first
+// (Stream.FoldSummary does).
+func (d *SummaryDecoder) Decode(p []byte) (string, uint64, *dpmg.MergeableSummary, error) {
+	nameBytes, seq, blob, err := splitSummaryPayload(p)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	var k int
+	k, d.keys, d.vals, err = encoding.DecodeSummaryColumns(blob, d.keys[:0], d.vals[:0])
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("cluster: summary payload for %q: %w", nameBytes, err)
+	}
+	if err := d.sum.SetSorted(k, d.keys, d.vals); err != nil {
+		return "", 0, nil, fmt.Errorf("cluster: summary payload for %q: %w", nameBytes, err)
+	}
+	name, ok := d.names[string(nameBytes)]
+	if !ok {
+		if len(d.names) >= maxInternedNames {
+			clear(d.names)
+		}
+		name = string(nameBytes)
+		d.names[name] = name
+	}
+	return name, seq, d.sum, nil
 }

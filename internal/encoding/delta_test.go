@@ -56,7 +56,7 @@ func TestDeltaStreamRoundTrip(t *testing.T) {
 	remarshal := *df
 	remarshal.ShardSketches = make([]*mg.Sketch, len(df.ShardWires))
 	for j, w := range df.ShardWires {
-		rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts)
+		rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -231,7 +231,7 @@ func FuzzOffloadRecordRoundTrip(f *testing.F) {
 		remarshal := *s
 		remarshal.ShardSketches = make([]*mg.Sketch, len(s.ShardWires))
 		for j, w := range s.ShardWires {
-			rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts)
+			rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts())
 			if err != nil {
 				return
 			}

@@ -110,29 +110,47 @@ func writeHeader(w io.Writer, h header, f Format) error {
 	return nil
 }
 
+// headerWireLen is the encoded size of the fixed header prefix: magic,
+// version, kind, and the five 8-byte fields.
+const headerWireLen = 4 + 1 + 1 + 5*8
+
 func readHeader(r io.Reader) (header, Format, error) {
-	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil {
+	// One ReadFull for the whole fixed prefix: the field-at-a-time
+	// binary.Read form cost seven reflection-driven calls (and their
+	// allocations) per header, which dominated the fault-in decode profile
+	// for multi-shard records.
+	var b [headerWireLen]byte
+	if _, err := io.ReadFull(r, b[:4]); err != nil {
 		return header{}, 0, fmt.Errorf("encoding: reading magic: %w", err)
 	}
-	if m != magic {
-		return header{}, 0, fmt.Errorf("encoding: bad magic %q", m)
+	if [4]byte(b[:4]) != magic {
+		return header{}, 0, fmt.Errorf("encoding: bad magic %q", b[:4])
 	}
-	var ver, kind byte
-	if err := binary.Read(r, binary.LittleEndian, &ver); err != nil {
+	if _, err := io.ReadFull(r, b[4:]); err != nil {
 		return header{}, 0, err
 	}
+	h, f, err := parseHeaderTail(b[4:])
+	if err != nil {
+		return header{}, 0, err
+	}
+	return h, f, nil
+}
+
+// parseHeaderTail decodes the post-magic portion of the fixed header
+// (version, kind, five u64 fields) from b, which must hold exactly
+// headerWireLen-4 bytes.
+func parseHeaderTail(b []byte) (header, Format, error) {
+	ver := b[0]
 	if !Format(ver).valid() {
 		return header{}, 0, fmt.Errorf("encoding: unsupported version %d", ver)
 	}
-	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
-		return header{}, 0, err
-	}
-	h := header{Kind: Kind(kind)}
-	for _, p := range []*uint64{&h.K, &h.Universe, &h.N, &h.Decrements, &h.Entries} {
-		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
-			return header{}, 0, err
-		}
+	h := header{
+		Kind:       Kind(b[1]),
+		K:          binary.LittleEndian.Uint64(b[2:10]),
+		Universe:   binary.LittleEndian.Uint64(b[10:18]),
+		N:          binary.LittleEndian.Uint64(b[18:26]),
+		Decrements: binary.LittleEndian.Uint64(b[26:34]),
+		Entries:    binary.LittleEndian.Uint64(b[34:42]),
 	}
 	return h, Format(ver), nil
 }
@@ -344,6 +362,141 @@ func unmarshalSummary(r io.Reader) (*merge.Summary, Format, error) {
 	return s, f, nil
 }
 
+// AppendSummary appends the canonical KindSummary blob for s to dst and
+// returns the extended slice — byte-for-byte what MarshalSummary writes
+// (fixed entry format, the wire format live cluster traffic speaks), but
+// with no intermediate buffer, so a shipper or root reusing dst encodes
+// with zero allocations at steady state.
+func AppendSummary(dst []byte, s *merge.Summary) []byte {
+	dst = append(dst, magic[:]...)
+	dst = append(dst, byte(FormatFixed), byte(KindSummary))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.K))
+	dst = binary.LittleEndian.AppendUint64(dst, 0) // universe
+	dst = binary.LittleEndian.AppendUint64(dst, 0) // n
+	dst = binary.LittleEndian.AppendUint64(dst, 0) // decrements
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Len()))
+	keys, vals := s.Keys(), s.Counts()
+	for i, x := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(vals[i]))
+	}
+	return dst
+}
+
+// DecodeSummaryColumns decodes a KindSummary blob from p into the provided
+// column scratch (append semantics — pass keys[:0], vals[:0] to reuse
+// capacity) and returns k plus the extended columns. It accepts both entry
+// formats with exactly UnmarshalSummary's validation: k bound, entries ≤ k,
+// strictly ascending keys, positive counters, canonical varints. Bytes
+// after the entry table are ignored, matching the reader-based decoder,
+// whose reader is simply left unconsumed. This is the allocation-free half
+// of the root's summary decode path; the returned columns alias the
+// scratch.
+func DecodeSummaryColumns(p []byte, keys []stream.Item, vals []int64) (int, []stream.Item, []int64, error) {
+	if len(p) < headerWireLen {
+		if len(p) < 4 || [4]byte(p[:4]) != magic {
+			return 0, keys, vals, fmt.Errorf("encoding: reading magic: %w", io.ErrUnexpectedEOF)
+		}
+		return 0, keys, vals, fmt.Errorf("encoding: summary header truncated: %w", io.ErrUnexpectedEOF)
+	}
+	if [4]byte(p[:4]) != magic {
+		return 0, keys, vals, fmt.Errorf("encoding: bad magic %q", p[:4])
+	}
+	h, f, err := parseHeaderTail(p[4:headerWireLen])
+	if err != nil {
+		return 0, keys, vals, err
+	}
+	if h.Kind != KindSummary {
+		return 0, keys, vals, fmt.Errorf("encoding: expected summary, got kind %d", h.Kind)
+	}
+	if h.K == 0 || h.K > 1<<30 {
+		return 0, keys, vals, fmt.Errorf("encoding: implausible k %d", h.K)
+	}
+	if h.Entries > h.K {
+		return 0, keys, vals, fmt.Errorf("encoding: %d entries exceed limit %d", h.Entries, h.K)
+	}
+	body := p[headerWireLen:]
+	if f == FormatDelta {
+		var prev uint64
+		for i := uint64(0); i < h.Entries; i++ {
+			d, n, err := uvarintCanonical(body)
+			if err != nil {
+				return 0, keys, vals, fmt.Errorf("encoding: entry %d: %w", i, err)
+			}
+			body = body[n:]
+			if i > 0 && d == 0 {
+				return 0, keys, vals, fmt.Errorf("encoding: entries not strictly ascending at %d", i)
+			}
+			item := prev + d
+			if item < prev {
+				return 0, keys, vals, fmt.Errorf("encoding: entry %d: key overflows", i)
+			}
+			c, n, err := uvarintCanonical(body)
+			if err != nil {
+				return 0, keys, vals, fmt.Errorf("encoding: entry %d: %w", i, err)
+			}
+			body = body[n:]
+			if int64(c) <= 0 {
+				return 0, keys, vals, fmt.Errorf("encoding: merge: non-positive counter %d for key %d", int64(c), item)
+			}
+			prev = item
+			keys = append(keys, stream.Item(item))
+			vals = append(vals, int64(c))
+		}
+		return int(h.K), keys, vals, nil
+	}
+	if uint64(len(body)) < h.Entries*16 {
+		return 0, keys, vals, fmt.Errorf("encoding: entry %d: %w", uint64(len(body))/16, io.ErrUnexpectedEOF)
+	}
+	var prev uint64
+	for i := uint64(0); i < h.Entries; i++ {
+		off := i * 16
+		item := binary.LittleEndian.Uint64(body[off : off+8])
+		c := int64(binary.LittleEndian.Uint64(body[off+8 : off+16]))
+		if i > 0 && item <= prev {
+			return 0, keys, vals, fmt.Errorf("encoding: entries not strictly ascending at %d", i)
+		}
+		if c <= 0 {
+			return 0, keys, vals, fmt.Errorf("encoding: merge: non-positive counter %d for key %d", c, item)
+		}
+		prev = item
+		keys = append(keys, stream.Item(item))
+		vals = append(vals, c)
+	}
+	return int(h.K), keys, vals, nil
+}
+
+// uvarintCanonical is readUvarintCanonical over a byte slice: it decodes
+// one minimal-form uvarint from the front of p and returns the value and
+// encoded length.
+func uvarintCanonical(p []byte) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		if i >= len(p) {
+			if i > 0 {
+				return 0, 0, io.ErrUnexpectedEOF
+			}
+			return 0, 0, io.EOF
+		}
+		b := p[i]
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, 0, fmt.Errorf("encoding: varint overflows 64 bits")
+			}
+			if i > 0 && b == 0 {
+				return 0, 0, fmt.Errorf("encoding: non-minimal varint")
+			}
+			return x | uint64(b)<<s, i + 1, nil
+		}
+		if i == binary.MaxVarintLen64-1 {
+			return 0, 0, fmt.Errorf("encoding: varint overflows 64 bits")
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
 // MarshalPAMG serializes a PAMG counter table together with its
 // bookkeeping so an aggregator can both merge it and reason about its
 // error bound (Lemma 26 needs the total element count).
@@ -415,13 +568,27 @@ func marshalSketch(w io.Writer, s *mg.Sketch, f Format) error {
 	return writeEntries(w, counts, f)
 }
 
-// SketchWire is the decoded full Algorithm 1 state.
+// SketchWire is the decoded full Algorithm 1 state. The counter table is
+// held as flat parallel columns in strictly ascending key order — the wire
+// order — so the fault-in path can hand it straight to mg.RestoreColumns
+// without materializing a map per shard.
 type SketchWire struct {
 	K          int
 	Universe   uint64
 	N          int64
 	Decrements int64
-	Counts     map[stream.Item]int64
+	Keys       []stream.Item
+	Vals       []int64
+}
+
+// Counts materializes the counter table as a map, for callers that need
+// associative lookups; the restore hot path reads the columns directly.
+func (w *SketchWire) Counts() map[stream.Item]int64 {
+	out := make(map[stream.Item]int64, len(w.Keys))
+	for i, x := range w.Keys {
+		out[x] = w.Vals[i]
+	}
+	return out
 }
 
 // UnmarshalSketch reads a full sketch state (either entry format).
@@ -444,18 +611,19 @@ func unmarshalSketch(r io.Reader) (*SketchWire, Format, error) {
 	if h.Entries != h.K {
 		return nil, 0, fmt.Errorf("encoding: Algorithm 1 state must hold exactly k=%d entries, got %d", h.K, h.Entries)
 	}
-	counts, err := readEntries(r, h.Entries, h.K, f)
+	keys, vals, err := readEntryColumns(r, h.Entries, f,
+		make([]stream.Item, 0, h.Entries), make([]int64, 0, h.Entries))
 	if err != nil {
 		return nil, 0, err
 	}
-	for x, c := range counts {
+	for i, c := range vals {
 		if c < 0 {
-			return nil, 0, fmt.Errorf("encoding: negative counter %d for item %d", c, x)
+			return nil, 0, fmt.Errorf("encoding: negative counter %d for item %d", c, keys[i])
 		}
 	}
 	return &SketchWire{
 		K: int(h.K), Universe: h.Universe, N: int64(h.N),
-		Decrements: int64(h.Decrements), Counts: counts,
+		Decrements: int64(h.Decrements), Keys: keys, Vals: vals,
 	}, f, nil
 }
 

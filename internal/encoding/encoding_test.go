@@ -128,7 +128,7 @@ func TestSketchRoundTrip(t *testing.T) {
 	if got.K != 8 || got.Universe != 500 || got.N != sk.N() || got.Decrements != sk.Decrements() {
 		t.Fatalf("metadata mismatch: %+v", got)
 	}
-	if !reflect.DeepEqual(got.Counts, sk.Counters()) {
+	if !reflect.DeepEqual(got.Counts(), sk.Counters()) {
 		t.Fatal("counter mismatch")
 	}
 }

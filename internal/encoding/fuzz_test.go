@@ -82,8 +82,8 @@ func FuzzRoundTrip(f *testing.F) {
 			t.Fatalf("sketch header mutated: %+v vs k=%d d=%d n=%d decs=%d",
 				wire, sk.K(), sk.Universe(), sk.N(), sk.Decrements())
 		}
-		if !reflect.DeepEqual(wire.Counts, sk.Counters()) {
-			t.Fatalf("sketch counters mutated: %v vs %v", wire.Counts, sk.Counters())
+		if !reflect.DeepEqual(wire.Counts(), sk.Counters()) {
+			t.Fatalf("sketch counters mutated: %v vs %v", wire.Counts(), sk.Counters())
 		}
 
 		// Mergeable summary (KindSummary).

@@ -44,7 +44,7 @@ func FuzzUnmarshalManager(f *testing.F) {
 			remarshal[i] = s
 			remarshal[i].ShardSketches = make([]*mg.Sketch, len(s.ShardWires))
 			for j, w := range s.ShardWires {
-				rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts)
+				rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts())
 				if err != nil {
 					// Structurally valid wire whose Algorithm 1 bookkeeping
 					// fails the deep Fact 7 validation: the encoding layer

@@ -39,7 +39,7 @@ func FuzzUnmarshalStream(f *testing.F) {
 		remarshal := *s
 		remarshal.ShardSketches = make([]*mg.Sketch, len(s.ShardWires))
 		for j, w := range s.ShardWires {
-			rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts)
+			rsk, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts())
 			if err != nil {
 				// Structurally valid wire whose Algorithm 1 bookkeeping fails
 				// the deep validation; dpmg's fault-in rejects it the same

@@ -41,7 +41,7 @@ func TestStreamRecordRoundTrip(t *testing.T) {
 	}
 	// The decoded wire reconstructs a behaviorally identical sketch.
 	w := got.ShardWires[0]
-	restored, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts)
+	restored, err := mg.Restore(w.K, w.Universe, w.N, w.Decrements, w.Counts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,47 @@
+package framing
+
+import "bufio"
+
+// AckWriter writes one connection's ack frames with pipeline-aware
+// batching. Each ack is appended to the buffered writer; the flush is
+// deferred while the connection's read buffer still holds unread bytes,
+// because those bytes can only be the next pipelined frame — the peer is
+// demonstrably not blocked waiting for this ack, so the acks for a whole
+// pipelined burst can share one write syscall. A synchronous
+// request/response peer always presents an empty read buffer when its
+// frame has been consumed, so its ack flushes immediately and round-trip
+// latency is unchanged.
+//
+// Deferring an ack behind buffered input can never deadlock a conforming
+// peer: the client contract (see Client) requires a peer that pipelines
+// frames to drain acks on a separate goroutine rather than between sends.
+type AckWriter struct {
+	bw  *bufio.Writer
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewAckWriter couples a connection's buffered writer with the read buffer
+// that gates the flush decision.
+func NewAckWriter(bw *bufio.Writer, br *bufio.Reader) *AckWriter {
+	return &AckWriter{bw: bw, br: br}
+}
+
+// WriteAck appends one ack frame and flushes unless pipelined input is
+// already buffered.
+func (w *AckWriter) WriteAck(a Ack) error {
+	w.buf = AppendAck(w.buf[:0], a)
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	if w.br.Buffered() > 0 {
+		return nil
+	}
+	return w.bw.Flush()
+}
+
+// Flush forces any deferred acks out — call before closing the connection
+// so a final refusal is delivered even when more frames were pending.
+func (w *AckWriter) Flush() error {
+	return w.bw.Flush()
+}

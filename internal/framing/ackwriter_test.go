@@ -1,0 +1,63 @@
+package framing
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestAckWriterBatchesWhilePipelined pins the flush gate: an ack written
+// while the connection's read buffer still holds bytes (the next pipelined
+// frame) stays buffered, and an ack written against an empty read buffer
+// flushes immediately — the synchronous request/response case keeps its
+// latency.
+func TestAckWriterBatchesWhilePipelined(t *testing.T) {
+	var out bytes.Buffer
+	bw := bufio.NewWriter(&out)
+	br := bufio.NewReader(strings.NewReader("pipelined frame bytes"))
+	if _, err := br.Peek(1); err != nil {
+		t.Fatal(err)
+	}
+	w := NewAckWriter(bw, br)
+
+	// Pending input: the ack is deferred.
+	if err := w.WriteAck(Ack{Seq: 1, Code: AckOK}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("ack flushed with %d request bytes still buffered", br.Buffered())
+	}
+
+	// An explicit Flush (the close path) delivers the deferred ack.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadAck(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seq != 1 || a.Code != AckOK {
+		t.Fatalf("deferred ack round-tripped as %+v", a)
+	}
+
+	// Drained input: the next ack flushes on its own.
+	if _, err := io.Copy(io.Discard, br); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := w.WriteAck(Ack{Seq: 2, Code: AckDuplicate, Info: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("ack not flushed with an empty request buffer")
+	}
+	a, err = ReadAck(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seq != 2 || a.Code != AckDuplicate || a.Info != 7 {
+		t.Fatalf("immediate ack round-tripped as %+v", a)
+	}
+}

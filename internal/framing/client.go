@@ -34,8 +34,12 @@ type Client struct {
 	br   *bufio.Reader
 	seq  uint32
 	// scratch is the reusable frame-encoding buffer; it grows to the
-	// largest pushed frame and is reused for every subsequent one.
+	// largest pushed frame and is reused for every subsequent one. ackBuf
+	// is its read-side twin — the reusable ack-decoding buffer — touched
+	// only by the ack-reading goroutine, so the Push/Flush ∥ ReadAck
+	// concurrency exception holds.
 	scratch []byte
+	ackBuf  []byte
 }
 
 // Dial connects to a dpmg-server streaming ingest listener (-ingest-addr)
@@ -147,7 +151,15 @@ func (c *Client) Flush() error { return c.bw.Flush() }
 // ReadAck reads the next acknowledgment in frame order. It does not
 // translate refusals into errors — pipelined callers classify the code
 // themselves.
-func (c *Client) ReadAck() (Ack, error) { return ReadAck(c.br) }
+func (c *Client) ReadAck() (Ack, error) { return c.readAck() }
+
+// readAck decodes the next ack into the client's reusable buffer, so a
+// steady ack-draining loop allocates only for refusal messages.
+func (c *Client) readAck() (Ack, error) {
+	a, buf, err := readAckBuf(c.br, c.ackBuf)
+	c.ackBuf = buf
+	return a, err
+}
 
 // Send writes one data frame and waits for its ack, returning an
 // *AckError on refusal. All-or-nothing: on any error the frame's items
@@ -165,7 +177,7 @@ func (c *Client) Send(items []stream.Item) error {
 // expectOK reads the next ack, requiring it to match the last written
 // sequence number with AckOK.
 func (c *Client) expectOK() error {
-	ack, err := ReadAck(c.br)
+	ack, err := c.readAck()
 	if err != nil {
 		return err
 	}
@@ -194,7 +206,7 @@ func (c *Client) Exchange(t Type, payload []byte) (Ack, error) {
 	if err := c.bw.Flush(); err != nil {
 		return Ack{}, err
 	}
-	ack, err := ReadAck(c.br)
+	ack, err := c.readAck()
 	if err != nil {
 		return Ack{}, err
 	}

@@ -151,11 +151,19 @@ func ReadHeader(r io.Reader) (Header, error) {
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return Header{}, err
 	}
+	return ParseHeader(b[:]), nil
+}
+
+// ParseHeader decodes a frame header from b, which must hold at least
+// HeaderSize bytes — the slice counterpart of ReadHeader, for handlers that
+// read into reusable per-connection buffers instead of a stack array that
+// escapes through the io.Reader interface.
+func ParseHeader(b []byte) Header {
 	return Header{
 		Type: Type(b[0]),
 		Seq:  binary.LittleEndian.Uint32(b[1:5]),
 		Len:  binary.LittleEndian.Uint32(b[5:9]),
-	}, nil
+	}
 }
 
 // WritePreamble writes the connection preamble to w.
@@ -292,24 +300,38 @@ func AppendAck(dst []byte, a Ack) []byte {
 // ReadAck reads one complete ack frame from r, rejecting frames of any
 // other type and oversized messages.
 func ReadAck(r io.Reader) (Ack, error) {
-	h, err := ReadHeader(r)
-	if err != nil {
-		return Ack{}, err
+	a, _, err := readAckBuf(r, nil)
+	return a, err
+}
+
+// readAckBuf is ReadAck into caller-owned scratch: buf is grown to the
+// maximum ack frame size once and returned for reuse, so a client reading
+// acks in a loop allocates only when a refusal carries a message. A nil buf
+// is allocated on first use.
+func readAckBuf(r io.Reader, buf []byte) (Ack, []byte, error) {
+	const maxFrame = HeaderSize + ackFixedLen + MaxAckMsgLen
+	if cap(buf) < maxFrame {
+		buf = make([]byte, maxFrame)
 	}
+	buf = buf[:maxFrame]
+	if _, err := io.ReadFull(r, buf[:HeaderSize]); err != nil {
+		return Ack{}, buf, err
+	}
+	h := ParseHeader(buf)
 	if h.Type != TypeAck {
-		return Ack{}, fmt.Errorf("framing: expected ack frame, got %v", h.Type)
+		return Ack{}, buf, fmt.Errorf("framing: expected ack frame, got %v", h.Type)
 	}
 	if h.Len < ackFixedLen || h.Len > ackFixedLen+MaxAckMsgLen {
-		return Ack{}, fmt.Errorf("framing: ack payload length %d outside [%d, %d]", h.Len, ackFixedLen, ackFixedLen+MaxAckMsgLen)
+		return Ack{}, buf, fmt.Errorf("framing: ack payload length %d outside [%d, %d]", h.Len, ackFixedLen, ackFixedLen+MaxAckMsgLen)
 	}
-	payload := make([]byte, h.Len)
+	payload := buf[HeaderSize : HeaderSize+h.Len]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return Ack{}, fmt.Errorf("framing: reading ack payload: %w", err)
+		return Ack{}, buf, fmt.Errorf("framing: reading ack payload: %w", err)
 	}
 	return Ack{
 		Seq:  h.Seq,
 		Code: AckCode(payload[0]),
 		Info: binary.LittleEndian.Uint64(payload[1:9]),
 		Msg:  string(payload[ackFixedLen:]),
-	}, nil
+	}, buf, nil
 }

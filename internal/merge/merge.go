@@ -24,6 +24,7 @@ package merge
 import (
 	"fmt"
 	"slices"
+	"unsafe"
 
 	"dpmg/internal/stream"
 )
@@ -73,24 +74,39 @@ func FromCounters(k int, universe uint64, counts map[stream.Item]int64) (*Summar
 // them afterwards. This is the zero-copy entry point for flat extraction
 // paths (sharded shard summaries, the wire decoder).
 func FromSorted(k int, keys []stream.Item, counts []int64) (*Summary, error) {
+	s := new(Summary)
+	if err := s.SetSorted(k, keys, counts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetSorted rebinds s in place to borrow the given pre-sorted columns, with
+// exactly FromSorted's validation and zero allocations. It exists for
+// reusable decode targets — the aggregation tier's per-connection summary
+// scratch — where a fresh header per decode would be the last allocation
+// standing. The previous binding is discarded; callers must not publish s
+// anywhere a reader could still hold it across a rebind.
+func (s *Summary) SetSorted(k int, keys []stream.Item, counts []int64) error {
 	if k <= 0 {
-		return nil, fmt.Errorf("merge: k must be positive")
+		return fmt.Errorf("merge: k must be positive")
 	}
 	if len(keys) != len(counts) {
-		return nil, fmt.Errorf("merge: %d keys vs %d counts", len(keys), len(counts))
+		return fmt.Errorf("merge: %d keys vs %d counts", len(keys), len(counts))
 	}
 	if len(keys) > k {
-		return nil, fmt.Errorf("merge: %d positive counters exceed k=%d", len(keys), k)
+		return fmt.Errorf("merge: %d positive counters exceed k=%d", len(keys), k)
 	}
 	for i, c := range counts {
 		if c <= 0 {
-			return nil, fmt.Errorf("merge: non-positive counter %d for key %d", c, keys[i])
+			return fmt.Errorf("merge: non-positive counter %d for key %d", c, keys[i])
 		}
 		if i > 0 && keys[i] <= keys[i-1] {
-			return nil, fmt.Errorf("merge: keys not strictly ascending at %d", i)
+			return fmt.Errorf("merge: keys not strictly ascending at %d", i)
 		}
 	}
-	return &Summary{K: k, keys: keys, vals: counts}, nil
+	s.K, s.keys, s.vals = k, keys, counts
+	return nil
 }
 
 // Len returns the number of stored counters (at most k).
@@ -125,6 +141,27 @@ func (s *Summary) Clone() *Summary {
 		keys: slices.Clone(s.keys),
 		vals: slices.Clone(s.vals),
 	}
+}
+
+// CloneCompact returns a deep copy like Clone, but lays both columns in a
+// single backing array (two allocations — header and block — against
+// Clone's three). The root's fold path publishes one fresh immutable
+// aggregate per fold for lock-free readers; the compact layout is what
+// keeps that publish at two allocations per fold. The count column is the
+// block's second half viewed as []int64: stream.Item and int64 are both
+// 8-byte fixed-width integers, and the view shares the keys column's
+// backing array, so the block stays reachable for as long as either column
+// is.
+func (s *Summary) CloneCompact() *Summary {
+	n := len(s.keys)
+	if n == 0 {
+		return &Summary{K: s.K}
+	}
+	block := make([]stream.Item, 2*n)
+	copy(block, s.keys)
+	vals := unsafe.Slice((*int64)(unsafe.Pointer(&block[n])), n)
+	copy(vals, s.vals)
+	return &Summary{K: s.K, keys: block[:n:n], vals: vals}
 }
 
 // Estimate returns the summarized frequency of x (0 if absent) by binary

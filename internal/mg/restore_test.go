@@ -104,3 +104,52 @@ func TestRestoreValidation(t *testing.T) {
 		t.Errorf("genuine state rejected: %v", err)
 	}
 }
+
+// TestRestoreColumnsMatchesRestore pins the flat fault-in entry point
+// against the map form: identical resulting sketches on genuine state, and
+// the one extra obligation the map form established by sorting — strictly
+// ascending keys — is enforced rather than assumed.
+func TestRestoreColumnsMatchesRestore(t *testing.T) {
+	sk := New(8, 100)
+	for i := 0; i < 5000; i++ {
+		sk.Update(stream.Item(uint64(i*i)%100 + 1))
+	}
+	keys := sk.SortedKeys()
+	counts := sk.Counters()
+	vals := make([]int64, len(keys))
+	for i, x := range keys {
+		vals[i] = counts[x]
+	}
+	fromMap, err := Restore(sk.K(), sk.Universe(), sk.N(), sk.Decrements(), counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCols, err := RestoreColumns(sk.K(), sk.Universe(), sk.N(), sk.Decrements(), keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		x := stream.Item(uint64(i)%7 + 1)
+		fromMap.Update(x)
+		fromCols.Update(x)
+	}
+	for x := stream.Item(1); uint64(x) <= 100; x++ {
+		if fromMap.Estimate(x) != fromCols.Estimate(x) {
+			t.Fatalf("estimate drift at %d: %d vs %d", x, fromMap.Estimate(x), fromCols.Estimate(x))
+		}
+	}
+	if fromMap.N() != fromCols.N() || fromMap.Decrements() != fromCols.Decrements() {
+		t.Fatalf("bookkeeping drift: n %d vs %d, decs %d vs %d",
+			fromMap.N(), fromCols.N(), fromMap.Decrements(), fromCols.Decrements())
+	}
+
+	// Column-specific validation: mismatched lengths and unsorted keys.
+	if _, err := RestoreColumns(sk.K(), sk.Universe(), sk.N(), sk.Decrements(), keys, vals[:len(vals)-1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	swapped := append([]stream.Item(nil), keys...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := RestoreColumns(sk.K(), sk.Universe(), sk.N(), sk.Decrements(), swapped, vals); err == nil {
+		t.Error("unsorted keys accepted")
+	}
+}

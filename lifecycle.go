@@ -531,7 +531,7 @@ func shardedFromWires(cfg StreamConfig, wires []*encoding.SketchWire) (*ShardedS
 	sharded := newSharded(cfg)
 	var total int64
 	for i, sw := range wires {
-		sk, err := mg.Restore(sw.K, sw.Universe, sw.N, sw.Decrements, sw.Counts)
+		sk, err := mg.RestoreColumns(sw.K, sw.Universe, sw.N, sw.Decrements, sw.Keys, sw.Vals)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}

@@ -508,6 +508,14 @@ type Stream struct {
 	merged atomic.Pointer[merge.Summary] // node aggregate; immutable values, lock-free loads
 	nodes  int64
 
+	// Reusable fold scratch for FoldSummary (guarded by mu): the multi-way
+	// merger amortizes its working arrays across folds, and foldIn avoids a
+	// per-fold input-slice allocation. The merger's output is never
+	// published directly — FoldSummary clones it — so the scratch never
+	// aliases a value a lock-free reader could hold.
+	foldMerger merge.Merger
+	foldIn     [2]*merge.Summary
+
 	// Lifecycle state. life is the residency interlock: data operations
 	// hold the read side, eviction/fault-in/deletion hold the write side.
 	// offloaded, deleted, offAgg, and offIngest are guarded by life;
@@ -865,6 +873,43 @@ func (s *Stream) IngestSummary(sum *MergeableSummary) error {
 		}
 		s.merged.Store(m)
 	}
+	s.nodes++
+	return nil
+}
+
+// FoldSummary folds one shipped node summary into the stream's bounded
+// aggregate like IngestSummary, but never retains the caller's storage: the
+// summary's backing slices may be reused the moment it returns. That is the
+// contract the aggregation root's zero-allocation decode path needs — it
+// decodes every frame into per-connection scratch and rebinds a single
+// reusable summary over it. The fold runs on a per-stream reusable merger
+// and publishes a fresh compact clone (two allocations at steady state);
+// the clone, not the merger scratch, is what Estimate's lock-free readers
+// and CutSummary's ownership transfer see, so reuse never races them.
+func (s *Stream) FoldSummary(sum *MergeableSummary) error {
+	if sum.K() != s.cfg.K {
+		return fmt.Errorf("dpmg: stream %q: summary k=%d, stream requires k=%d", s.name, sum.K(), s.cfg.K)
+	}
+	if err := s.acquire(); err != nil {
+		return err
+	}
+	defer s.life.RUnlock()
+	s.touch(s.mgr.now())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.merged.Load()
+	if cur == nil {
+		s.merged.Store(sum.inner.CloneCompact())
+		s.nodes++
+		return nil
+	}
+	s.foldIn[0], s.foldIn[1] = cur, sum.inner
+	m, err := s.foldMerger.MergeAll(s.foldIn[:])
+	s.foldIn[0], s.foldIn[1] = nil, nil
+	if err != nil {
+		return err
+	}
+	s.merged.Store(m.CloneCompact())
 	s.nodes++
 	return nil
 }

@@ -15,8 +15,10 @@ BENCHTIME="${DPMG_BENCHTIME:-1s}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-run() { # run <package> <bench regex>
-  go test -run='^$' -bench="$2" -benchmem -benchtime="$BENCHTIME" "$1" | tee -a "$TMP"
+run() { # run <package> <bench regex> [extra go-test flags...]
+  local pkg="$1" regex="$2"
+  shift 2
+  go test -run='^$' -bench="$regex" -benchmem -benchtime="$BENCHTIME" "$@" "$pkg" | tee -a "$TMP"
 }
 
 # Ingest tier: flat sketch hot paths and the sharded router.
@@ -47,14 +49,21 @@ run ./cmd/dpmg-server 'BenchmarkServerBatchIngest$|BenchmarkServerRelease$|Bench
 # the per-batch protocol overhead comparison the datapath exists to win.
 run ./cmd/dpmg-server 'BenchmarkServerStreamIngest$|BenchmarkServerHTTPIngestE2E$'
 # Aggregation tier: summary fan-in throughput at the root (summaries
-# folded per second over a loopback edge connection).
-run ./internal/cluster 'BenchmarkClusterFanIn$'
+# folded per second over loopback edge connections). Three shapes — single
+# (one edge, one stream: the serial-path regression guard), parallel (one
+# worker per connection, per-worker streams, default fold lanes), and
+# serial (the same parallel load through a single fold lane, the
+# lock-convoy baseline) — each swept over -cpu 1,4,8 so the artifact
+# records the lane scaling curve; the awk below keeps the GOMAXPROCS
+# suffix as the "cpus" field, so the sweep produces distinct rows.
+run ./internal/cluster 'BenchmarkClusterFanIn' -cpu=1,4,8
 
 # The streaming-datapath and fan-in rows are the acceptance evidence for
 # the binary ingest path and the aggregation tier; a refactor that
 # silently drops one of these benchmarks must fail the bench job, not
 # produce a quietly thinner artifact.
-for required in BenchmarkServerStreamIngest BenchmarkServerHTTPIngestE2E BenchmarkServerBatchIngest BenchmarkClusterFanIn \
+for required in BenchmarkServerStreamIngest BenchmarkServerHTTPIngestE2E BenchmarkServerBatchIngest \
+                BenchmarkClusterFanIn/single BenchmarkClusterFanIn/parallel BenchmarkClusterFanIn/serial \
                 BenchmarkEstimateUnderIngest/published BenchmarkEstimateUnderIngest/locked \
                 BenchmarkFaultIn BenchmarkOffloadRecord/fixed BenchmarkOffloadRecord/delta; do
   if ! grep -q "^${required}" "$TMP"; then
@@ -66,7 +75,11 @@ done
 awk '
 /^Benchmark/ {
   name = $1
-  sub(/-[0-9]+$/, "", name)
+  cpus = ""
+  if (match(name, /-[0-9]+$/)) {
+    cpus = substr(name, RSTART + 1)
+    name = substr(name, 1, RSTART - 1)
+  }
   ns = ""; bytes = ""; allocs = ""; mbs = ""; items = ""; sums = ""; rec = ""
   for (i = 2; i < NF; i++) {
     if ($(i + 1) == "ns/op") ns = $i
@@ -80,6 +93,7 @@ awk '
   if (ns == "") next
   if (n++) printf ",\n"
   printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+  if (cpus != "") printf ", \"cpus\": %s", cpus
   if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
   if (mbs != "") printf ", \"mb_per_s\": %s", mbs

@@ -37,7 +37,7 @@ func RestoreSketch(r io.Reader) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := mg.Restore(wire.K, wire.Universe, wire.N, wire.Decrements, wire.Counts)
+	inner, err := mg.RestoreColumns(wire.K, wire.Universe, wire.N, wire.Decrements, wire.Keys, wire.Vals)
 	if err != nil {
 		return nil, err
 	}
