@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"dpmg/internal/scenario"
+)
+
+// freePort reserves an ephemeral loopback port and returns it. The
+// listener is closed before the server process starts, so a tiny race
+// window exists — the same trade scripts/smoke_cluster.sh makes, and on
+// loopback with ephemeral ports it is negligible.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	return port, l.Close()
+}
+
+// proc is one launched dpmg-server process and its captured output.
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+	out  *bytes.Buffer
+}
+
+// startServer launches one dpmg-server with the given args, capturing
+// combined output for post-mortems.
+func startServer(bin, name string, args []string) (*proc, error) {
+	p := &proc{name: name, out: &bytes.Buffer{}}
+	p.cmd = exec.Command(bin, args...)
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// stop terminates the process: SIGTERM, then SIGKILL after a grace
+// period. Idempotent.
+func (p *proc) stop() {
+	if p == nil || p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck // already-dead is fine
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }() //nolint:errcheck // exit code irrelevant
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill() //nolint:errcheck // last resort
+		<-done
+	}
+}
+
+// fleet is one launched deployment: the topology to drive plus the
+// processes to tear down.
+type fleet struct {
+	topology scenario.Topology
+	procs    []*proc
+}
+
+// stop tears the whole fleet down (reverse launch order: edges before
+// the root, so final shipments have somewhere to land if they race the
+// teardown).
+func (f *fleet) stop() {
+	for i := len(f.procs) - 1; i >= 0; i-- {
+		f.procs[i].stop()
+	}
+}
+
+// dump renders every process's captured output (failure diagnostics).
+func (f *fleet) dump() string {
+	var b bytes.Buffer
+	for _, p := range f.procs {
+		fmt.Fprintf(&b, "--- %s ---\n%s\n", p.name, p.out.String())
+	}
+	return b.String()
+}
+
+// launch starts the deployment a spec needs — one standalone server, or
+// one root plus two edges for cluster scenarios — under dir (state and
+// spool directories) and waits until every HTTP surface answers.
+func launch(ctx context.Context, bin, dir string, sp *scenario.Spec) (*fleet, error) {
+	if sp.Cluster {
+		return launchCluster(ctx, bin, dir, sp)
+	}
+	return launchStandalone(ctx, bin, dir, sp)
+}
+
+// launchStandalone starts one server with both datapaths enabled (and an
+// offload store when the scenario churns the cold tier).
+func launchStandalone(ctx context.Context, bin, dir string, sp *scenario.Spec) (*fleet, error) {
+	httpPort, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	ingestPort, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	args := []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", httpPort),
+		"-ingest-addr", fmt.Sprintf("127.0.0.1:%d", ingestPort),
+	}
+	if sp.NeedsStore() {
+		state := filepath.Join(dir, "state")
+		if err := os.MkdirAll(state, 0o755); err != nil {
+			return nil, err
+		}
+		args = append(args, "-state", state)
+	}
+	p, err := startServer(bin, "standalone", args)
+	if err != nil {
+		return nil, err
+	}
+	f := &fleet{
+		topology: scenario.Topology{Root: scenario.Target{
+			BaseURL:    fmt.Sprintf("http://127.0.0.1:%d", httpPort),
+			IngestAddr: fmt.Sprintf("127.0.0.1:%d", ingestPort),
+		}},
+		procs: []*proc{p},
+	}
+	if err := waitFleet(ctx, f); err != nil {
+		f.stop()
+		return nil, fmt.Errorf("%w\n%s", err, f.dump())
+	}
+	return f, nil
+}
+
+// launchCluster starts 1 root + 2 edges: edges expose both ingest
+// datapaths and ship cut summaries upstream on a tight interval so a
+// smoke-tier run folds many summaries, not one.
+func launchCluster(ctx context.Context, bin, dir string, sp *scenario.Spec) (*fleet, error) {
+	rootHTTP, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	rootFan, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	root, err := startServer(bin, "root", []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", rootHTTP),
+		"-role", "root",
+		"-cluster-addr", fmt.Sprintf("127.0.0.1:%d", rootFan),
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &fleet{
+		topology: scenario.Topology{Root: scenario.Target{
+			BaseURL: fmt.Sprintf("http://127.0.0.1:%d", rootHTTP),
+		}},
+		procs: []*proc{root},
+	}
+	for i := 0; i < 2; i++ {
+		httpPort, perr := freePort()
+		if perr != nil {
+			f.stop()
+			return nil, perr
+		}
+		ingestPort, perr := freePort()
+		if perr != nil {
+			f.stop()
+			return nil, perr
+		}
+		spool := filepath.Join(dir, fmt.Sprintf("spool-%d", i))
+		if perr := os.MkdirAll(spool, 0o755); perr != nil {
+			f.stop()
+			return nil, perr
+		}
+		edge, perr := startServer(bin, fmt.Sprintf("edge-%d", i), []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", httpPort),
+			"-ingest-addr", fmt.Sprintf("127.0.0.1:%d", ingestPort),
+			"-role", "edge",
+			"-upstream", fmt.Sprintf("127.0.0.1:%d", rootFan),
+			"-edge-id", fmt.Sprintf("edge-%d", i),
+			"-spool", spool,
+			"-ship-interval", "100ms",
+		})
+		if perr != nil {
+			f.stop()
+			return nil, perr
+		}
+		f.procs = append(f.procs, edge)
+		f.topology.Edges = append(f.topology.Edges, scenario.Target{
+			BaseURL:    fmt.Sprintf("http://127.0.0.1:%d", httpPort),
+			IngestAddr: fmt.Sprintf("127.0.0.1:%d", ingestPort),
+		})
+	}
+	if err := waitFleet(ctx, f); err != nil {
+		f.stop()
+		return nil, fmt.Errorf("%w\n%s", err, f.dump())
+	}
+	return f, nil
+}
+
+// waitFleet blocks until every HTTP surface in the fleet answers (the
+// servers bind their TCP listeners before serving HTTP, so HTTP-ready
+// implies ingest-ready).
+func waitFleet(ctx context.Context, f *fleet) error {
+	ctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	targets := append([]scenario.Target{f.topology.Root}, f.topology.Edges...)
+	for _, t := range targets {
+		if err := scenario.NewClient(t.BaseURL).WaitReady(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildServer compiles cmd/dpmg-server into dir and returns the binary
+// path — used when the caller does not hand us a prebuilt binary.
+func buildServer(dir string) (string, error) {
+	bin := filepath.Join(dir, "dpmg-server")
+	cmd := exec.Command("go", "build", "-o", bin, "dpmg/cmd/dpmg-server")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("build dpmg-server: %w\n%s", err, out)
+	}
+	return bin, nil
+}

@@ -1,0 +1,196 @@
+// Command dpmg-scenario runs the hostile-workload scenario catalog
+// against real dpmg-server processes and emits SCENARIO_core.json — one
+// frontier row per scenario (observed top-k error vs ε vs items/s vs p99
+// ingest latency, plus lifecycle/QoS tallies and the pass/fail paper
+// checks), mirroring the bench_json.sh / BENCH_core.json pattern.
+//
+// Each scenario launches a fresh deployment (a standalone server, or one
+// root plus two edges for cluster-fanin), runs the spec through
+// internal/scenario, and — with -repeat > 1 — reruns it on a fresh
+// deployment and asserts the run fingerprints match (the determinism
+// gate). The process exits non-zero when any check fails, after writing
+// the JSON, so CI gets both the verdict and the evidence.
+//
+// Usage:
+//
+//	dpmg-scenario                              # full catalog, smoke tier
+//	dpmg-scenario -scenario flash-crowd -v
+//	dpmg-scenario -tier full -out SCENARIO_core.json
+//	dpmg-scenario -server ./dpmg-server        # use a prebuilt binary
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"dpmg/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main minus os.Exit, so tests can drive it.
+func run(argv []string) int {
+	fs := flag.NewFlagSet("dpmg-scenario", flag.ContinueOnError)
+	var (
+		server  = fs.String("server", "", "path to a dpmg-server binary (empty = go build one into a temp dir)")
+		names   = fs.String("scenario", "all", "comma-separated scenario names, or \"all\"")
+		tier    = fs.String("tier", "smoke", "load tier: tiny | smoke | full")
+		out     = fs.String("out", "SCENARIO_core.json", "output JSON path")
+		repeat  = fs.Int("repeat", 2, "runs per scenario; fingerprints across runs must match (1 = skip the determinism gate)")
+		timeout = fs.Duration("timeout", 10*time.Minute, "per-scenario-run wall clock budget")
+		verbose = fs.Bool("v", false, "log per-phase progress")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	specs, err := selectSpecs(*names, scenario.Tier(*tier))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpmg-scenario:", err)
+		return 2
+	}
+	if *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "dpmg-scenario: -repeat must be ≥ 1")
+		return 2
+	}
+
+	bin := *server
+	if bin == "" {
+		dir, terr := os.MkdirTemp("", "dpmg-scenario-bin-")
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "dpmg-scenario:", terr)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		if bin, err = buildServer(dir); err != nil {
+			fmt.Fprintln(os.Stderr, "dpmg-scenario:", err)
+			return 1
+		}
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+
+	var rows []*scenario.Result
+	failed := false
+	for _, sp := range specs {
+		row, rerr := runScenario(bin, sp, *repeat, *timeout, logf)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "dpmg-scenario: %s: %v\n", sp.Name, rerr)
+			return 1
+		}
+		rows = append(rows, row)
+		if !row.Pass {
+			failed = true
+			fmt.Fprintf(os.Stderr, "dpmg-scenario: %s FAILED checks: %s\n", sp.Name, strings.Join(row.Failed(), ", "))
+		}
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpmg-scenario:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "dpmg-scenario:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "dpmg-scenario: wrote %d scenario rows to %s\n", len(rows), *out)
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// selectSpecs resolves the -scenario/-tier selection against the catalog.
+func selectSpecs(names string, tier scenario.Tier) ([]*scenario.Spec, error) {
+	if names == "all" || names == "" {
+		return scenario.Catalog(tier)
+	}
+	var specs []*scenario.Spec
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sp, err := scenario.Lookup(name, tier)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no scenarios selected from %q", names)
+	}
+	return specs, nil
+}
+
+// runScenario runs one spec `repeat` times, each against a freshly
+// launched deployment with fresh state, and folds the repeat-run
+// fingerprint comparison into the first run's row.
+func runScenario(bin string, sp *scenario.Spec, repeat int, timeout time.Duration, logf func(string, ...any)) (*scenario.Result, error) {
+	var results []*scenario.Result
+	for i := 0; i < repeat; i++ {
+		res, err := runOnce(bin, sp, timeout, logf)
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", i, err)
+		}
+		results = append(results, res)
+	}
+	row := results[0]
+	if repeat > 1 {
+		det := true
+		detail := fmt.Sprintf("%d runs, fingerprint %s…", repeat, row.Fingerprint[:23])
+		for i, res := range results[1:] {
+			if res.Fingerprint != row.Fingerprint {
+				det = false
+				detail = fmt.Sprintf("run 0 fingerprint %s, run %d fingerprint %s", row.Fingerprint, i+1, res.Fingerprint)
+				break
+			}
+		}
+		row.Deterministic = &det
+		row.AddCheck("deterministic-repeat", det, detail)
+	}
+	return row, nil
+}
+
+// runOnce launches a fresh deployment, drives the spec, and tears the
+// deployment down.
+func runOnce(bin string, sp *scenario.Spec, timeout time.Duration, logf func(string, ...any)) (*scenario.Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	dir, err := os.MkdirTemp("", "dpmg-scenario-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	f, err := launch(ctx, bin, dir, sp)
+	if err != nil {
+		return nil, err
+	}
+	defer f.stop()
+	// A fresh Spec per run: Run normalizes in place and the workload
+	// generators are pure, but isolation keeps reruns trivially honest.
+	fresh, err := scenario.Lookup(sp.Name, scenario.Tier(sp.Tier))
+	if err != nil {
+		return nil, err
+	}
+	res, err := scenario.Run(ctx, f.topology, fresh, scenario.Options{
+		Twin: !fresh.Cluster,
+		Logf: logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w\n%s", err, f.dump())
+	}
+	return res, nil
+}

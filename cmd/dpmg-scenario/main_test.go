@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpmg/internal/scenario"
+)
+
+func TestSelectSpecs(t *testing.T) {
+	all, err := selectSpecs("all", scenario.TierTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(scenario.Names()) {
+		t.Fatalf("all selected %d specs, want %d", len(all), len(scenario.Names()))
+	}
+	two, err := selectSpecs("flash-crowd, budget-storm", scenario.TierTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "flash-crowd" || two[1].Name != "budget-storm" {
+		t.Errorf("csv selection wrong: %+v", two)
+	}
+	if _, err := selectSpecs("nope", scenario.TierTiny); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := selectSpecs(",,", scenario.TierTiny); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, err := selectSpecs("all", scenario.Tier("mega")); err == nil {
+		t.Error("unknown tier accepted")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-scenario", "nope"}); code != 2 {
+		t.Errorf("unknown scenario: exit %d, want 2", code)
+	}
+	if code := run([]string{"-repeat", "0"}); code != 2 {
+		t.Errorf("repeat 0: exit %d, want 2", code)
+	}
+}
+
+// TestRunEndToEnd builds a real dpmg-server and drives one scenario
+// through the full subprocess path, checking the JSON row it writes.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches server subprocesses")
+	}
+	dir := t.TempDir()
+	bin, err := buildServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "rows.json")
+	code := run([]string{"-server", bin, "-scenario", "flash-crowd", "-tier", "tiny", "-repeat", "2", "-out", out})
+	if code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []scenario.Result
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Scenario != "flash-crowd" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	row := rows[0]
+	if !row.Pass {
+		t.Errorf("scenario failed checks: %+v", row.Checks)
+	}
+	if row.Deterministic == nil || !*row.Deterministic {
+		t.Error("repeat-run determinism not recorded")
+	}
+	if row.Items == 0 || row.ItemsPerSec == 0 || row.P99IngestMicros == 0 || len(row.Frontier) == 0 {
+		t.Errorf("frontier row incomplete: %+v", row)
+	}
+}

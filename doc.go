@@ -194,4 +194,12 @@
 // k=256: 170.0 µs → 24.6 µs, 72 → 0 allocs per merge). See PERFORMANCE.md
 // for the design, the measured numbers, and the input-independent-order
 // invariant every release path maintains.
+//
+// Beyond the micro-benchmarks, the scenario harness (internal/scenario,
+// cmd/dpmg-scenario, scripts/scenario_json.sh) drives the composed
+// dpmg-server — both datapaths, concurrent tenants, QoS, lifecycle
+// churn, and the distributed tier — through a catalog of named hostile
+// workloads and continuously measures the accuracy/privacy/throughput
+// frontier, asserting the Lemma 8 envelope, a bitwise budget ledger, and
+// seeded-release determinism on every run (SCENARIO_core.json in CI).
 package dpmg

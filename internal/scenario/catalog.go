@@ -1,0 +1,215 @@
+package scenario
+
+import "fmt"
+
+// Tier selects the size class of a catalog scenario: the same hostile
+// shape at different offered loads.
+type Tier string
+
+// Tiers. Every tier runs every check — only N changes, and the checks
+// scale with the realized N, so a tiny run is as strict as a full one.
+const (
+	// TierTiny is sized for in-process unit tests under -race.
+	TierTiny Tier = "tiny"
+	// TierSmoke is sized for the CI scenario-smoke job (seconds per
+	// scenario against real server processes).
+	TierSmoke Tier = "smoke"
+	// TierFull is sized for local frontier baselines (PERFORMANCE.md).
+	TierFull Tier = "full"
+)
+
+// mult is the per-tier load multiplier applied to every stream length.
+func (t Tier) mult() (int, error) {
+	switch t {
+	case TierTiny:
+		return 1, nil
+	case TierSmoke:
+		return 5, nil
+	case TierFull:
+		return 40, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown tier %q (tiny | smoke | full)", t)
+}
+
+// Names lists the catalog scenarios in canonical order. CI's required-row
+// check iterates this list: a scenario missing from SCENARIO_core.json is
+// a build failure, not a thinner artifact.
+func Names() []string {
+	return []string{
+		"flash-crowd",
+		"adversarial-drift",
+		"heavy-tail-tenants",
+		"evict-thrash",
+		"budget-storm",
+		"cluster-fanin",
+	}
+}
+
+// Catalog returns every named scenario at the given tier.
+func Catalog(tier Tier) ([]*Spec, error) {
+	var specs []*Spec
+	for _, name := range Names() {
+		sp, err := Lookup(name, tier)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// Lookup builds one named catalog scenario at the given tier.
+//
+// Every ε and δ in the catalog is dyadic (exactly representable in
+// binary floating point), so the budget-ledger check compares the
+// accountant's running sums bitwise instead of within a tolerance.
+func Lookup(name string, tier Tier) (*Spec, error) {
+	m, err := tier.mult()
+	if err != nil {
+		return nil, err
+	}
+	var sp *Spec
+	switch name {
+	case "flash-crowd":
+		// A rate-limited tenant fleet hit by a synchronized crowd: the
+		// QoS token buckets must refuse (429 / AckRateLimited) without
+		// perturbing the background tenants' sketch state, and the
+		// all-or-nothing refusals must keep the accepted item sequence —
+		// and so the Lemma 8 envelope — exactly intact.
+		sp = &Spec{
+			Name: name, Seed: 101, ExpectThrottle: true,
+			Streams: []StreamSpec{
+				{
+					Name: "bg", Count: 4, K: 64, Universe: 4096, Shards: 4,
+					Eps: 8, Delta: 1.0 / (1 << 10),
+					Model: "uniform", Items: 1000 * m, Batch: 500,
+					Transport: TransportMixed,
+				},
+				{
+					Name: "crowd", Count: 4, K: 64, Universe: 4096, Shards: 4,
+					Eps: 8, Delta: 1.0 / (1 << 10),
+					MaxIngestRate: 50_000, IngestBurst: 500,
+					Model: "zipf", Skew: 1.2, Items: 800 * m, Batch: 500,
+					Transport: TransportMixed,
+				},
+			},
+		}
+	case "adversarial-drift":
+		// The paper's matching lower-bound instance (Fact 7: k+1 items
+		// round-robin, maximal decrement pressure) next to non-stationary
+		// drift whose heavy set rotates phase by phase. Both push the MG
+		// sketch to the N/(k+1) edge of the Lemma 8 envelope — the check
+		// must hold exactly at the bound, not just for friendly skew.
+		sp = &Spec{
+			Name: name, Seed: 202,
+			Streams: []StreamSpec{
+				{
+					Name: "adv", Count: 3, K: 64, Universe: 4096, Shards: 4,
+					Eps: 8, Delta: 1.0 / (1 << 10),
+					Model: "adversarial", Items: 1500 * m, Batch: 375,
+					Transport: TransportTCP,
+				},
+				{
+					Name: "drift", Count: 3, K: 64, Universe: 4096, Shards: 4,
+					Eps: 8, Delta: 1.0 / (1 << 10),
+					Model: "drift", Phases: 4, Heavy: 8, HeavyFrac: 0.7,
+					Items: 1500 * m, Batch: 375,
+					Transport: TransportMixed,
+				},
+			},
+		}
+	case "heavy-tail-tenants":
+		// A multi-tenant aggregator's real shape: one whale tenant on the
+		// TCP datapath, a few mid-size packet traces on mixed transport,
+		// and a long tail of mice over HTTP — 21 streams driven
+		// concurrently, checking that cross-stream concurrency never
+		// leaks items between sketches (each stream's envelope holds for
+		// its own N).
+		sp = &Spec{
+			Name: name, Seed: 303, Workers: 8,
+			Streams: []StreamSpec{
+				{
+					Name: "whale", K: 128, Universe: 65536, Shards: 4,
+					Eps: 8, Delta: 1.0 / (1 << 10),
+					Model: "heavytail", Heavy: 16, HeavyFrac: 0.8,
+					Items: 4000 * m, Batch: 1000,
+					Transport: TransportTCP,
+				},
+				{
+					Name: "mid", Count: 4, K: 64, Universe: 8192, Shards: 4,
+					Eps: 8, Delta: 1.0 / (1 << 10),
+					Model: "packets", Heavy: 12, HeavyFrac: 0.4,
+					Items: 1000 * m, Batch: 500,
+					Transport: TransportMixed,
+				},
+				{
+					Name: "mouse", Count: 16, K: 16, Universe: 1024, Shards: 2,
+					Eps: 8, Delta: 1.0 / (1 << 10),
+					Model: "uniform", Items: 250 * m, Batch: 125,
+					Transport: TransportHTTP,
+				},
+			},
+		}
+	case "evict-thrash":
+		// Lifecycle churn under live ingest: every second batch the
+		// driver offloads the stream through the admin evict lever and
+		// faults it back in, so counters round-trip the cold tier
+		// mid-stream. The envelope and the twin comparison prove the
+		// offload codec loses nothing.
+		sp = &Spec{
+			Name: name, Seed: 404, EvictEvery: 2,
+			Streams: []StreamSpec{
+				{
+					Name: "churn", Count: 6, K: 64, Universe: 4096, Shards: 4,
+					Eps: 8, Delta: 1.0 / (1 << 10),
+					Model: "zipf", Skew: 1.1, Items: 1000 * m, Batch: 250,
+					Transport: TransportMixed,
+				},
+			},
+		}
+	case "budget-storm":
+		// Release-side hostility: per stream, several concurrent clients
+		// hammer ε = 0.5 releases until the accountant refuses. The
+		// admitted count must be exactly budget/storm_eps = 8 (dyadic
+		// arithmetic, no float drift), the in-flight ceiling must throttle
+		// (spending nothing), and the final refusal must be the budget
+		// error, not a lost update.
+		sp = &Spec{
+			Name: name, Seed: 505,
+			BudgetStorm: true, StormEps: 0.5, StormWorkers: 3,
+			Streams: []StreamSpec{
+				{
+					Name: "storm", Count: 6, K: 64, Universe: 4096, Shards: 4,
+					Eps: 4, Delta: 1.0 / (1 << 10),
+					MaxInflightReleases: 2,
+					Model:               "zipf", Skew: 1.1, Items: 500 * m, Batch: 250,
+					Transport: TransportHTTP,
+				},
+			},
+		}
+	case "cluster-fanin":
+		// The Corollary 18 topology: batches round-robin across two edge
+		// processes, edges cut and ship summaries to the root, and after
+		// an edge drain the root's folded estimates must obey the same
+		// N/(k+1) envelope for the fleet-wide N — merging never
+		// over-counts and the noise calibration is fleet-size independent.
+		sp = &Spec{
+			Name: name, Seed: 606, Cluster: true,
+			Streams: []StreamSpec{
+				{
+					Name: "fan", Count: 6, K: 64, Universe: 4096, Shards: 4,
+					Eps: 8, Delta: 1.0 / (1 << 10),
+					Model: "zipf", Skew: 1.1, Items: 1000 * m, Batch: 250,
+					Transport: TransportMixed,
+				},
+			},
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown scenario %q (catalog: %v)", name, Names())
+	}
+	sp.Tier = string(tier)
+	if err := sp.Normalize(); err != nil {
+		return nil, fmt.Errorf("scenario: catalog bug: %w", err)
+	}
+	return sp, nil
+}

@@ -1,0 +1,468 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpmg/internal/encoding"
+	"dpmg/internal/framing"
+	"dpmg/internal/stream"
+)
+
+// Target addresses one dpmg-server: its HTTP base URL and, when the
+// scenario uses the TCP datapath, its -ingest-addr listener ("" when the
+// server exposes none).
+type Target struct {
+	// BaseURL is the HTTP surface, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// IngestAddr is the framing TCP listener, e.g. "127.0.0.1:9090".
+	IngestAddr string
+}
+
+// Topology is the deployment a run drives: a root (the only release /
+// stats / admin surface) and, for cluster scenarios, the edge targets
+// batches are round-robined across. Standalone runs leave Edges nil and
+// ingest into the root directly.
+type Topology struct {
+	// Root serves releases, estimates, stats, and admin ops.
+	Root Target
+	// Edges are the ingest-only targets of a cluster scenario.
+	Edges []Target
+}
+
+// IngestTargets returns where batches go: the edges when present, else
+// the root itself.
+func (tp Topology) IngestTargets() []Target {
+	if len(tp.Edges) > 0 {
+		return tp.Edges
+	}
+	return []Target{tp.Root}
+}
+
+// APIError is a non-2xx HTTP response from the server, preserving the
+// status and the server's JSON error message so callers can classify
+// refusals (throttle vs budget vs unavailable) the way the checks need.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Msg is the server's error string.
+	Msg string
+}
+
+// Error formats the refusal.
+func (e *APIError) Error() string { return fmt.Sprintf("server: %d: %s", e.Status, e.Msg) }
+
+// Client is a thin typed client for the dpmg-server HTTP surface — the
+// half of the driver the harness, cmd/dpmg-scenario, and cmd/dpmg-gen
+// share. Methods are safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+// do issues a request and decodes either the success body into out (when
+// non-nil) or the error envelope into an *APIError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(body, &e)
+		if e.Error == "" {
+			e.Error = strings.TrimSpace(string(body))
+		}
+		return &APIError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("scenario: decode %s: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// get issues a GET and decodes the response.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// post issues a POST with the given body and decodes the response.
+func (c *Client) post(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// CreateStream creates (or idempotently re-creates) a stream from the
+// template. All knobs are sent explicitly — the harness never relies on
+// server defaults, so the in-process twin can reproduce the exact config.
+func (c *Client) CreateStream(ctx context.Context, name string, ss StreamSpec) error {
+	body, err := json.Marshal(map[string]any{
+		"name":                  name,
+		"k":                     ss.K,
+		"universe":              ss.Universe,
+		"shards":                ss.Shards,
+		"mechanism":             ss.Mechanism,
+		"eps":                   ss.Eps,
+		"delta":                 ss.Delta,
+		"max_ingest_rate":       ss.MaxIngestRate,
+		"ingest_burst":          ss.IngestBurst,
+		"max_inflight_releases": ss.MaxInflightReleases,
+	})
+	if err != nil {
+		return err
+	}
+	return c.post(ctx, "/v1/streams", body, nil)
+}
+
+// PostBatch posts one encoded batch body. The caller retries refusals;
+// see Sender for the retrying path.
+func (c *Client) PostBatch(ctx context.Context, name string, body []byte) error {
+	return c.post(ctx, "/v1/streams/"+name+"/batch", body, nil)
+}
+
+// ReleaseDoc is the server's release JSON document.
+type ReleaseDoc struct {
+	// Stream echoes the stream name.
+	Stream string `json:"stream"`
+	// Mechanism names the mechanism that produced the noise.
+	Mechanism string `json:"mechanism"`
+	// Eps is the ε spent.
+	Eps float64 `json:"eps"`
+	// Delta is the δ spent.
+	Delta float64 `json:"delta"`
+	// Meta carries calibration metadata (noise_scale, thresholds).
+	Meta map[string]float64 `json:"meta"`
+	// Items maps decimal item IDs to noisy estimates.
+	Items map[string]float64 `json:"items"`
+}
+
+// NoiseScale returns the mechanism's calibrated noise scale (0 when the
+// mechanism published none).
+func (d *ReleaseDoc) NoiseScale() float64 { return d.Meta["noise_scale"] }
+
+// Release requests one private release. Refusals come back as *APIError.
+func (c *Client) Release(ctx context.Context, name string, eps, delta float64) (*ReleaseDoc, error) {
+	var doc ReleaseDoc
+	path := fmt.Sprintf("/v1/streams/%s/release?eps=%s&delta=%s",
+		name, strconv.FormatFloat(eps, 'g', -1, 64), strconv.FormatFloat(delta, 'g', -1, 64))
+	if err := c.get(ctx, path, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// StatsDoc is the subset of the server's stats document the checks read.
+type StatsDoc struct {
+	// Stream echoes the stream name.
+	Stream string `json:"stream"`
+	// K is the summary size.
+	K int `json:"k"`
+	// Universe is the item-universe bound.
+	Universe uint64 `json:"universe"`
+	// Nodes counts summaries folded into the merged tier.
+	Nodes int `json:"summaries_merged"`
+	// Items counts raw items ingested.
+	Items int64 `json:"items_ingested"`
+	// RemainingEps is the unspent ε budget.
+	RemainingEps float64 `json:"remaining_eps"`
+	// RemainingDelta is the unspent δ budget.
+	RemainingDelta float64 `json:"remaining_delta"`
+	// Releases counts admitted releases.
+	Releases int `json:"releases"`
+	// Resident reports whether counters are in RAM.
+	Resident bool `json:"resident"`
+	// Evictions counts offloads since process start.
+	Evictions int64 `json:"evictions"`
+	// FaultIns counts fault-ins since process start.
+	FaultIns int64 `json:"fault_ins"`
+	// ThrottledIngest counts rate-ceiling refusals.
+	ThrottledIngest int64 `json:"throttled_ingest"`
+	// ThrottledReleases counts in-flight-ceiling refusals.
+	ThrottledReleases int64 `json:"throttled_releases"`
+}
+
+// Stats fetches a stream's stats document.
+func (c *Client) Stats(ctx context.Context, name string) (*StatsDoc, error) {
+	var doc StatsDoc
+	if err := c.get(ctx, "/v1/streams/"+name+"/stats", &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Estimate fetches the published-view point estimate for one item.
+func (c *Client) Estimate(ctx context.Context, name string, item stream.Item) (int64, error) {
+	var doc struct {
+		Estimate int64 `json:"estimate"`
+	}
+	path := "/v1/streams/" + name + "/estimate?item=" + strconv.FormatUint(uint64(item), 10)
+	if err := c.get(ctx, path, &doc); err != nil {
+		return 0, err
+	}
+	return doc.Estimate, nil
+}
+
+// AdminEvict offloads a stream through the admin lever, returning whether
+// the call changed residency.
+func (c *Client) AdminEvict(ctx context.Context, name string) (changed bool, err error) {
+	var doc struct {
+		Changed bool `json:"changed"`
+	}
+	if err := c.post(ctx, "/v1/admin/streams/"+name+"/evict", nil, &doc); err != nil {
+		return false, err
+	}
+	return doc.Changed, nil
+}
+
+// AdminFaultIn faults an offloaded stream back in.
+func (c *Client) AdminFaultIn(ctx context.Context, name string) (changed bool, err error) {
+	var doc struct {
+		Changed bool `json:"changed"`
+	}
+	if err := c.post(ctx, "/v1/admin/streams/"+name+"/faultin", nil, &doc); err != nil {
+		return false, err
+	}
+	return doc.Changed, nil
+}
+
+// DrainDoc is the admin drain report.
+type DrainDoc struct {
+	// Role is the server's role ("standalone" | "edge" | "root").
+	Role string `json:"role"`
+	// Edge is the edge-specific drain report (nil elsewhere).
+	Edge *struct {
+		// Flushed reports whether every spooled and final cut summary
+		// reached the upstream root.
+		Flushed bool `json:"flushed"`
+		// SpoolPending counts summaries still spooled (0 when Flushed).
+		SpoolPending int64 `json:"spool_pending"`
+		// Error carries the flush failure, if any.
+		Error string `json:"error,omitempty"`
+	} `json:"edge,omitempty"`
+}
+
+// AdminDrain drains the server (terminal; the process stops accepting
+// ingest). On edges it synchronously flushes the spool and final cuts.
+func (c *Client) AdminDrain(ctx context.Context) (*DrainDoc, error) {
+	var doc DrainDoc
+	if err := c.post(ctx, "/v1/admin/drain", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// WaitReady polls the target's /metrics until it answers 200 or the
+// context ends — the "server is up" probe every launcher needs.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("scenario: server %s not ready: %w", c.base, ctx.Err())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// SendStats tallies what one Sender did — the raw material of the
+// frontier row's throughput, latency, and transport-mix fields.
+type SendStats struct {
+	// HTTPBatches counts batches accepted over HTTP.
+	HTTPBatches int64
+	// TCPFrames counts frames accepted over the framing datapath.
+	TCPFrames int64
+	// Retries counts refused attempts (throttle or unavailable) that
+	// were retried until acceptance.
+	Retries int64
+	// Latencies holds one accepted-send round-trip time per batch.
+	Latencies []time.Duration
+}
+
+// Sender ships one stream's batches to one target over the spec's
+// transport, retrying QoS refusals with capped backoff so the accepted
+// item sequence is exactly the generated sequence (all-or-nothing
+// refusals ingest nothing, so retrying preserves order — the property
+// the determinism checks rest on). Not safe for concurrent use: one
+// sender belongs to one stream-driver goroutine.
+type Sender struct {
+	client     *Client
+	target     Target
+	streamName string
+	transport  Transport
+	tcp        *framing.Client
+	sent       int64 // batches sent, drives mixed-transport alternation
+
+	// Stats accumulates the sender's tallies.
+	Stats SendStats
+}
+
+// NewSender builds a sender for one stream at one target. The framing
+// connection is dialed lazily on the first TCP batch.
+func NewSender(client *Client, target Target, streamName string, transport Transport) *Sender {
+	return &Sender{client: client, target: target, streamName: streamName, transport: transport}
+}
+
+// useTCP decides the transport for the next batch.
+func (s *Sender) useTCP() bool {
+	switch s.transport {
+	case TransportTCP:
+		return true
+	case TransportMixed:
+		return s.sent%2 == 1
+	}
+	return false
+}
+
+// backoff sleeps the n-th retry delay (1ms doubling, capped at 50ms),
+// honoring context cancellation.
+func backoff(ctx context.Context, n int) error {
+	d := time.Millisecond << uint(min(n, 6))
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// Send ships one batch, blocking through QoS refusals until the server
+// accepts it. The round-trip latency of the accepted attempt is recorded.
+func (s *Sender) Send(ctx context.Context, items []stream.Item) error {
+	useTCP := s.useTCP() && s.target.IngestAddr != ""
+	var err error
+	if useTCP {
+		err = s.sendTCP(ctx, items)
+	} else {
+		err = s.sendHTTP(ctx, items)
+	}
+	if err == nil {
+		s.sent++
+	}
+	return err
+}
+
+// sendHTTP posts the batch, retrying 429 (rate limit) and 503
+// (unavailable / fault-in trouble) — both all-or-nothing refusals.
+func (s *Sender) sendHTTP(ctx context.Context, items []stream.Item) error {
+	var buf bytes.Buffer
+	if err := encoding.MarshalItems(&buf, items); err != nil {
+		return err
+	}
+	body := buf.Bytes()
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		err := s.client.PostBatch(ctx, s.streamName, body)
+		if err == nil {
+			s.Stats.HTTPBatches++
+			s.Stats.Latencies = append(s.Stats.Latencies, time.Since(start))
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) &&
+			(apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable) {
+			s.Stats.Retries++
+			if berr := backoff(ctx, attempt); berr != nil {
+				return berr
+			}
+			continue
+		}
+		return err
+	}
+}
+
+// sendTCP ships the batch as one framing data frame, dialing (and
+// re-binding) lazily, retrying AckRateLimited / AckUnavailable.
+func (s *Sender) sendTCP(ctx context.Context, items []stream.Item) error {
+	for attempt := 0; ; attempt++ {
+		if s.tcp == nil {
+			c, err := framing.DialTimeout(s.target.IngestAddr, 10*time.Second)
+			if err != nil {
+				return fmt.Errorf("scenario: dial ingest %s: %w", s.target.IngestAddr, err)
+			}
+			if err := c.Bind(s.streamName); err != nil {
+				c.Close() //nolint:errcheck // already failing
+				return fmt.Errorf("scenario: bind %s: %w", s.streamName, err)
+			}
+			s.tcp = c
+		}
+		start := time.Now()
+		err := s.tcp.Send(items)
+		if err == nil {
+			s.Stats.TCPFrames++
+			s.Stats.Latencies = append(s.Stats.Latencies, time.Since(start))
+			return nil
+		}
+		var ackErr *framing.AckError
+		if errors.As(err, &ackErr) &&
+			(ackErr.Ack.Code == framing.AckRateLimited || ackErr.Ack.Code == framing.AckUnavailable) {
+			s.Stats.Retries++
+			if berr := backoff(ctx, attempt); berr != nil {
+				return berr
+			}
+			continue
+		}
+		// Connection-level trouble: drop the client and let the caller's
+		// error surface (the harness runs against healthy servers; a dead
+		// socket is a finding, not something to paper over).
+		s.tcp.Close() //nolint:errcheck // already failing
+		s.tcp = nil
+		return fmt.Errorf("scenario: tcp send %s: %w", s.streamName, err)
+	}
+}
+
+// Close closes the sender's framing connection, if one was dialed.
+func (s *Sender) Close() error {
+	if s.tcp == nil {
+		return nil
+	}
+	err := s.tcp.Close()
+	s.tcp = nil
+	return err
+}

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioSpec fuzzes the spec parser: arbitrary bytes must never
+// panic, and any input the parser accepts must survive a marshal →
+// reparse → remarshal round-trip byte-identically (the canonical form is
+// a fixed point). CI's fuzz-smoke job runs this alongside the codec
+// fuzzers.
+func FuzzScenarioSpec(f *testing.F) {
+	for _, name := range Names() {
+		sp, err := Lookup(name, TierTiny)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := sp.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","streams":[{"name":"s","k":8,"universe":64,"shards":2,"eps":8,"delta":0.0009765625,"model":"uniform","items":10}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		// Accepted specs must be internally consistent and canonicalize to
+		// a stable byte form.
+		if sp.TotalItems() < 1 || sp.TotalStreams() < 1 {
+			t.Fatalf("accepted spec with no load: %+v", sp)
+		}
+		out1, err := sp.Marshal()
+		if err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		back, err := ParseSpec(out1)
+		if err != nil {
+			t.Fatalf("reparse canonical form: %v", err)
+		}
+		out2, err := back.Marshal()
+		if err != nil {
+			t.Fatalf("remarshal: %v", err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("canonical form not a fixed point:\n%s\nvs\n%s", out1, out2)
+		}
+		// Seeds and names must be derivable for every replica without
+		// panicking (Run leans on these being total for valid specs).
+		for i := range sp.Streams {
+			ss := &sp.Streams[i]
+			for r := 0; r < ss.Count; r++ {
+				name := ss.ReplicaName(r)
+				if name == "" {
+					t.Fatal("empty replica name")
+				}
+				if sp.ReplicaSeed(name) == 0 {
+					t.Fatal("zero replica seed")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"dpmg"
+	"dpmg/internal/stream"
+)
+
+// TestPropertyLemma8AcrossCatalog is the property test the catalog exists
+// to feed: every scenario's generated workloads, pushed through plain MG
+// sketches over a k grid, must stay inside the Lemma 8 envelope
+// (truth − N/(k+1) ≤ estimate ≤ truth) for every item, and the observed
+// worst-case error must be monotone non-increasing in k. Table-driven over
+// the whole catalog so a new scenario is covered the day it lands.
+func TestPropertyLemma8AcrossCatalog(t *testing.T) {
+	kGrid := []int{8, 16, 32, 64, 128}
+	specs, err := Catalog(TierTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			for ti := range sp.Streams {
+				ss := &sp.Streams[ti]
+				items := ss.Generate(sp, 0)
+				truth := make(map[stream.Item]int64, ss.Universe)
+				for _, x := range items {
+					truth[x]++
+				}
+				n := int64(len(items))
+				prevMax := int64(math.MaxInt64)
+				for _, k := range kGrid {
+					sk := dpmg.NewSketch(k, ss.Universe)
+					sk.UpdateBatch(items)
+					bound := n / (int64(k) + 1)
+					var maxErr int64
+					for x, c := range truth {
+						est := sk.Estimate(x)
+						if est > c {
+							t.Fatalf("%s k=%d item %d: estimate %d over truth %d (no over-counting, ever)",
+								ss.Name, k, x, est, c)
+						}
+						if c-est > bound {
+							t.Fatalf("%s k=%d item %d: error %d trips Lemma 8 bound %d (N=%d)",
+								ss.Name, k, x, c-est, bound, n)
+						}
+						if c-est > maxErr {
+							maxErr = c - est
+						}
+					}
+					// The adversarial model is the Fact 7 lower-bound instance
+					// built for the spec's own k; at other k its realized
+					// error is only bounded, not monotone, so the
+					// monotonicity claim covers the stochastic workloads.
+					if ss.Model != "adversarial" && maxErr > prevMax {
+						t.Errorf("%s: max error grew from %d to %d as k rose to %d (not monotone)",
+							ss.Name, prevMax, maxErr, k)
+					}
+					prevMax = maxErr
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyReleaseEnvelope checks the released (noised) histograms at
+// the default ε grid: for every histogram entry with known truth, the
+// released value stays within the Lemma 8 envelope plus a generous noise
+// allowance (40 × the mechanism's own noise scale — the same witness the
+// live harness's release-error-envelope check uses).
+func TestPropertyReleaseEnvelope(t *testing.T) {
+	specs, err := Catalog(TierTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			for ti := range sp.Streams {
+				ss := &sp.Streams[ti]
+				items := ss.Generate(sp, 0)
+				truth := make(map[stream.Item]int64, ss.Universe)
+				for _, x := range items {
+					truth[x]++
+				}
+				n := float64(len(items))
+				sk := dpmg.NewSketch(ss.K, ss.Universe)
+				sk.UpdateBatch(items)
+				for i, eps := range defaultReleaseEps() {
+					res, rerr := dpmg.ReleaseDetailed(sk,
+						dpmg.Params{Eps: eps, Delta: DefaultReleaseDelta},
+						dpmg.WithSeed(TwinSeed(sp, ss.Name, i)))
+					if rerr != nil {
+						t.Fatalf("%s ε=%g: %v", ss.Name, eps, rerr)
+					}
+					scale := res.Meta["noise_scale"]
+					if scale <= 0 {
+						t.Fatalf("%s ε=%g: mechanism %s reported no noise_scale", ss.Name, eps, res.Mechanism)
+					}
+					allow := n/float64(ss.K+1) + 40*scale + 1e-9
+					for x, v := range res.Histogram {
+						if d := math.Abs(v - float64(truth[x])); d > allow {
+							t.Errorf("%s ε=%g item %d: released %g vs truth %d, |err| %g over allowance %g",
+								ss.Name, eps, x, v, truth[x], d, allow)
+						}
+					}
+					// Determinism: the same seed must reproduce the release
+					// byte for byte (the twin comparison depends on it).
+					again, rerr := dpmg.ReleaseDetailed(sk,
+						dpmg.Params{Eps: eps, Delta: DefaultReleaseDelta},
+						dpmg.WithSeed(TwinSeed(sp, ss.Name, i)))
+					if rerr != nil {
+						t.Fatalf("%s ε=%g rerun: %v", ss.Name, eps, rerr)
+					}
+					if RenderRelease(ss.Name, res, eps, DefaultReleaseDelta) !=
+						RenderRelease(ss.Name, again, eps, DefaultReleaseDelta) {
+						t.Errorf("%s ε=%g: seeded release not reproducible", ss.Name, eps)
+					}
+				}
+			}
+		})
+	}
+}

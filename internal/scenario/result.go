@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+
+	"dpmg/internal/stream"
+)
+
+// Check is one named pass/fail assertion of a run.
+type Check struct {
+	// Name identifies the assertion ("lemma8-envelope", "budget-ledger", …).
+	Name string `json:"name"`
+	// Pass reports whether the assertion held.
+	Pass bool `json:"pass"`
+	// Detail explains the outcome (the witness on failure, a summary on
+	// success).
+	Detail string `json:"detail,omitempty"`
+}
+
+// FrontierPoint is one (ε, error) point of the accuracy/privacy frontier:
+// the observed release error of every stream at one grid ε, next to the
+// mechanism's calibrated noise scale and the Lemma 8 envelope it rode on.
+type FrontierPoint struct {
+	// Eps is the grid ε.
+	Eps float64 `json:"eps"`
+	// Delta is the per-release δ.
+	Delta float64 `json:"delta"`
+	// Releases counts releases issued at this ε across streams.
+	Releases int `json:"releases"`
+	// MaxAbsErr is the worst |released − true| over all probed items.
+	MaxAbsErr float64 `json:"max_abs_err"`
+	// MeanAbsErr is the mean |released − true| over all probed items.
+	MeanAbsErr float64 `json:"mean_abs_err"`
+	// NoiseScale is the mechanism's calibrated scale (max over streams).
+	NoiseScale float64 `json:"noise_scale"`
+	// Envelope is the largest N/(k+1) sketch-error bound among streams.
+	Envelope float64 `json:"envelope"`
+	// ProbeCoverage is the fraction of probed heavy items present in the
+	// released top-k documents (reported, not asserted: a tiny tier can
+	// legitimately noise a marginal item out of the cut).
+	ProbeCoverage float64 `json:"probe_coverage"`
+}
+
+// Result is one scenario run's machine-readable frontier row — the JSON
+// object emitted into SCENARIO_core.json.
+type Result struct {
+	// Scenario is the spec name.
+	Scenario string `json:"scenario"`
+	// Tier is the size class the run used.
+	Tier string `json:"tier"`
+	// Cluster reports the 1-root/2-edge topology.
+	Cluster bool `json:"cluster,omitempty"`
+	// Streams is the tenant count.
+	Streams int `json:"streams"`
+	// K is the largest summary size among streams.
+	K int `json:"k"`
+	// Universe is the largest universe among streams.
+	Universe uint64 `json:"universe"`
+	// Items is the total item count ingested.
+	Items int64 `json:"items"`
+
+	// IngestSeconds is the wall-clock span of the ingest phase.
+	IngestSeconds float64 `json:"ingest_seconds"`
+	// ItemsPerSec is the achieved end-to-end ingest throughput.
+	ItemsPerSec float64 `json:"items_per_s"`
+	// P50IngestMicros is the median accepted-batch round trip.
+	P50IngestMicros float64 `json:"p50_ingest_us"`
+	// P99IngestMicros is the p99 accepted-batch round trip.
+	P99IngestMicros float64 `json:"p99_ingest_us"`
+
+	// HTTPBatches counts batches accepted over HTTP.
+	HTTPBatches int64 `json:"http_batches"`
+	// TCPFrames counts frames accepted over the framing datapath.
+	TCPFrames int64 `json:"tcp_frames"`
+	// Retries counts refused-then-retried sends (QoS pressure realized).
+	Retries int64 `json:"retries"`
+	// ThrottledIngest sums the servers' rate-ceiling refusal counters.
+	ThrottledIngest int64 `json:"throttled_ingest"`
+	// ThrottledReleases sums the in-flight-ceiling refusal counters.
+	ThrottledReleases int64 `json:"throttled_releases"`
+	// Evictions sums offload events.
+	Evictions int64 `json:"evictions"`
+	// FaultIns sums fault-in events.
+	FaultIns int64 `json:"fault_ins"`
+	// SummariesFolded sums summaries_merged at the root (cluster runs).
+	SummariesFolded int64 `json:"summaries_folded,omitempty"`
+	// Releases counts admitted releases across streams.
+	Releases int `json:"releases"`
+
+	// Frontier is the per-ε error profile.
+	Frontier []FrontierPoint `json:"frontier"`
+	// Checks lists the pass/fail assertions.
+	Checks []Check `json:"checks"`
+	// Pass is the conjunction of all checks.
+	Pass bool `json:"pass"`
+	// Fingerprint digests the run's deterministic facts (per-stream N,
+	// ledger, and — standalone only — probe estimates and seeded twin
+	// release hashes); equal fingerprints across a repeat run are the
+	// reproducibility proof.
+	Fingerprint string `json:"fingerprint"`
+	// Deterministic is set by drivers that ran the scenario twice and
+	// compared fingerprints.
+	Deterministic *bool `json:"deterministic,omitempty"`
+
+	// RecordedBatches, under Options.Record, holds every accepted batch
+	// per stream in send order — the replay input for differential tests.
+	// Never serialized.
+	RecordedBatches map[string][][]stream.Item `json:"-"`
+}
+
+// AddCheck appends one named assertion and folds it into Pass.
+func (r *Result) AddCheck(name string, pass bool, detail string) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: detail})
+	r.recomputePass()
+}
+
+// recomputePass refreshes the Pass conjunction.
+func (r *Result) recomputePass() {
+	r.Pass = true
+	for _, c := range r.Checks {
+		if !c.Pass {
+			r.Pass = false
+			return
+		}
+	}
+}
+
+// Failed returns the names of failed checks.
+func (r *Result) Failed() []string {
+	var out []string
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// quantileMicros returns the q-quantile of the latency set in
+// microseconds (0 when empty). The input is not modified.
+func quantileMicros(lat []time.Duration, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(lat))
+	copy(sorted, lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Microsecond)
+}

@@ -1,0 +1,709 @@
+package scenario
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dpmg/internal/stream"
+)
+
+// Options tunes one Run.
+type Options struct {
+	// Record keeps every accepted batch in Result.RecordedBatches — the
+	// replay input for differential tests and the Twin. Costs memory
+	// proportional to the offered load.
+	Record bool
+	// Twin, for standalone runs, replays the recorded batches through an
+	// in-process dpmg.Manager and cross-checks estimates exactly, then
+	// hashes seeded twin releases into the fingerprint (the byte-level
+	// reproducibility witness). Implies Record.
+	Twin bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// probe is one item whose estimate the checks examine.
+type probe struct {
+	item  stream.Item
+	truth int64
+	heavy bool // top-true item: release-error check applies
+}
+
+// streamRun is the per-replica driver state.
+type streamRun struct {
+	spec    *StreamSpec
+	name    string
+	replica int
+
+	truth   map[stream.Item]int64
+	n       int64
+	batches [][]stream.Item
+	send    SendStats
+
+	evictIssued int64
+
+	remBeforeEps, remBeforeDelta float64
+	docs                         []*ReleaseDoc
+	stormSuccesses               int
+	stormFinalMsg                string
+
+	probes    []probe
+	estimates map[stream.Item]int64
+	after     *StatsDoc
+}
+
+// Run drives one scenario against the topology and returns its frontier
+// row. The run is deterministic given (spec, topology shape): per-stream
+// sends are sequential, refusals are all-or-nothing and retried, and all
+// randomness comes from the spec seed.
+func Run(ctx context.Context, tp Topology, sp *Spec, opts Options) (*Result, error) {
+	if err := sp.Normalize(); err != nil {
+		return nil, err
+	}
+	if sp.Cluster && len(tp.Edges) < 2 {
+		return nil, fmt.Errorf("scenario %s: cluster scenario needs at least 2 edge targets", sp.Name)
+	}
+	if !sp.Cluster && len(tp.Edges) != 0 {
+		return nil, fmt.Errorf("scenario %s: standalone scenario cannot take edge targets", sp.Name)
+	}
+	if opts.Twin {
+		opts.Record = true
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ingest := tp.IngestTargets()
+	for _, ss := range sp.Streams {
+		if ss.Transport == TransportHTTP {
+			continue
+		}
+		for _, t := range ingest {
+			if t.IngestAddr == "" {
+				return nil, fmt.Errorf("scenario %s: stream %s uses transport %q but target %s has no ingest address", sp.Name, ss.Name, ss.Transport, t.BaseURL)
+			}
+		}
+	}
+
+	root := NewClient(tp.Root.BaseURL)
+	ingestClients := make([]*Client, len(ingest))
+	for i, t := range ingest {
+		ingestClients[i] = NewClient(t.BaseURL)
+	}
+
+	var runs []*streamRun
+	for si := range sp.Streams {
+		ss := &sp.Streams[si]
+		for i := 0; i < ss.Count; i++ {
+			runs = append(runs, &streamRun{
+				spec: ss, name: ss.ReplicaName(i), replica: i,
+				truth:     make(map[stream.Item]int64),
+				estimates: make(map[stream.Item]int64),
+			})
+		}
+	}
+
+	// Create every stream everywhere it is addressed: on each ingest
+	// target, and — for cluster runs — on the root too, so folds land in
+	// a stream configured exactly per spec instead of relying on the
+	// root's auto-create defaults.
+	creators := ingestClients
+	if sp.Cluster {
+		creators = append([]*Client{root}, ingestClients...)
+	}
+	for _, cl := range creators {
+		for _, r := range runs {
+			if err := cl.CreateStream(ctx, r.name, *r.spec); err != nil {
+				return nil, fmt.Errorf("scenario %s: create stream %s: %w", sp.Name, r.name, err)
+			}
+		}
+	}
+
+	res := &Result{
+		Scenario: sp.Name, Tier: sp.Tier, Cluster: sp.Cluster,
+		Streams: len(runs),
+	}
+	for _, r := range runs {
+		if r.spec.K > res.K {
+			res.K = r.spec.K
+		}
+		if r.spec.Universe > res.Universe {
+			res.Universe = r.spec.Universe
+		}
+	}
+
+	logf("scenario %s: ingesting %d items across %d streams (%d workers)", sp.Name, sp.TotalItems(), len(runs), sp.Workers)
+	start := time.Now()
+	err := forEachRun(ctx, sp.Workers, runs, func(ctx context.Context, r *streamRun) error {
+		return ingestOne(ctx, sp, ingest, ingestClients, root, r, opts.Record)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ingestDur := time.Since(start)
+
+	// Cluster: drain every edge so each one's spool and final cut
+	// summaries are synchronously flushed to the root before any check
+	// reads the folded state.
+	if sp.Cluster {
+		for i, cl := range ingestClients {
+			doc, derr := cl.AdminDrain(ctx)
+			if derr != nil {
+				return nil, fmt.Errorf("scenario %s: drain edge %d: %w", sp.Name, i, derr)
+			}
+			ok := doc.Edge != nil && doc.Edge.Flushed
+			detail := fmt.Sprintf("edge %d role=%s", i, doc.Role)
+			if doc.Edge != nil {
+				detail = fmt.Sprintf("edge %d flushed=%v spool_pending=%d err=%q", i, doc.Edge.Flushed, doc.Edge.SpoolPending, doc.Edge.Error)
+			}
+			res.AddCheck(fmt.Sprintf("edge-drain-%d", i), ok, detail)
+		}
+	}
+
+	// Ledger baseline: remaining budget before any release.
+	for _, r := range runs {
+		st, serr := root.Stats(ctx, r.name)
+		if serr != nil {
+			return nil, fmt.Errorf("scenario %s: stats %s: %w", sp.Name, r.name, serr)
+		}
+		r.remBeforeEps, r.remBeforeDelta = st.RemainingEps, st.RemainingDelta
+	}
+
+	// Releases come before estimate probes: the release-time fold
+	// republishes the read view, so probes observe the complete stream.
+	logf("scenario %s: release phase", sp.Name)
+	if sp.BudgetStorm {
+		err = forEachRun(ctx, sp.Workers, runs, func(ctx context.Context, r *streamRun) error {
+			return stormOne(ctx, root, sp, r)
+		})
+	} else {
+		err = forEachRun(ctx, sp.Workers, runs, func(ctx context.Context, r *streamRun) error {
+			for _, eps := range sp.ReleaseEps {
+				doc, rerr := releaseWithRetry(ctx, root, r.name, eps, sp.ReleaseDelta)
+				if rerr != nil {
+					return rerr
+				}
+				r.docs = append(r.docs, doc)
+			}
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Probe phase.
+	err = forEachRun(ctx, sp.Workers, runs, func(ctx context.Context, r *streamRun) error {
+		r.probes = pickProbes(sp, r)
+		for _, p := range r.probes {
+			est, perr := root.Estimate(ctx, r.name, p.item)
+			if perr != nil {
+				return perr
+			}
+			r.estimates[p.item] = est
+		}
+		var aerr error
+		r.after, aerr = root.Stats(ctx, r.name)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Tallies.
+	var latencies []time.Duration
+	for _, r := range runs {
+		res.Items += r.n
+		res.HTTPBatches += r.send.HTTPBatches
+		res.TCPFrames += r.send.TCPFrames
+		res.Retries += r.send.Retries
+		latencies = append(latencies, r.send.Latencies...)
+		res.ThrottledIngest += r.after.ThrottledIngest
+		res.ThrottledReleases += r.after.ThrottledReleases
+		res.Evictions += r.after.Evictions
+		res.FaultIns += r.after.FaultIns
+		res.Releases += r.after.Releases
+		if sp.Cluster {
+			res.SummariesFolded += int64(r.after.Nodes)
+		}
+	}
+	res.IngestSeconds = ingestDur.Seconds()
+	if res.IngestSeconds > 0 {
+		res.ItemsPerSec = float64(res.Items) / res.IngestSeconds
+	}
+	res.P50IngestMicros = quantileMicros(latencies, 0.50)
+	res.P99IngestMicros = quantileMicros(latencies, 0.99)
+
+	runChecks(sp, res, runs)
+
+	if opts.Twin && !sp.Cluster {
+		logf("scenario %s: twin replay", sp.Name)
+		twinHash, twinOK, detail := runTwin(sp, runs)
+		res.AddCheck("twin-replay", twinOK, detail)
+		res.Fingerprint = fingerprint(sp, runs, twinHash)
+	} else {
+		res.Fingerprint = fingerprint(sp, runs, "")
+	}
+
+	if opts.Record {
+		res.RecordedBatches = make(map[string][][]stream.Item, len(runs))
+		for _, r := range runs {
+			res.RecordedBatches[r.name] = r.batches
+		}
+	}
+	logf("scenario %s: done: pass=%v items/s=%.0f p99=%.0fµs", sp.Name, res.Pass, res.ItemsPerSec, res.P99IngestMicros)
+	return res, nil
+}
+
+// forEachRun applies f to every stream run with bounded concurrency,
+// canceling the rest on the first error.
+func forEachRun(ctx context.Context, workers int, runs []*streamRun, f func(context.Context, *streamRun) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, r := range runs {
+		wg.Add(1)
+		go func(r *streamRun) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+			if err := f(ctx, r); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("stream %s: %w", r.name, err)
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ingestOne drives one replica: generate, batch, send (round-robining
+// cluster batches across edges), track exact truth counts, and apply
+// lifecycle churn when the spec asks for it.
+func ingestOne(ctx context.Context, sp *Spec, ingest []Target, clients []*Client, root *Client, r *streamRun, record bool) error {
+	items := r.spec.Generate(sp, r.replica)
+	senders := make([]*Sender, len(ingest))
+	for i := range ingest {
+		senders[i] = NewSender(clients[i], ingest[i], r.name, r.spec.Transport)
+	}
+	defer func() {
+		for _, s := range senders {
+			s.Close() //nolint:errcheck // best-effort goodbye
+		}
+	}()
+	batchIdx, sinceChurn := 0, 0
+	evictNext := true
+	for off := 0; off < len(items); off += r.spec.Batch {
+		end := min(off+r.spec.Batch, len(items))
+		batch := items[off:end]
+		s := senders[batchIdx%len(senders)]
+		if err := s.Send(ctx, batch); err != nil {
+			return err
+		}
+		for _, x := range batch {
+			r.truth[x]++
+		}
+		r.n += int64(len(batch))
+		if record {
+			cp := make([]stream.Item, len(batch))
+			copy(cp, batch)
+			r.batches = append(r.batches, cp)
+		}
+		batchIdx++
+		if sp.EvictEvery > 0 {
+			sinceChurn++
+			if sinceChurn >= sp.EvictEvery {
+				sinceChurn = 0
+				if err := churn(ctx, root, r, &evictNext); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, s := range senders {
+		r.send.HTTPBatches += s.Stats.HTTPBatches
+		r.send.TCPFrames += s.Stats.TCPFrames
+		r.send.Retries += s.Stats.Retries
+		r.send.Latencies = append(r.send.Latencies, s.Stats.Latencies...)
+	}
+	return nil
+}
+
+// churn round-trips the stream through the cold tier mid-ingest:
+// alternating admin evict (the next batch faults the stream back in
+// through the ingest path) and explicit fault-in (a no-op when a batch
+// already won the race — both orders are exercised across the run).
+func churn(ctx context.Context, root *Client, r *streamRun, evictNext *bool) error {
+	if *evictNext {
+		changed, err := root.AdminEvict(ctx, r.name)
+		if err != nil {
+			return fmt.Errorf("admin evict: %w", err)
+		}
+		if changed {
+			r.evictIssued++
+		}
+	} else {
+		if _, err := root.AdminFaultIn(ctx, r.name); err != nil {
+			return fmt.Errorf("admin faultin: %w", err)
+		}
+	}
+	*evictNext = !*evictNext
+	return nil
+}
+
+// releaseWithRetry issues one release, retrying the transient refusals
+// (in-flight ceiling, fault-in unavailability) that spend no budget.
+func releaseWithRetry(ctx context.Context, root *Client, name string, eps, delta float64) (*ReleaseDoc, error) {
+	for attempt := 0; ; attempt++ {
+		doc, err := root.Release(ctx, name, eps, delta)
+		if err == nil {
+			return doc, nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && transientRelease(apiErr) {
+			if berr := backoff(ctx, attempt); berr != nil {
+				return nil, berr
+			}
+			continue
+		}
+		return nil, err
+	}
+}
+
+// transientRelease classifies refusals that spend no budget and clear on
+// retry: the in-flight release ceiling (429 without the budget message)
+// and fault-in unavailability (503).
+func transientRelease(e *APIError) bool {
+	if e.Status == http.StatusServiceUnavailable {
+		return true
+	}
+	return e.Status == http.StatusTooManyRequests && !strings.Contains(e.Msg, "budget exhausted")
+}
+
+// stormOne hammers one stream with StormWorkers concurrent ε=StormEps
+// releases until the accountant refuses every worker.
+func stormOne(ctx context.Context, root *Client, sp *Spec, r *streamRun) error {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var hardErr error
+	for w := 0; w < sp.StormWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for attempt := 0; ; attempt++ {
+				doc, err := root.Release(ctx, r.name, sp.StormEps, sp.ReleaseDelta)
+				if err == nil {
+					mu.Lock()
+					r.stormSuccesses++
+					r.docs = append(r.docs, doc)
+					mu.Unlock()
+					attempt = 0
+					continue
+				}
+				var apiErr *APIError
+				if errors.As(err, &apiErr) {
+					if apiErr.Status == http.StatusTooManyRequests && strings.Contains(apiErr.Msg, "budget exhausted") {
+						mu.Lock()
+						r.stormFinalMsg = apiErr.Msg
+						mu.Unlock()
+						return
+					}
+					if transientRelease(apiErr) {
+						if backoff(ctx, attempt) != nil {
+							return
+						}
+						continue
+					}
+				}
+				mu.Lock()
+				if hardErr == nil {
+					hardErr = err
+				}
+				mu.Unlock()
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	return hardErr
+}
+
+// pickProbes selects the items whose estimates the checks read: the
+// ProbeTop largest true counts (ties to the smaller item — the released
+// top-k candidates) plus 16 deterministic spread items that exercise the
+// light tail (including never-seen items, whose estimates must be
+// exactly zero under the envelope).
+func pickProbes(sp *Spec, r *streamRun) []probe {
+	type kv struct {
+		item stream.Item
+		cnt  int64
+	}
+	top := make([]kv, 0, len(r.truth))
+	for x, c := range r.truth {
+		top = append(top, kv{x, c})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].cnt != top[j].cnt {
+			return top[i].cnt > top[j].cnt
+		}
+		return top[i].item < top[j].item
+	})
+	if len(top) > sp.ProbeTop {
+		top = top[:sp.ProbeTop]
+	}
+	probes := make([]probe, 0, len(top)+16)
+	seen := make(map[stream.Item]bool, len(top)+16)
+	for _, t := range top {
+		probes = append(probes, probe{item: t.item, truth: t.cnt, heavy: true})
+		seen[t.item] = true
+	}
+	lcg := sp.ReplicaSeed(r.name) | 1
+	for i := 0; i < 16; i++ {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		x := stream.Item(lcg%r.spec.Universe + 1)
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		probes = append(probes, probe{item: x, truth: r.truth[x]})
+	}
+	return probes
+}
+
+// runChecks evaluates every scenario assertion against the collected
+// state and fills the frontier points.
+func runChecks(sp *Spec, res *Result, runs []*streamRun) {
+	// Item conservation: in standalone runs the server's per-stream
+	// ingested count must equal the driver's — all-or-nothing refusals
+	// mean retries can never double-ingest. Cluster roots hold folds,
+	// not raw items, so there the fold counter must be live instead.
+	if !sp.Cluster {
+		bad := ""
+		for _, r := range runs {
+			if r.after.Items != r.n {
+				bad = fmt.Sprintf("stream %s: server ingested %d, driver sent %d", r.name, r.after.Items, r.n)
+				break
+			}
+		}
+		res.AddCheck("items-conserved", bad == "", orDefault(bad, fmt.Sprintf("%d items across %d streams, every batch counted once", res.Items, len(runs))))
+	} else {
+		bad := ""
+		for _, r := range runs {
+			if r.after.Nodes == 0 {
+				bad = fmt.Sprintf("stream %s: root folded no summaries", r.name)
+				break
+			}
+		}
+		res.AddCheck("cluster-fold", bad == "", orDefault(bad, fmt.Sprintf("root folded %d summaries across %d streams", res.SummariesFolded, len(runs))))
+	}
+
+	// Lemma 8 envelope: true − N/(k+1) ≤ estimate ≤ true, for the
+	// realized N of each stream (fleet-wide N in cluster runs, where the
+	// Corollary 18 merge preserves the same bound). The upper side doubles
+	// as the zero-double-count witness: a replayed batch or a re-folded
+	// summary would push an estimate past its true count.
+	envBad, probed := "", 0
+	for _, r := range runs {
+		slack := r.n / int64(r.spec.K+1)
+		for _, p := range r.probes {
+			est := r.estimates[p.item]
+			probed++
+			if est > p.truth || est < p.truth-slack {
+				envBad = fmt.Sprintf("stream %s item %d: estimate %d outside [%d−%d, %d]", r.name, p.item, est, p.truth, slack, p.truth)
+				break
+			}
+		}
+		if envBad != "" {
+			break
+		}
+	}
+	res.AddCheck("lemma8-envelope", envBad == "", orDefault(envBad, fmt.Sprintf("%d probes within N/(k+1) of truth", probed)))
+
+	// Budget ledger: spent budget is exactly the granted sum. Catalog
+	// parameters are dyadic, so == is the right comparison — any drift is
+	// an accountant bug, not float noise.
+	ledgerBad := ""
+	for _, r := range runs {
+		wantEps, wantDelta := grantedSpend(sp, r)
+		gotEps := r.remBeforeEps - r.after.RemainingEps
+		gotDelta := r.remBeforeDelta - r.after.RemainingDelta
+		if gotEps != wantEps || gotDelta != wantDelta {
+			ledgerBad = fmt.Sprintf("stream %s: ledger spent (ε=%.17g, δ=%.17g), harness granted (ε=%.17g, δ=%.17g)", r.name, gotEps, gotDelta, wantEps, wantDelta)
+			break
+		}
+	}
+	res.AddCheck("budget-ledger", ledgerBad == "", orDefault(ledgerBad, "accountant ledger matches granted ε and δ bit for bit"))
+
+	if sp.ExpectThrottle {
+		res.AddCheck("throttled", res.ThrottledIngest > 0,
+			fmt.Sprintf("server refused %d ingest calls at the rate ceiling (%d driver retries)", res.ThrottledIngest, res.Retries))
+	}
+	if sp.EvictEvery > 0 {
+		var issued int64
+		for _, r := range runs {
+			issued += r.evictIssued
+		}
+		churnBad := ""
+		if res.Evictions != issued {
+			churnBad = fmt.Sprintf("server counted %d evictions, driver issued %d", res.Evictions, issued)
+		} else if res.FaultIns != issued {
+			churnBad = fmt.Sprintf("server counted %d fault-ins for %d evictions (each offload must fault back in exactly once)", res.FaultIns, issued)
+		} else if issued == 0 {
+			churnBad = "no evictions materialized"
+		}
+		res.AddCheck("evict-churn", churnBad == "", orDefault(churnBad, fmt.Sprintf("%d evict/fault-in round trips through the cold tier", issued)))
+	}
+	if sp.BudgetStorm {
+		stormBad := ""
+		for _, r := range runs {
+			want := StormExpected(r.spec.Eps, sp.StormEps)
+			if r.stormSuccesses != want {
+				stormBad = fmt.Sprintf("stream %s: %d storm releases admitted, accountant arithmetic admits exactly %d", r.name, r.stormSuccesses, want)
+				break
+			}
+			if !strings.Contains(r.stormFinalMsg, "budget exhausted") {
+				stormBad = fmt.Sprintf("stream %s: final refusal was %q, want the budget-exhausted error", r.name, r.stormFinalMsg)
+				break
+			}
+		}
+		res.AddCheck("storm-exhaustion", stormBad == "", orDefault(stormBad, fmt.Sprintf("every stream admitted exactly %d ε=%g releases then refused", StormExpected(runs[0].spec.Eps, sp.StormEps), sp.StormEps)))
+	}
+
+	buildFrontier(sp, res, runs)
+}
+
+// grantedSpend is the exact (ε, δ) the harness was granted for one
+// stream: the grid, or the realized storm successes.
+func grantedSpend(sp *Spec, r *streamRun) (eps, delta float64) {
+	if sp.BudgetStorm {
+		for i := 0; i < r.stormSuccesses; i++ {
+			eps += sp.StormEps
+			delta += sp.ReleaseDelta
+		}
+		return eps, delta
+	}
+	for _, e := range sp.ReleaseEps {
+		eps += e
+		delta += sp.ReleaseDelta
+	}
+	return eps, delta
+}
+
+// buildFrontier fills the per-ε error profile and asserts the release
+// error envelope: for every probed heavy item present in a released
+// document, |released − true| ≤ N/(k+1) + 40×noise_scale. The 40× tail
+// bound holds with overwhelming probability for every registered
+// mechanism (Laplace, geometric, Gaussian), seeded or not.
+func buildFrontier(sp *Spec, res *Result, runs []*streamRun) {
+	grid := sp.ReleaseEps
+	if sp.BudgetStorm {
+		grid = []float64{sp.StormEps}
+	}
+	relBad := ""
+	for gi, eps := range grid {
+		pt := FrontierPoint{Eps: eps, Delta: sp.ReleaseDelta}
+		var absSum float64
+		var absN, present, heavies int
+		for _, r := range runs {
+			if gi >= len(r.docs) {
+				continue
+			}
+			doc := r.docs[gi]
+			pt.Releases++
+			if ns := doc.NoiseScale(); ns > pt.NoiseScale {
+				pt.NoiseScale = ns
+			}
+			slack := float64(r.n) / float64(r.spec.K+1)
+			if slack > pt.Envelope {
+				pt.Envelope = slack
+			}
+			bound := slack + 40*doc.NoiseScale() + 1e-9
+			for _, p := range r.probes {
+				if !p.heavy {
+					continue
+				}
+				heavies++
+				val, ok := doc.Items[strconv.FormatUint(uint64(p.item), 10)]
+				if !ok {
+					continue
+				}
+				present++
+				abs := math.Abs(val - float64(p.truth))
+				absSum += abs
+				absN++
+				if abs > pt.MaxAbsErr {
+					pt.MaxAbsErr = abs
+				}
+				if abs > bound && relBad == "" {
+					relBad = fmt.Sprintf("stream %s ε=%g item %d: released %.1f vs true %d, |err| %.1f > envelope %.1f", r.name, eps, p.item, val, p.truth, abs, bound)
+				}
+			}
+		}
+		if absN > 0 {
+			pt.MeanAbsErr = absSum / float64(absN)
+		}
+		if heavies > 0 {
+			pt.ProbeCoverage = float64(present) / float64(heavies)
+		}
+		res.Frontier = append(res.Frontier, pt)
+	}
+	res.AddCheck("release-error-envelope", relBad == "", orDefault(relBad, fmt.Sprintf("released estimates within N/(k+1)+40·scale at %d grid points", len(grid))))
+}
+
+// fingerprint digests the run's deterministic facts, sorted by stream
+// name: realized N and the budget ledger always; probe estimates and the
+// twin hash only when the topology reproduces them exactly (standalone).
+func fingerprint(sp *Spec, runs []*streamRun, twinHash string) string {
+	byName := make(map[string]*streamRun, len(runs))
+	for _, r := range runs {
+		byName[r.name] = r
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "scenario:%s seed:%d\n", sp.Name, sp.Seed)
+	for _, name := range sp.sortedNames() {
+		r := byName[name]
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(h, "%s|%d|%.17g|%.17g\n", name, r.n, r.after.RemainingEps, r.after.RemainingDelta)
+		if sp.Fingerprintable() {
+			for _, p := range r.probes {
+				fmt.Fprintf(h, "%d:%d ", p.item, r.estimates[p.item])
+			}
+			fmt.Fprintln(h)
+		}
+	}
+	if twinHash != "" {
+		fmt.Fprintf(h, "twin:%s\n", twinHash)
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// orDefault returns s, or def when s is empty.
+func orDefault(s, def string) string {
+	if s != "" {
+		return s
+	}
+	return def
+}

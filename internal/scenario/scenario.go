@@ -1,0 +1,30 @@
+// Package scenario is the hostile-workload harness: it drives a full
+// dpmg-server deployment — the HTTP /v1/streams surface and the framing
+// TCP ingest datapath, many tenants, mixed QoS ceilings, lifecycle churn,
+// and the 1-root/2-edge aggregation topology — through named adversarial
+// scenarios, and turns the paper's utility guarantees into executable
+// pass/fail checks over the real server.
+//
+// Each run produces a Result: a machine-readable frontier row (observed
+// top-k estimate error vs ε vs achieved items/s vs p99 ingest latency,
+// plus lifecycle/QoS event tallies) and a list of named checks. The
+// checks are the point of the package:
+//
+//   - lemma8-envelope: every probed estimate e satisfies
+//     true − N/(k+1) ≤ e ≤ true for the realized stream length N
+//     (Lemma 8's additive error, which Corollary 18 preserves across the
+//     edge→root merge with N the fleet-wide total).
+//   - budget-ledger: the privacy budget the accountant reports spent is
+//     exactly the sum of the (ε, δ) the harness was granted — the catalog
+//     uses dyadic parameters so the comparison is bitwise, not approximate.
+//   - release-error-envelope: released noisy estimates stay within the
+//     Lemma 8 envelope plus a 40×noise-scale tail bound.
+//   - deterministic ingest: a Twin replay of the recorded batches through
+//     an in-process dpmg.Manager must agree exactly with the server's
+//     estimates, and seeded twin releases hash identically run over run.
+//
+// The named scenarios live in catalog.go; cmd/dpmg-scenario runs the
+// catalog against real server processes and emits SCENARIO_core.json,
+// and scripts/scenario_json.sh wraps that for CI (the scenario-smoke
+// job), mirroring the bench_json.sh / BENCH_core.json pattern.
+package scenario

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"dpmg"
+)
+
+// TwinConfig converts a stream template into the dpmg.StreamConfig the
+// in-process twin uses: identical sketch identity and budget, QoS
+// explicitly unlimited (the twin replays accepted batches — throttling
+// them again would be double-counting the refusals).
+func TwinConfig(ss StreamSpec) dpmg.StreamConfig {
+	return dpmg.StreamConfig{
+		K:                   ss.K,
+		Universe:            ss.Universe,
+		Shards:              ss.Shards,
+		Mechanism:           ss.Mechanism,
+		Budget:              dpmg.Budget{Eps: ss.Eps, Delta: ss.Delta},
+		MaxIngestRate:       -1,
+		IngestBurst:         -1,
+		MaxInflightReleases: -1,
+	}
+}
+
+// TwinSeed derives the deterministic seed for the i-th twin release of a
+// replica — stable across runs, distinct across (replica, index).
+func TwinSeed(sp *Spec, replica string, i int) uint64 {
+	return sp.ReplicaSeed(replica)*2654435761 + uint64(i)*0x9e3779b97f4a7c15 + 1
+}
+
+// RenderRelease renders one release result canonically (sorted items,
+// shortest float form) — the stable byte form the twin hash and the
+// repeat-run comparison are built on.
+func RenderRelease(name string, res *dpmg.ReleaseResult, eps, delta float64) string {
+	out := fmt.Sprintf("%s|%s|%s|%s|", name, res.Mechanism,
+		strconv.FormatFloat(eps, 'g', -1, 64), strconv.FormatFloat(delta, 'g', -1, 64))
+	metaKeys := make([]string, 0, len(res.Meta))
+	for k := range res.Meta {
+		metaKeys = append(metaKeys, k)
+	}
+	sort.Strings(metaKeys)
+	for _, k := range metaKeys {
+		out += k + "=" + strconv.FormatFloat(res.Meta[k], 'g', -1, 64) + ";"
+	}
+	out += "|"
+	items := res.Histogram.Items()
+	for _, x := range items {
+		out += strconv.FormatUint(uint64(x), 10) + ":" +
+			strconv.FormatFloat(res.Histogram[x], 'g', -1, 64) + ","
+	}
+	return out + "\n"
+}
+
+// runTwin replays every recorded batch through a fresh in-process
+// dpmg.Manager with the exact per-spec stream configs, then:
+//
+//   - cross-checks the server's probe estimates against the twin's exact
+//     estimates (they must agree item for item: the server's published
+//     view is complete once the release-time fold ran), and
+//   - issues the same release schedule with deterministic seeds, hashing
+//     the canonical renderings into the twin hash the fingerprint (and
+//     so the repeat-run determinism check) includes.
+//
+// Returns (hash, pass, detail).
+func runTwin(sp *Spec, runs []*streamRun) (string, bool, string) {
+	if len(runs) == 0 {
+		return "", false, "no streams"
+	}
+	mgr, err := dpmg.NewManager(TwinConfig(*runs[0].spec))
+	if err != nil {
+		return "", false, fmt.Sprintf("twin manager: %v", err)
+	}
+	byName := make(map[string]*streamRun, len(runs))
+	for _, r := range runs {
+		byName[r.name] = r
+	}
+	h := sha256.New()
+	for _, name := range sp.sortedNames() {
+		r := byName[name]
+		if r == nil {
+			continue
+		}
+		st, _, cerr := mgr.CreateStream(r.name, TwinConfig(*r.spec))
+		if cerr != nil {
+			return "", false, fmt.Sprintf("twin create %s: %v", r.name, cerr)
+		}
+		for _, batch := range r.batches {
+			if uerr := st.UpdateBatch(batch); uerr != nil {
+				return "", false, fmt.Sprintf("twin replay %s: %v", r.name, uerr)
+			}
+		}
+		if st.Ingested() != r.n {
+			return "", false, fmt.Sprintf("twin %s ingested %d, recorded %d", r.name, st.Ingested(), r.n)
+		}
+		// Same release schedule, seeded: the canonical renderings are the
+		// byte-level reproducibility witness folded into the fingerprint.
+		schedule := sp.ReleaseEps
+		if sp.BudgetStorm {
+			schedule = make([]float64, r.stormSuccesses)
+			for i := range schedule {
+				schedule[i] = sp.StormEps
+			}
+		}
+		for i, eps := range schedule {
+			res, rerr := st.ReleaseDetailed(
+				dpmg.Params{Eps: eps, Delta: sp.ReleaseDelta},
+				dpmg.WithSeed(TwinSeed(sp, r.name, i)))
+			if rerr != nil {
+				return "", false, fmt.Sprintf("twin release %s ε=%g: %v", r.name, eps, rerr)
+			}
+			fmt.Fprint(h, RenderRelease(r.name, res, eps, sp.ReleaseDelta))
+		}
+		// Estimates compare after the releases: both sides serve the
+		// k-bounded published read view, and the release-time fold is what
+		// republishes it over the complete stream — the server's probe
+		// phase ran after its releases for the same reason. EstimateExact
+		// would NOT match here: the published view is a bounded merge.
+		for _, p := range r.probes {
+			want := st.Estimate(p.item)
+			if got := r.estimates[p.item]; got != want {
+				return "", false, fmt.Sprintf("stream %s item %d: server estimate %d, twin estimate %d", r.name, p.item, got, want)
+			}
+		}
+	}
+	hash := hex.EncodeToString(h.Sum(nil))
+	return hash, true, fmt.Sprintf("twin estimates agree on every probe; seeded release hash %s", hash[:16])
+}

@@ -31,6 +31,7 @@ var defaultGate = []string{
 	"cmd/dpmg-gen",
 	"cmd/dpmg-audit",
 	"cmd/dpmg-bench",
+	"cmd/dpmg-scenario",
 	"internal/accountant",
 	"internal/audit",
 	"internal/baseline",
@@ -47,6 +48,7 @@ var defaultGate = []string{
 	"internal/pamg",
 	"internal/qos",
 	"internal/registry",
+	"internal/scenario",
 	"internal/stream",
 	"internal/workload",
 }

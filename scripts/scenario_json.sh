@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# scenario_json.sh — run the hostile-workload scenario catalog against
+# real dpmg-server processes and emit a machine-readable
+# SCENARIO_core.json (one frontier row per scenario: observed top-k error
+# vs ε vs items/s vs p99 ingest latency, plus lifecycle/QoS tallies and
+# the pass/fail paper checks). CI's scenario-smoke job runs this and
+# uploads the file as an artifact, mirroring bench_json.sh/BENCH_core.json.
+#
+# The script fails when:
+#   - any scenario run fails a check (dpmg-scenario exits non-zero: a
+#     tripped Lemma 8 envelope, a ledger mismatch, a lost determinism
+#     fingerprint, ...), or
+#   - a required scenario row is missing from the JSON, or
+#   - a row lacks the frontier fields (error/ε/throughput/p99) the
+#     artifact exists to record.
+#
+# Usage: scripts/scenario_json.sh [output.json]
+#   DPMG_SCENARIO_TIER=full scripts/scenario_json.sh   # bigger load tier
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-SCENARIO_core.json}"
+TIER="${DPMG_SCENARIO_TIER:-smoke}"
+REPEAT="${DPMG_SCENARIO_REPEAT:-2}"
+
+BINDIR="$(mktemp -d)"
+trap 'rm -rf "$BINDIR"' EXIT
+go build -o "$BINDIR/dpmg-server" ./cmd/dpmg-server
+go build -o "$BINDIR/dpmg-scenario" ./cmd/dpmg-scenario
+
+# dpmg-scenario exits non-zero on any failed check, after writing the
+# JSON; keep the file either way so the artifact carries the evidence.
+status=0
+"$BINDIR/dpmg-scenario" -server "$BINDIR/dpmg-server" \
+  -tier "$TIER" -repeat "$REPEAT" -out "$OUT" || status=$?
+
+# Required-row check: every catalog scenario must appear — a refactor
+# that silently drops a scenario must fail the job, not thin the artifact.
+for required in flash-crowd adversarial-drift heavy-tail-tenants \
+                evict-thrash budget-storm cluster-fanin; do
+  if ! grep -q "\"scenario\": \"${required}\"" "$OUT"; then
+    echo "scenario_json.sh: required scenario ${required} missing from $OUT" >&2
+    exit 1
+  fi
+done
+
+# Field check: every row must carry the frontier quartet.
+for field in max_abs_err eps items_per_s p99_ingest_us fingerprint; do
+  n="$(grep -c "\"${field}\"" "$OUT" || true)"
+  if [ "$n" -lt 6 ]; then
+    echo "scenario_json.sh: field ${field} present in only ${n} rows of $OUT" >&2
+    exit 1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "scenario_json.sh: scenario checks FAILED (see $OUT)" >&2
+  exit "$status"
+fi
+echo "wrote $(grep -c '"scenario"' "$OUT") scenario rows to $OUT" >&2
